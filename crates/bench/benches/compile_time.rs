@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the compilation pipeline (paper §VII-C and
+//! Fig. 13 top): end-to-end ColorDynamic compiles, plus the two leading
+//! cost centers called out in the paper — crosstalk-graph coloring and
+//! SMT frequency assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsc_core::{frequency, Compiler, CompilerConfig, Strategy};
+use fastsc_device::{Band, Device};
+use fastsc_graph::coloring;
+use fastsc_graph::crosstalk::CrosstalkGraph;
+use fastsc_graph::topology;
+use fastsc_workloads::Benchmark;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colordynamic_compile");
+    group.sample_size(10);
+    for side in [3usize, 4, 5, 7] {
+        let n = side * side;
+        let device = Device::grid(side, side, 7);
+        let compiler = Compiler::new(device, CompilerConfig::default());
+        let program = Benchmark::Xeb(n, 5).build(7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                compiler
+                    .compile(&program, Strategy::ColorDynamic)
+                    .expect("compiles")
+                    .schedule
+                    .depth()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_compile_16q");
+    group.sample_size(10);
+    let device = Device::grid(4, 4, 7);
+    let compiler = Compiler::new(device, CompilerConfig::default());
+    let program = Benchmark::Xeb(16, 5).build(7);
+    for strategy in Strategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label().replace(' ', "_")),
+            &strategy,
+            |b, &s| b.iter(|| compiler.compile(&program, s).expect("compiles").schedule.depth()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_crosstalk_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crosstalk_graph_coloring");
+    for side in [4usize, 6, 9] {
+        let mesh = topology::grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    let x = CrosstalkGraph::build(mesh, 1);
+                    coloring::color_count(&coloring::welsh_powell(x.graph()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_smt_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_find");
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                frequency::smt_find(k, Band::new(6.0, 7.0), -0.2, 1e-3)
+                    .expect("band fits")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_strategies,
+    bench_crosstalk_coloring,
+    bench_smt_find
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 12 reproduction: Baseline G's success rate as a function of the
+//! tunable coupler's residual coupling factor.
+//!
+//! The evaluation enables the next-neighbor (distance-2) channel: the
+//! through-coupler virtual coupling between same-tile gates is the leak
+//! path that makes imperfect couplers so costly (estimator attenuates it
+//! by the square of the inactive-coupler factor).
+//!
+//! ```bash
+//! cargo run -p fastsc-bench --release --bin fig12_residual_coupling
+//! ```
+
+use fastsc_bench::{device_for, fmt_p, row, SEED};
+use fastsc_core::{Compiler, CompilerConfig, Strategy};
+use fastsc_device::{CouplerKind, DeviceBuilder, DeviceParams};
+use fastsc_noise::{estimate, NoiseConfig};
+use fastsc_workloads::Benchmark;
+
+fn main() {
+    let benchmarks = [
+        Benchmark::Xeb(9, 10),
+        Benchmark::Xeb(16, 10),
+        Benchmark::Xeb(9, 15),
+        Benchmark::Xeb(16, 15),
+    ];
+    let residuals = [0.0, 0.1, 0.2, 0.4, 0.6, 0.8];
+    let config = CompilerConfig::default();
+    // Through-coupler next-neighbor virtual coupling at ~10% of the direct
+    // coupling (before coupler attenuation).
+    let mut params = DeviceParams::default();
+    params.distance2_coupling_factor = 0.1;
+    let noise = NoiseConfig { include_distance2: true, ..NoiseConfig::default() };
+    let widths = [12usize, 10, 10, 10, 10, 10, 10];
+
+    println!("Fig. 12 — Baseline G success rate by residual coupling factor");
+    println!("(next-neighbor through-coupler leakage enabled)");
+    println!();
+    let mut header = vec!["benchmark".to_owned()];
+    header.extend(residuals.iter().map(|r| format!("r={r}")));
+    println!("{}", row(&header, &widths));
+    for b in benchmarks {
+        let mut cells = vec![b.label()];
+        let mut series = Vec::new();
+        for &r in &residuals {
+            let base = device_for(b.n_qubits(), SEED);
+            let mut builder = DeviceBuilder::new(base.connectivity().clone());
+            builder.seed(SEED).params(params).coupler(CouplerKind::tunable(r));
+            let device = builder.build();
+            let compiler = Compiler::new(device, config);
+            let compiled = compiler
+                .compile(&b.build(SEED), Strategy::BaselineG)
+                .expect("compiles");
+            let p = estimate(compiler.device(), &compiled.schedule, &noise).p_success;
+            series.push(p);
+            cells.push(fmt_p(p));
+        }
+        println!("{}", row(&cells, &widths));
+        for w in series.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{b}: success must decay with residual");
+        }
+    }
+    println!();
+    println!("Success decays exponentially as couplers leak (paper §VII-E): even");
+    println!("modest residual coupling erases the gmon advantage, motivating");
+    println!("strategic frequency tuning on tunable-coupler hardware as well.");
+}

@@ -1,0 +1,82 @@
+//! Fig. 13 reproduction: general device connectivity — ColorDynamic's
+//! color count and compile time (top) and success rates of Baseline U vs
+//! ColorDynamic (bottom) across the express-cube topology sweep.
+//!
+//! ```bash
+//! cargo run -p fastsc-bench --release --bin fig13_connectivity
+//! ```
+
+use fastsc_bench::{fmt_p, geomean, row, SEED};
+use fastsc_core::{Compiler, CompilerConfig, Strategy};
+use fastsc_device::Device;
+use fastsc_graph::topology::Topology;
+use fastsc_noise::{estimate, NoiseConfig};
+use fastsc_workloads::Benchmark;
+
+fn main() {
+    let benchmarks = [
+        Benchmark::Bv(9),
+        Benchmark::Qaoa(4),
+        Benchmark::Ising(4),
+        Benchmark::Qgan(16),
+        Benchmark::Xeb(16, 1),
+    ];
+    let config = CompilerConfig::default();
+    let noise = NoiseConfig::default();
+
+    println!("Fig. 13 — general device connectivity (sparse -> dense)");
+    for b in benchmarks {
+        println!();
+        println!("== {} ==", b.label());
+        println!(
+            "{}",
+            row(
+                &[
+                    "topology".into(),
+                    "colors".into(),
+                    "compile ms".into(),
+                    "P(U)".into(),
+                    "P(CD)".into(),
+                    "CD/U".into(),
+                ],
+                &[10, 8, 12, 10, 10, 8]
+            )
+        );
+        let mut ratios = Vec::new();
+        for t in Topology::fig13_sweep() {
+            let n = b.n_qubits();
+            let device = Device::from_topology(t, n, SEED);
+            let compiler = Compiler::new(device, config);
+            let program = b.build(SEED);
+            let cd = compiler
+                .compile(&program, Strategy::ColorDynamic)
+                .expect("compiles");
+            let u = compiler.compile(&program, Strategy::BaselineU).expect("compiles");
+            let p_cd = estimate(compiler.device(), &cd.schedule, &noise).p_success;
+            let p_u = estimate(compiler.device(), &u.schedule, &noise).p_success;
+            ratios.push(p_cd / p_u.max(1e-9));
+            println!(
+                "{}",
+                row(
+                    &[
+                        t.label(),
+                        cd.stats.max_colors_used.to_string(),
+                        format!("{:.1}", cd.stats.compile_time.as_secs_f64() * 1e3),
+                        fmt_p(p_u),
+                        fmt_p(p_cd),
+                        format!("{:.2}", p_cd / p_u.max(1e-9)),
+                    ],
+                    &[10, 8, 12, 10, 10, 8]
+                )
+            );
+        }
+        println!(
+            "geomean CD/U across topologies: {:.2}x",
+            geomean(&ratios, 1e-6)
+        );
+    }
+    println!();
+    println!("Paper: 3.97x geomean improvement across all benchmarks/topologies;");
+    println!("colors stay small and compile time stays low even at the densest,");
+    println!("unrealistic connectivities.");
+}

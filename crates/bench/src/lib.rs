@@ -1,0 +1,137 @@
+//! Shared harness utilities for the per-figure reproduction binaries.
+//!
+//! Every figure and table of the paper's evaluation maps to one binary in
+//! `src/bin/` (see DESIGN.md §5 for the index); this library holds the
+//! pieces they share: device construction at benchmark sizes, strategy
+//! sweeps, and small table/statistics helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fastsc_core::{CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy};
+use fastsc_device::{CouplerKind, Device};
+use fastsc_noise::{estimate, NoiseConfig, SuccessReport};
+use fastsc_workloads::Benchmark;
+
+/// The seed used across all reproduction binaries (fabrication variation,
+/// random workloads). Change it to check robustness of the shapes.
+pub const SEED: u64 = 2020;
+
+/// Builds the smallest square mesh that fits `n` program qubits.
+pub fn device_for(n: usize, seed: u64) -> Device {
+    let side = (n as f64).sqrt().ceil() as usize;
+    Device::grid(side.max(2), side.max(2), seed)
+}
+
+/// Result of running one (benchmark, strategy) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The strategy that produced it.
+    pub strategy: Strategy,
+    /// Compiled program (schedule + stats).
+    pub compiled: CompiledProgram,
+    /// Estimated worst-case success report.
+    pub report: SuccessReport,
+}
+
+/// Compiles `benchmark` under `strategy` on the right-sized device and
+/// estimates its success.
+///
+/// Baseline G runs on a tunable-coupler copy of the chip with the given
+/// residual factor; all other strategies use fixed couplers.
+///
+/// # Errors
+///
+/// Propagates compiler errors.
+pub fn run_cell(
+    benchmark: Benchmark,
+    strategy: Strategy,
+    config: &CompilerConfig,
+    gmon_residual: f64,
+) -> Result<CellResult, CompileError> {
+    let base = device_for(benchmark.n_qubits(), SEED);
+    let device = if strategy == Strategy::BaselineG {
+        base.with_coupler(CouplerKind::tunable(gmon_residual))
+    } else {
+        base
+    };
+    let compiler = Compiler::new(device, *config);
+    let compiled = compiler.compile(&benchmark.build(SEED), strategy)?;
+    let report = estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
+    Ok(CellResult { strategy, compiled, report })
+}
+
+/// Geometric mean of strictly positive values; zeros/negatives are clamped
+/// to `floor` first (the paper excludes points below its 1e-4 plot floor).
+pub fn geomean(values: &[f64], floor: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(floor).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a probability the way the paper's log-scale plots read:
+/// scientific below 1e-2, fixed otherwise.
+pub fn fmt_p(p: f64) -> String {
+    if p == 0.0 {
+        "<1e-9".to_owned()
+    } else if p < 1e-2 {
+        format!("{p:.2e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_sizes_cover_suite() {
+        assert_eq!(device_for(4, 1).n_qubits(), 4);
+        assert_eq!(device_for(9, 1).n_qubits(), 9);
+        assert_eq!(device_for(16, 1).n_qubits(), 16);
+        assert_eq!(device_for(25, 1).n_qubits(), 25);
+        // Non-square program sizes get the next square up.
+        assert_eq!(device_for(5, 1).n_qubits(), 9);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0], 1e-9) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[0.1, 10.0], 1e-9) - 1.0).abs() < 1e-9);
+        // Floor applies.
+        assert!(geomean(&[0.0, 1.0], 1e-4) >= 1e-2 - 1e-9);
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let cell = run_cell(
+            Benchmark::Xeb(4, 3),
+            Strategy::ColorDynamic,
+            &CompilerConfig::default(),
+            0.0,
+        )
+        .expect("compiles");
+        assert!(cell.report.p_success > 0.0);
+        assert_eq!(cell.strategy, Strategy::ColorDynamic);
+    }
+
+    #[test]
+    fn fmt_p_switches_notation() {
+        assert_eq!(fmt_p(0.0), "<1e-9");
+        assert!(fmt_p(0.5).starts_with("0.5"));
+        assert!(fmt_p(1e-3).contains('e'));
+    }
+}

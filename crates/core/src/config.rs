@@ -1,0 +1,76 @@
+//! Compiler configuration.
+
+use fastsc_ir::decompose::Strategy as Lowering;
+
+/// Tunables of the frequency-aware compiler (all strategies share them;
+/// strategy-specific behavior lives in [`Strategy`](crate::Strategy)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerConfig {
+    /// Crosstalk-graph distance `d` (paper Algorithm 2); 1 covers
+    /// nearest-neighbor crosstalk, 2 adds next-neighbor channels.
+    pub crosstalk_distance: usize,
+    /// Cap on the number of interaction-frequency colors per cycle
+    /// (paper Fig. 11). Gates that cannot be colored within the budget are
+    /// deferred to a later cycle. `None` leaves the count to the coloring.
+    pub max_colors: Option<usize>,
+    /// How `CNOT`/`SWAP` are lowered (paper §V-B5; hybrid by default).
+    pub decomposition: Lowering,
+    /// `noise_conflict` threshold (paper Algorithm 1 line 13): a two-qubit
+    /// gate is postponed when at least this many of its crosstalk-graph
+    /// neighbors are already scheduled in the current cycle.
+    pub conflict_threshold: usize,
+    /// Binary-search tolerance for the separation threshold, GHz.
+    pub smt_tolerance: f64,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            crosstalk_distance: 1,
+            max_colors: None,
+            decomposition: Lowering::Hybrid,
+            // Four crowded neighbors in a 1 GHz interaction band still
+            // leave ~200 MHz pairwise separation; beyond that the band is
+            // too crowded and serialization is cheaper than crosstalk.
+            conflict_threshold: 4,
+            smt_tolerance: 1e-3,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// A config with a bounded color budget (the Fig. 11 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_colors == 0`.
+    pub fn with_max_colors(max_colors: usize) -> Self {
+        assert!(max_colors > 0, "at least one color is required");
+        CompilerConfig { max_colors: Some(max_colors), ..CompilerConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_defaults() {
+        let c = CompilerConfig::default();
+        assert_eq!(c.crosstalk_distance, 1);
+        assert_eq!(c.max_colors, None);
+        assert_eq!(c.decomposition, Lowering::Hybrid);
+    }
+
+    #[test]
+    fn color_budget_constructor() {
+        let c = CompilerConfig::with_max_colors(2);
+        assert_eq!(c.max_colors, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn rejects_zero_colors() {
+        let _ = CompilerConfig::with_max_colors(0);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program uses more qubits than the device provides.
+    ProgramTooWide {
+        /// Program qubit count.
+        program: usize,
+        /// Device qubit count.
+        device: usize,
+    },
+    /// A two-qubit gate touches qubits in different connected components
+    /// of the device, so no `SWAP` chain can bring them together.
+    Unroutable {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// The frequency solver could not place the requested number of
+    /// interaction frequencies in the configured band (the band is
+    /// empty after clamping to the devices' reachable range).
+    FrequencyBandExhausted {
+        /// Number of frequencies requested.
+        colors: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CompileError::ProgramTooWide { program, device } => write!(
+                f,
+                "program uses {program} qubits but the device has only {device}"
+            ),
+            CompileError::Unroutable { a, b } => write!(
+                f,
+                "no path between physical qubits {a} and {b}; device is disconnected"
+            ),
+            CompileError::FrequencyBandExhausted { colors } => write!(
+                f,
+                "cannot place {colors} interaction frequencies in the configured band"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CompileError::ProgramTooWide { program: 10, device: 9 };
+        assert!(e.to_string().contains("10"));
+        let e = CompileError::Unroutable { a: 1, b: 5 };
+        assert!(e.to_string().contains("disconnected"));
+        let e = CompileError::FrequencyBandExhausted { colors: 12 };
+        assert!(e.to_string().contains("12"));
+    }
+}

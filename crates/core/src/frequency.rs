@@ -1,0 +1,286 @@
+//! Frequency assignment: graph colors to concrete GHz values via the
+//! difference-logic SMT solver (paper §V-B3/4).
+
+use crate::error::CompileError;
+use fastsc_device::{Band, Device};
+use fastsc_graph::coloring;
+use fastsc_smt::{maximize, Problem};
+
+/// Solves the paper's `smt_find`: places `k` frequencies inside `band`
+/// maximizing the pairwise separation threshold `delta`, subject to
+///
+/// * `band.lo <= x_c <= band.hi` (Eq. 1),
+/// * `|x_i - x_j| >= delta` for every pair (Eq. 2),
+/// * `|x_i + alpha - x_j| >= delta` for every ordered pair (Eq. 3),
+/// * a fixed total order `x_0 >= x_1 >= ...` so that the caller can map
+///   the most-used color to the highest (fastest) frequency (§V-B3).
+///
+/// Returns the frequencies in descending order.
+///
+/// # Errors
+///
+/// Returns [`CompileError::FrequencyBandExhausted`] when even `delta = 0`
+/// is infeasible (an empty band).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `tolerance <= 0`.
+pub fn smt_find(
+    k: usize,
+    band: Band,
+    alpha: f64,
+    tolerance: f64,
+) -> Result<Vec<f64>, CompileError> {
+    assert!(k > 0, "at least one frequency required");
+    let build = |delta: f64, floor: f64| {
+        let mut p = Problem::new();
+        let xs: Vec<_> = (0..k).map(|_| p.new_var()).collect();
+        for &x in &xs {
+            p.add_bounds(x, band.lo, band.hi);
+        }
+        // Anchor: even the lowest frequency sits at or above `floor`.
+        p.add_bounds(xs[k - 1], floor.min(band.hi), band.hi);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                p.add_abs_ge(xs[i], 0.0, xs[j], delta);
+                p.add_abs_ge(xs[i], alpha, xs[j], delta);
+                p.add_abs_ge(xs[j], alpha, xs[i], delta);
+                // Total ordering: x_i (earlier) above x_j (later).
+                p.add_ge(xs[i], xs[j], 0.0);
+            }
+        }
+        p
+    };
+    // Phase 1: maximize the separation threshold delta (the paper's
+    // binary search).
+    let best_delta = maximize(0.0, band.width().max(tolerance), tolerance, |delta| {
+        build(delta, band.lo)
+    })
+    .ok_or(CompileError::FrequencyBandExhausted { colors: k })?
+    .best;
+    // Phase 2: at (just under) the optimal separation, push the whole
+    // assignment as high in the band as possible — higher interaction
+    // frequency means faster gates (t_gate ~ 1/omega, §V-B3), and keeps
+    // interaction frequencies far from the parking sidebands.
+    let delta = (best_delta - tolerance).max(0.0);
+    let solved = maximize(band.lo, band.hi, tolerance, |floor| build(delta, floor))
+        .ok_or(CompileError::FrequencyBandExhausted { colors: k })?;
+    let mut values: Vec<f64> = (0..k)
+        .map(|i| {
+            // Variables were created in order; re-create handles by index.
+            solved.model.values()[i]
+        })
+        .collect();
+    values.sort_by(|a, b| b.total_cmp(a));
+    Ok(values)
+}
+
+/// Maps a coloring to frequencies ordered by color multiplicity: the color
+/// used by the most gates receives the highest frequency (fastest gates,
+/// §V-B3). Returns `frequency[color]`.
+///
+/// # Errors
+///
+/// Propagates [`CompileError::FrequencyBandExhausted`] from [`smt_find`].
+///
+/// # Panics
+///
+/// Panics if `colors` is empty.
+pub fn frequencies_for_coloring(
+    colors: &[usize],
+    band: Band,
+    alpha: f64,
+    tolerance: f64,
+) -> Result<Vec<f64>, CompileError> {
+    assert!(!colors.is_empty(), "need at least one colored vertex");
+    let histogram = coloring::histogram(colors);
+    let k = histogram.len();
+    let values = smt_find(k, band, alpha, tolerance)?;
+    // Rank colors by multiplicity (descending), ties by color index.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(histogram[c]), c));
+    let mut freq_of_color = vec![0.0; k];
+    for (rank, &color) in order.iter().enumerate() {
+        freq_of_color[color] = values[rank];
+    }
+    Ok(freq_of_color)
+}
+
+/// Parking (idle) frequencies for every qubit: colors the connectivity
+/// graph (2 colors on bipartite meshes, Welsh–Powell otherwise) and maps
+/// colors to maximally separated values in the parking band (§IV-C-1).
+///
+/// # Errors
+///
+/// Propagates [`CompileError::FrequencyBandExhausted`].
+pub fn parking_assignment(device: &Device, tolerance: f64) -> Result<Vec<f64>, CompileError> {
+    let g = device.connectivity();
+    let colors = coloring::two_coloring(g).unwrap_or_else(|| coloring::welsh_powell(g));
+    let alpha = mean_anharmonicity(device);
+    let freq_of_color =
+        frequencies_for_coloring(&colors, device.partition().parking, alpha, tolerance)?;
+    Ok(colors.into_iter().map(|c| freq_of_color[c]).collect())
+}
+
+/// The interaction band clamped so every qubit can reach it: tunable
+/// transmons only tune *down* from their sampled `omega_max`, so the band
+/// top is the slowest qubit's maximum.
+///
+/// # Errors
+///
+/// Returns [`CompileError::FrequencyBandExhausted`] when the clamped band
+/// is empty (a qubit's maximum sits below the band floor).
+pub fn reachable_interaction_band(device: &Device) -> Result<Band, CompileError> {
+    let band = device.partition().interaction;
+    let min_max = device
+        .qubits()
+        .iter()
+        .map(|q| q.omega_max)
+        .fold(f64::INFINITY, f64::min);
+    let hi = band.hi.min(min_max);
+    if hi <= band.lo {
+        return Err(CompileError::FrequencyBandExhausted { colors: 1 });
+    }
+    Ok(Band::new(band.lo, hi))
+}
+
+/// Mean anharmonicity across the device (the per-qubit spread is small;
+/// the SMT constraints use a single representative value, like the paper's
+/// "nearly constant anharmonicity" assumption in §VI-C).
+pub fn mean_anharmonicity(device: &Device) -> f64 {
+    let n = device.n_qubits().max(1);
+    device.qubits().iter().map(|q| q.anharmonicity).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_device::{Device, DeviceBuilder};
+
+    const TOL: f64 = 1e-3;
+    const ALPHA: f64 = -0.2;
+
+    #[test]
+    fn single_color_gets_top_of_band() {
+        let f = smt_find(1, Band::new(6.0, 7.0), ALPHA, TOL).expect("one slot fits");
+        assert_eq!(f.len(), 1);
+        assert!((6.0..=7.0).contains(&f[0]));
+    }
+
+    #[test]
+    fn separations_respect_threshold_and_sidebands() {
+        for k in 2..=5 {
+            let f = smt_find(k, Band::new(6.0, 7.0), ALPHA, TOL).expect("fits");
+            assert_eq!(f.len(), k);
+            // Descending order.
+            for w in f.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+            // All pairs separated directly and at the sideband offset.
+            let min_sep = f
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &a)| f[i + 1..].iter().map(move |&b| (a - b).abs()))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_sep > 0.0, "k = {k}");
+            for (i, &a) in f.iter().enumerate() {
+                for (j, &b) in f.iter().enumerate() {
+                    if i != j {
+                        assert!(
+                            (a + ALPHA - b).abs() > 1e-6,
+                            "k = {k}: sideband collision {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_colors_nearly_maximal_separation() {
+        // With sidebands the best two-point separation in a 1 GHz band is
+        // 1.0 (endpoints), as long as |1.0 - 0.2| = 0.8 >= delta... the
+        // binding constraint is delta <= 0.8.
+        let f = smt_find(2, Band::new(6.0, 7.0), ALPHA, TOL).expect("fits");
+        let sep = f[0] - f[1];
+        assert!(sep > 0.75, "separation = {sep}");
+    }
+
+    #[test]
+    fn multiplicity_ordering_gives_popular_color_fastest() {
+        // Color 1 used 3 times, color 0 once: color 1 must get the higher
+        // frequency.
+        let colors = [1, 1, 0, 1];
+        let f = frequencies_for_coloring(&colors, Band::new(6.0, 7.0), ALPHA, TOL)
+            .expect("fits");
+        assert!(f[1] > f[0], "popular color must be faster: {f:?}");
+    }
+
+    #[test]
+    fn parking_checkerboard_on_mesh() {
+        let d = Device::grid(4, 4, 3);
+        let parking = parking_assignment(&d, TOL).expect("bipartite mesh");
+        // Two distinct values, assigned in checkerboard pattern.
+        let mut distinct: Vec<f64> = parking.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(distinct.len(), 2);
+        for (_, (u, v)) in d.connectivity().edges() {
+            assert!((parking[u] - parking[v]).abs() > 0.1, "neighbors share parking");
+        }
+        // Values stay in the parking band.
+        for &p in &parking {
+            assert!(d.partition().parking.contains(p), "{p} outside parking band");
+        }
+    }
+
+    #[test]
+    fn parking_handles_odd_cycles() {
+        use fastsc_graph::topology;
+        let mut b = DeviceBuilder::new(topology::ring(5));
+        b.seed(1);
+        let d = b.build();
+        let parking = parking_assignment(&d, TOL).expect("3-colorable ring");
+        for (_, (u, v)) in d.connectivity().edges() {
+            assert!((parking[u] - parking[v]).abs() > 1e-3);
+        }
+    }
+
+    #[test]
+    fn reachable_band_clamped_by_slowest_qubit() {
+        let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(2, 2));
+        b.seed(0).omega_max_distribution(6.5, 0.0);
+        let d = b.build();
+        let band = reachable_interaction_band(&d).expect("non-empty");
+        assert!((band.hi - 6.5).abs() < 1e-12);
+        assert_eq!(band.lo, 6.0);
+    }
+
+    #[test]
+    fn unreachable_band_is_an_error() {
+        let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(2, 2));
+        b.seed(0).omega_max_distribution(5.5, 0.0); // below the 6 GHz floor
+        let d = b.build();
+        assert!(matches!(
+            reachable_interaction_band(&d),
+            Err(CompileError::FrequencyBandExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_anharmonicity_matches_default() {
+        let d = Device::grid(2, 2, 0);
+        assert!((mean_anharmonicity(&d) + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_colors_still_packs_or_errors() {
+        // 12 colors in 1 GHz: separations get thin but it must not panic.
+        let f = smt_find(12, Band::new(6.0, 7.0), ALPHA, TOL);
+        match f {
+            Ok(values) => assert_eq!(values.len(), 12),
+            Err(CompileError::FrequencyBandExhausted { .. }) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Coupler hardware variants (paper Fig. 1).
+
+/// How qubits are coupled on the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CouplerKind {
+    /// A fixed capacitor between neighbors: always-on coupling `g0`. This
+    /// is the hardware this work targets (tunable qubit, fixed coupler).
+    Fixed,
+    /// A flux-tunable "gmon" coupler (Baseline G / Google Sycamore):
+    /// active couplings see the full `g0`, deactivated couplings are
+    /// suppressed down to `residual * g0`.
+    ///
+    /// The paper's Fig. 12 sweeps `residual` in `[0, 0.8]`; 0 models the
+    /// idealized perfectly-off coupler assumed by Baseline G in Fig. 9.
+    Tunable {
+        /// Fraction of `g0` that leaks through a deactivated coupler.
+        residual: f64,
+    },
+}
+
+impl CouplerKind {
+    /// A tunable coupler with the given residual fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual` is not within `[0, 1]`.
+    pub fn tunable(residual: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&residual),
+            "residual coupling fraction must be in [0, 1], got {residual}"
+        );
+        CouplerKind::Tunable { residual }
+    }
+
+    /// The coupling-strength multiplier for a coupling that is currently
+    /// *inactive* (no two-qubit gate running on it).
+    ///
+    /// Fixed couplers cannot be turned off (multiplier 1); tunable couplers
+    /// leak only their residual fraction.
+    pub fn inactive_factor(self) -> f64 {
+        match self {
+            CouplerKind::Fixed => 1.0,
+            CouplerKind::Tunable { residual } => residual,
+        }
+    }
+
+    /// Whether the hardware has tunable couplers.
+    pub fn is_tunable(self) -> bool {
+        matches!(self, CouplerKind::Tunable { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_coupler_never_off() {
+        assert_eq!(CouplerKind::Fixed.inactive_factor(), 1.0);
+        assert!(!CouplerKind::Fixed.is_tunable());
+    }
+
+    #[test]
+    fn tunable_coupler_suppresses() {
+        let c = CouplerKind::tunable(0.1);
+        assert_eq!(c.inactive_factor(), 0.1);
+        assert!(c.is_tunable());
+        assert_eq!(CouplerKind::tunable(0.0).inactive_factor(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_residual_above_one() {
+        let _ = CouplerKind::tunable(1.5);
+    }
+}

@@ -1,0 +1,311 @@
+//! The device: connectivity + qubit specs + coupler + partition + params.
+
+use crate::coupler::CouplerKind;
+use crate::params::DeviceParams;
+use crate::partition::FrequencyPartition;
+use crate::sampling;
+use crate::transmon::TransmonSpec;
+use fastsc_graph::crosstalk::CrosstalkGraph;
+use fastsc_graph::{topology, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A complete description of a superconducting quantum device.
+///
+/// Construct with the convenience constructors ([`Device::grid`],
+/// [`Device::linear`], [`Device::from_topology`]) or with
+/// [`DeviceBuilder`] for full control.
+#[derive(Debug, Clone)]
+pub struct Device {
+    connectivity: Graph,
+    qubits: Vec<TransmonSpec>,
+    coupler: CouplerKind,
+    partition: FrequencyPartition,
+    params: DeviceParams,
+}
+
+impl Device {
+    /// A `rows x cols` mesh with default parameters and fabrication
+    /// variation sampled from the given seed.
+    pub fn grid(rows: usize, cols: usize, seed: u64) -> Self {
+        DeviceBuilder::new(topology::grid(rows, cols)).seed(seed).build()
+    }
+
+    /// A linear chain of `n` qubits.
+    pub fn linear(n: usize, seed: u64) -> Self {
+        DeviceBuilder::new(topology::linear(n)).seed(seed).build()
+    }
+
+    /// A device over one of the Fig. 13 topology families.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a 2-D family is requested with non-square `n`.
+    pub fn from_topology(t: topology::Topology, n: usize, seed: u64) -> Self {
+        DeviceBuilder::new(t.build(n)).seed(seed).build()
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.connectivity.node_count()
+    }
+
+    /// Number of couplings (connectivity edges).
+    pub fn n_couplings(&self) -> usize {
+        self.connectivity.edge_count()
+    }
+
+    /// The connectivity graph `Gc`.
+    pub fn connectivity(&self) -> &Graph {
+        &self.connectivity
+    }
+
+    /// The spec of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n_qubits()`.
+    pub fn qubit(&self, q: usize) -> &TransmonSpec {
+        &self.qubits[q]
+    }
+
+    /// All qubit specs, indexed by qubit.
+    pub fn qubits(&self) -> &[TransmonSpec] {
+        &self.qubits
+    }
+
+    /// The coupler hardware.
+    pub fn coupler(&self) -> CouplerKind {
+        self.coupler
+    }
+
+    /// The frequency partition used for assignment.
+    pub fn partition(&self) -> FrequencyPartition {
+        self.partition
+    }
+
+    /// Device-wide physical constants.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// The distance-`d` crosstalk graph `Gx` (paper Algorithm 2).
+    pub fn crosstalk_graph(&self, d: usize) -> CrosstalkGraph {
+        CrosstalkGraph::build(&self.connectivity, d)
+    }
+
+    /// Whether qubits `a` and `b` are directly coupled.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.connectivity.has_edge(a, b)
+    }
+
+    /// Returns a copy of this device with a different coupler (used to
+    /// build the gmon baseline from the same chip).
+    pub fn with_coupler(&self, coupler: CouplerKind) -> Self {
+        Device { coupler, ..self.clone() }
+    }
+}
+
+/// Builder for [`Device`] (non-consuming configuration, terminal `build`).
+///
+/// # Example
+///
+/// ```
+/// use fastsc_device::{CouplerKind, Device, DeviceParams};
+/// use fastsc_graph::topology;
+///
+/// let mut b = fastsc_device::DeviceBuilder::new(topology::grid(3, 3));
+/// b.seed(11).coupler(CouplerKind::tunable(0.05));
+/// let device: Device = b.build();
+/// assert!(device.coupler().is_tunable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    connectivity: Graph,
+    seed: u64,
+    omega_max_mean: f64,
+    omega_max_std: f64,
+    coupler: CouplerKind,
+    partition: FrequencyPartition,
+    params: DeviceParams,
+    t1_us: f64,
+    t2_us: f64,
+}
+
+impl DeviceBuilder {
+    /// Starts a builder over the given connectivity graph.
+    pub fn new(connectivity: Graph) -> Self {
+        DeviceBuilder {
+            connectivity,
+            seed: 0,
+            // Paper §VI-C: omega_max ~ N(omega_bar, 0.1 GHz); the high
+            // sweet spot sits near 7 GHz (Fig. 14 / App. A).
+            omega_max_mean: 7.0,
+            omega_max_std: 0.1,
+            coupler: CouplerKind::Fixed,
+            partition: FrequencyPartition::reference(),
+            params: DeviceParams::default(),
+            t1_us: 25.0,
+            t2_us: 20.0,
+        }
+    }
+
+    /// Seed for fabrication-variation sampling.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Mean and standard deviation of the sampled maximum frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std < 0`.
+    pub fn omega_max_distribution(&mut self, mean: f64, std: f64) -> &mut Self {
+        assert!(std >= 0.0, "standard deviation must be non-negative");
+        self.omega_max_mean = mean;
+        self.omega_max_std = std;
+        self
+    }
+
+    /// Coupler hardware (default: fixed).
+    pub fn coupler(&mut self, coupler: CouplerKind) -> &mut Self {
+        self.coupler = coupler;
+        self
+    }
+
+    /// Frequency partition (default: the paper's reference design).
+    pub fn partition(&mut self, partition: FrequencyPartition) -> &mut Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Physical constants (default: [`DeviceParams::default`]).
+    pub fn params(&mut self, params: DeviceParams) -> &mut Self {
+        self.params = params;
+        self
+    }
+
+    /// Coherence times applied to every qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both times are positive.
+    pub fn coherence(&mut self, t1_us: f64, t2_us: f64) -> &mut Self {
+        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
+        self.t1_us = t1_us;
+        self.t2_us = t2_us;
+        self
+    }
+
+    /// Builds the device, sampling per-qubit maximum frequencies.
+    pub fn build(&self) -> Device {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let qubits: Vec<TransmonSpec> = (0..self.connectivity.node_count())
+            .map(|_| {
+                let omega =
+                    sampling::gaussian(&mut rng, self.omega_max_mean, self.omega_max_std);
+                TransmonSpec {
+                    t1_us: self.t1_us,
+                    t2_us: self.t2_us,
+                    ..TransmonSpec::with_omega_max(omega.max(0.1))
+                }
+            })
+            .collect();
+        Device {
+            connectivity: self.connectivity.clone(),
+            qubits,
+            coupler: self.coupler,
+            partition: self.partition,
+            params: self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_device_shape() {
+        let d = Device::grid(3, 3, 1);
+        assert_eq!(d.n_qubits(), 9);
+        assert_eq!(d.n_couplings(), 12);
+        assert!(d.are_coupled(0, 1));
+        assert!(!d.are_coupled(0, 8));
+        assert_eq!(d.coupler(), CouplerKind::Fixed);
+    }
+
+    #[test]
+    fn fabrication_variation_is_sampled() {
+        let d = Device::grid(4, 4, 5);
+        let omegas: Vec<f64> = d.qubits().iter().map(|q| q.omega_max).collect();
+        let distinct = omegas.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9);
+        assert!(distinct, "all omega_max identical — variation not applied");
+        // All within a plausible band around 7 GHz.
+        for w in omegas {
+            assert!((6.0..8.0).contains(&w), "omega_max = {w}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_device() {
+        let a = Device::grid(3, 3, 42);
+        let b = Device::grid(3, 3, 42);
+        for (qa, qb) in a.qubits().iter().zip(b.qubits()) {
+            assert_eq!(qa.omega_max, qb.omega_max);
+        }
+        let c = Device::grid(3, 3, 43);
+        let differs = a
+            .qubits()
+            .iter()
+            .zip(c.qubits())
+            .any(|(qa, qc)| (qa.omega_max - qc.omega_max).abs() > 1e-12);
+        assert!(differs);
+    }
+
+    #[test]
+    fn crosstalk_graph_dimensions() {
+        let d = Device::grid(3, 3, 0);
+        let x = d.crosstalk_graph(1);
+        assert_eq!(x.coupling_count(), 12);
+        assert_eq!(x.distance(), 1);
+    }
+
+    #[test]
+    fn builder_customization() {
+        let mut b = DeviceBuilder::new(fastsc_graph::topology::linear(5));
+        b.seed(9)
+            .coupler(CouplerKind::tunable(0.2))
+            .coherence(50.0, 40.0)
+            .omega_max_distribution(6.8, 0.05);
+        let d = b.build();
+        assert_eq!(d.n_qubits(), 5);
+        assert_eq!(d.coupler().inactive_factor(), 0.2);
+        assert_eq!(d.qubit(0).t1_us, 50.0);
+        for q in d.qubits() {
+            assert!((6.4..7.2).contains(&q.omega_max));
+        }
+    }
+
+    #[test]
+    fn with_coupler_preserves_chip() {
+        let d = Device::grid(2, 2, 3);
+        let gmon = d.with_coupler(CouplerKind::tunable(0.0));
+        assert!(gmon.coupler().is_tunable());
+        for (a, b) in d.qubits().iter().zip(gmon.qubits()) {
+            assert_eq!(a.omega_max, b.omega_max);
+        }
+    }
+
+    #[test]
+    fn from_topology_families() {
+        use fastsc_graph::topology::Topology;
+        let lin = Device::from_topology(Topology::Linear, 9, 0);
+        let grid = Device::from_topology(Topology::Grid, 9, 0);
+        assert_eq!(lin.n_couplings(), 8);
+        assert_eq!(grid.n_couplings(), 12);
+        let ex = Device::from_topology(Topology::Express2D { k: 2 }, 16, 0);
+        assert!(ex.n_couplings() > grid.n_couplings());
+    }
+}

@@ -1,0 +1,45 @@
+//! Device model for frequency-tunable superconducting transmon hardware.
+//!
+//! A [`Device`] bundles everything the compiler and the noise model need to
+//! know about the machine (paper §VI-C):
+//!
+//! * the **connectivity graph** (2-D mesh by default; linear chains and
+//!   express cubes for the Fig. 13 study) with a capacitive coupling on
+//!   every edge;
+//! * per-qubit [`TransmonSpec`]s — maximum frequency sampled from
+//!   `N(omega_bar, 0.1 GHz)` to model fabrication variation, anharmonicity
+//!   `alpha/2pi ~ -200 MHz`, `T1`/`T2`, and the two flux sweet spots of an
+//!   asymmetric transmon (paper Fig. 4);
+//! * the [`FrequencyPartition`] splitting the tunable band into parking,
+//!   exclusion and interaction regions (paper §V-B4);
+//! * the [`CouplerKind`] — fixed capacitors (this work) or flux-tunable
+//!   "gmon" couplers with a residual-coupling factor (Baseline G, Fig. 12);
+//! * physical constants ([`DeviceParams`]) for gate durations, coupling
+//!   strength and flux-tuning overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use fastsc_device::Device;
+//!
+//! let device = Device::grid(4, 4, 7);
+//! assert_eq!(device.n_qubits(), 16);
+//! let xtalk = device.crosstalk_graph(1);
+//! assert_eq!(xtalk.coupling_count(), device.connectivity().edge_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coupler;
+mod device;
+mod params;
+mod partition;
+pub mod sampling;
+mod transmon;
+
+pub use coupler::CouplerKind;
+pub use device::{Device, DeviceBuilder};
+pub use params::DeviceParams;
+pub use partition::{Band, FrequencyPartition};
+pub use transmon::TransmonSpec;

@@ -1,0 +1,218 @@
+//! Frequency-band partitioning (paper §V-B4).
+//!
+//! The tunable spectrum of a transmon spans only a few GHz, so the compiler
+//! splits it into three disjoint regions:
+//!
+//! * a **parking region** near the low flux sweet spot where idle qubits
+//!   sit,
+//! * an **exclusion region** where no frequency is ever assigned (it is
+//!   the most flux-noise-sensitive stretch and insulates parked qubits
+//!   from interacting ones), and
+//! * an **interaction region** near the high sweet spot where two-qubit
+//!   resonances are placed (higher frequency = faster gate).
+
+use std::fmt;
+
+/// A closed frequency interval `[lo, hi]` in GHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Lower edge (GHz).
+    pub lo: f64,
+    /// Upper edge (GHz).
+    pub hi: f64,
+}
+
+impl Band {
+    /// Creates a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either edge is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "band edges must not be NaN");
+        assert!(lo <= hi, "band [{lo}, {hi}] is empty");
+        Band { lo, hi }
+    }
+
+    /// Width in GHz.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint in GHz.
+    pub fn center(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `f` lies inside the band (inclusive).
+    pub fn contains(self, f: f64) -> bool {
+        (self.lo..=self.hi).contains(&f)
+    }
+
+    /// `k` values spread across the band with maximum pairwise separation
+    /// (`k = 1` returns the center).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn spread(self, k: usize) -> Vec<f64> {
+        assert!(k > 0, "cannot spread zero frequencies");
+        if k == 1 {
+            return vec![self.center()];
+        }
+        let step = self.width() / (k as f64 - 1.0);
+        (0..k).map(|i| self.lo + step * i as f64).collect()
+    }
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}] GHz", self.lo, self.hi)
+    }
+}
+
+/// The parking / exclusion / interaction split of the tunable band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPartition {
+    /// Where idle qubits park (low sweet-spot side).
+    pub parking: Band,
+    /// Buffer region where nothing is assigned.
+    pub exclusion: Band,
+    /// Where interaction frequencies live (high sweet-spot side).
+    pub interaction: Band,
+}
+
+impl FrequencyPartition {
+    /// The paper's reference design: 1 GHz parking, 0.5 GHz exclusion,
+    /// 1 GHz interaction (§V-B4), placed so parking hugs the ~5 GHz low
+    /// sweet spot and interaction the ~7 GHz high sweet spot (Fig. 14).
+    pub fn reference() -> Self {
+        FrequencyPartition {
+            parking: Band::new(4.5, 5.5),
+            exclusion: Band::new(5.5, 6.0),
+            interaction: Band::new(6.0, 7.0),
+        }
+    }
+
+    /// Creates a partition, validating ordering and disjointness.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `parking.hi <= exclusion.lo <= exclusion.hi <=
+    /// interaction.lo`.
+    pub fn new(parking: Band, exclusion: Band, interaction: Band) -> Self {
+        assert!(
+            parking.hi <= exclusion.lo && exclusion.hi <= interaction.lo,
+            "regions must be ordered parking < exclusion < interaction and disjoint"
+        );
+        FrequencyPartition { parking, exclusion, interaction }
+    }
+
+    /// The minimum separation guaranteed between any parked qubit and any
+    /// interacting qubit: the exclusion width.
+    pub fn guard_width(self) -> f64 {
+        self.exclusion.width()
+    }
+
+    /// The full tunable range covered by the partition.
+    pub fn full_range(self) -> Band {
+        Band::new(self.parking.lo, self.interaction.hi)
+    }
+
+    /// Classifies a frequency.
+    pub fn classify(self, f: f64) -> Option<Region> {
+        if self.parking.contains(f) {
+            Some(Region::Parking)
+        } else if self.exclusion.contains(f) {
+            Some(Region::Exclusion)
+        } else if self.interaction.contains(f) {
+            Some(Region::Interaction)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for FrequencyPartition {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// The region a frequency falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Idle parking region.
+    Parking,
+    /// Forbidden buffer region.
+    Exclusion,
+    /// Two-qubit interaction region.
+    Interaction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_partition_matches_paper_widths() {
+        let p = FrequencyPartition::reference();
+        assert!((p.parking.width() - 1.0).abs() < 1e-12);
+        assert!((p.exclusion.width() - 0.5).abs() < 1e-12);
+        assert!((p.interaction.width() - 1.0).abs() < 1e-12);
+        assert!((p.guard_width() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_regions() {
+        let p = FrequencyPartition::reference();
+        assert_eq!(p.classify(5.0), Some(Region::Parking));
+        assert_eq!(p.classify(5.7), Some(Region::Exclusion));
+        assert_eq!(p.classify(6.5), Some(Region::Interaction));
+        assert_eq!(p.classify(8.0), None);
+        assert_eq!(p.classify(3.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "regions must be ordered")]
+    fn rejects_overlapping_regions() {
+        let _ = FrequencyPartition::new(
+            Band::new(4.5, 6.1),
+            Band::new(5.5, 6.0),
+            Band::new(6.0, 7.0),
+        );
+    }
+
+    #[test]
+    fn spread_extremes_and_center() {
+        let b = Band::new(6.0, 7.0);
+        assert_eq!(b.spread(1), vec![6.5]);
+        let three = b.spread(3);
+        assert_eq!(three, vec![6.0, 6.5, 7.0]);
+        let two = b.spread(2);
+        assert!((two[1] - two[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "band [7, 6] is empty")]
+    fn band_rejects_inverted() {
+        let _ = Band::new(7.0, 6.0);
+    }
+
+    #[test]
+    fn band_accessors() {
+        let b = Band::new(1.0, 3.0);
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.center(), 2.0);
+        assert!(b.contains(1.0) && b.contains(3.0) && !b.contains(3.01));
+        assert_eq!(b.to_string(), "[1.000, 3.000] GHz");
+    }
+
+    #[test]
+    fn full_range_spans_partition() {
+        let p = FrequencyPartition::reference();
+        let r = p.full_range();
+        assert_eq!(r.lo, 4.5);
+        assert_eq!(r.hi, 7.0);
+    }
+}

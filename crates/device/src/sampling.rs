@@ -1,0 +1,77 @@
+//! Gaussian sampling for fabrication variation.
+//!
+//! The evaluation samples each qubit's maximum frequency from a normal
+//! distribution `N(omega_bar, 0.1 GHz)` (paper §VI-C). `rand` ships only
+//! uniform sampling in its core crate, so the Box–Muller transform is
+//! implemented here rather than pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, std_dev)` via the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or NaN.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative, got {std_dev}");
+    // u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Draws `n` independent samples from `N(mean, std_dev)`.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or NaN.
+pub fn gaussian_vec<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    n: usize,
+) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng, mean, std_dev)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples = gaussian_vec(&mut rng, 5.0, 0.1, n);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.01, "mean = {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(gaussian(&mut rng, 3.5, 0.0), 3.5);
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = gaussian_vec(&mut StdRng::seed_from_u64(42), 0.0, 1.0, 5);
+        let b = gaussian_vec(&mut StdRng::seed_from_u64(42), 0.0, 1.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn rejects_negative_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = gaussian(&mut rng, 0.0, -1.0);
+    }
+}

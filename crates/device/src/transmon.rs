@@ -1,0 +1,133 @@
+//! Per-qubit transmon parameters.
+
+use std::fmt;
+
+/// Physical parameters of one frequency-tunable (asymmetric) transmon.
+///
+/// Frequencies are cyclic (ordinary) frequencies in GHz; times in
+/// microseconds. Defaults follow the experimentally reported ranges the
+/// paper cites (§VI-C, App. C and Kjaergaard et al. 2020).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmonSpec {
+    /// Maximum 0-1 transition frequency (upper flux sweet spot), GHz.
+    pub omega_max: f64,
+    /// Anharmonicity `omega_12 - omega_01` in GHz (negative for transmons;
+    /// the paper quotes `|alpha|/2pi ~ 200 MHz`).
+    pub anharmonicity: f64,
+    /// Lower flux sweet spot of the asymmetric transmon, GHz (Fig. 4).
+    pub sweet_spot_low: f64,
+    /// Energy-relaxation time constant T1, microseconds.
+    pub t1_us: f64,
+    /// Dephasing time constant T2, microseconds.
+    pub t2_us: f64,
+}
+
+impl TransmonSpec {
+    /// A spec with the workspace defaults, with the given maximum
+    /// frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_max` is not positive and finite.
+    pub fn with_omega_max(omega_max: f64) -> Self {
+        assert!(
+            omega_max.is_finite() && omega_max > 0.0,
+            "omega_max must be positive and finite, got {omega_max}"
+        );
+        TransmonSpec {
+            omega_max,
+            // The low sweet spot of an asymmetric transmon sits a couple of
+            // GHz below the maximum (junction asymmetry d ~ 0.7).
+            sweet_spot_low: omega_max - 2.0,
+            ..TransmonSpec::default()
+        }
+    }
+
+    /// The 1-2 transition frequency for a given 0-1 frequency:
+    /// `omega_12 = omega_01 + alpha`.
+    pub fn omega12(&self, omega01: f64) -> f64 {
+        omega01 + self.anharmonicity
+    }
+
+    /// Whether `omega01` is reachable by flux tuning: transmons tune
+    /// *downward* from `omega_max` (Fig. 4).
+    pub fn can_reach(&self, omega01: f64) -> bool {
+        omega01 <= self.omega_max
+    }
+
+    /// Distance (GHz) to the nearest flux sweet spot; qubits parked away
+    /// from sweet spots suffer extra flux-noise dephasing (Fig. 4).
+    pub fn sweet_spot_distance(&self, omega01: f64) -> f64 {
+        (omega01 - self.omega_max).abs().min((omega01 - self.sweet_spot_low).abs())
+    }
+}
+
+impl Default for TransmonSpec {
+    fn default() -> Self {
+        TransmonSpec {
+            omega_max: 7.0,
+            anharmonicity: -0.2,
+            sweet_spot_low: 5.0,
+            t1_us: 25.0,
+            t2_us: 20.0,
+        }
+    }
+}
+
+impl fmt::Display for TransmonSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transmon(omega_max={:.3} GHz, alpha={:.3} GHz, T1={} us, T2={} us)",
+            self.omega_max, self.anharmonicity, self.t1_us, self.t2_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scales() {
+        let t = TransmonSpec::default();
+        assert!((t.anharmonicity + 0.2).abs() < 1e-12, "alpha ~ -200 MHz");
+        assert!(t.omega_max > t.sweet_spot_low);
+        assert!(t.t1_us > 0.0 && t.t2_us > 0.0);
+    }
+
+    #[test]
+    fn omega12_is_below_omega01() {
+        let t = TransmonSpec::default();
+        assert!(t.omega12(6.5) < 6.5);
+        assert!((t.omega12(6.5) - 6.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reachability_is_downward() {
+        let t = TransmonSpec::with_omega_max(6.8);
+        assert!(t.can_reach(6.8));
+        assert!(t.can_reach(5.0));
+        assert!(!t.can_reach(6.9));
+    }
+
+    #[test]
+    fn sweet_spot_distance_zero_at_spots() {
+        let t = TransmonSpec::with_omega_max(7.0);
+        assert_eq!(t.sweet_spot_distance(7.0), 0.0);
+        assert_eq!(t.sweet_spot_distance(5.0), 0.0);
+        assert!((t.sweet_spot_distance(6.0) - 1.0).abs() < 1e-12);
+        assert!((t.sweet_spot_distance(5.2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_omega() {
+        let _ = TransmonSpec::with_omega_max(0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(TransmonSpec::default().to_string().contains("transmon"));
+    }
+}

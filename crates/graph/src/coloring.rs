@@ -1,0 +1,303 @@
+//! Vertex colorings used for frequency assignment.
+//!
+//! The compiler maps graph colors to frequencies: a coloring of the device
+//! connectivity graph gives idle ("parking") frequencies, and a coloring of
+//! the (active subgraph of the) crosstalk graph gives interaction
+//! frequencies (paper §IV-C). Graph coloring is NP-complete, so as in the
+//! paper we use the polynomial-time greedy approximation of Welsh & Powell
+//! (*The Computer Journal*, 1967).
+//!
+//! [`bounded_coloring`] additionally supports the tunability study of the
+//! paper's Fig. 11: when the number of available colors (frequency values)
+//! is capped, vertices that would need an out-of-budget color are *deferred*
+//! — the scheduler pushes the corresponding gates into a later cycle,
+//! trading parallelism for spectral separation.
+
+use crate::Graph;
+
+/// A proper vertex coloring: `colors[v]` is the color of node `v`.
+pub type Coloring = Vec<usize>;
+
+/// Greedy coloring visiting nodes in the given order; each node receives the
+/// smallest color not used by its already-colored neighbors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..g.node_count()`.
+pub fn greedy_coloring(g: &Graph, order: &[usize]) -> Coloring {
+    assert_eq!(order.len(), g.node_count(), "order must cover every node exactly once");
+    let mut seen = vec![false; g.node_count()];
+    for &v in order {
+        assert!(!seen[v], "node {v} repeated in coloring order");
+        seen[v] = true;
+    }
+
+    let mut colors: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut forbidden = vec![usize::MAX; g.node_count().max(1)]; // stamp buffer
+    for (stamp, &v) in order.iter().enumerate() {
+        for &u in g.neighbors(v) {
+            if let Some(c) = colors[u] {
+                forbidden[c] = stamp;
+            }
+        }
+        let c = (0..).find(|&c| forbidden[c] != stamp).expect("some color is always free");
+        colors[v] = Some(c);
+    }
+    colors.into_iter().map(|c| c.expect("all nodes visited")).collect()
+}
+
+/// Welsh–Powell greedy coloring: nodes are visited in order of decreasing
+/// degree (ties broken by index), bounding the number of colors by
+/// `max_degree + 1`.
+///
+/// # Example
+///
+/// ```
+/// use fastsc_graph::{topology, coloring};
+/// let g = topology::complete(4);
+/// let c = coloring::welsh_powell(&g);
+/// assert_eq!(coloring::color_count(&c), 4);
+/// ```
+pub fn welsh_powell(g: &Graph) -> Coloring {
+    let mut order: Vec<usize> = g.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    greedy_coloring(g, &order)
+}
+
+/// Greedy coloring in natural node order `0, 1, 2, ...`.
+pub fn natural_greedy(g: &Graph) -> Coloring {
+    let order: Vec<usize> = g.nodes().collect();
+    greedy_coloring(g, &order)
+}
+
+/// Result of a color-budgeted coloring attempt (see [`bounded_coloring`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedColoring {
+    /// `Some(c)` with `c < max_colors` for colored nodes, `None` for
+    /// deferred nodes.
+    pub colors: Vec<Option<usize>>,
+    /// Nodes that could not be colored within the budget, in visit order.
+    pub deferred: Vec<usize>,
+}
+
+impl BoundedColoring {
+    /// Number of distinct colors actually used.
+    pub fn color_count(&self) -> usize {
+        self.colors.iter().flatten().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Welsh–Powell coloring with at most `max_colors` colors; nodes that cannot
+/// be colored within the budget are deferred instead.
+///
+/// Deferred nodes impose no constraints on later nodes (the corresponding
+/// gates will execute in a different cycle).
+///
+/// # Panics
+///
+/// Panics if `max_colors == 0`.
+pub fn bounded_coloring(g: &Graph, max_colors: usize) -> BoundedColoring {
+    assert!(max_colors > 0, "at least one color is required");
+    let mut order: Vec<usize> = g.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+    let mut colors: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut deferred = Vec::new();
+    for &v in &order {
+        let mut used = vec![false; max_colors];
+        for &u in g.neighbors(v) {
+            if let Some(c) = colors[u] {
+                used[c] = true;
+            }
+        }
+        match used.iter().position(|&taken| !taken) {
+            Some(c) => colors[v] = Some(c),
+            None => deferred.push(v),
+        }
+    }
+    BoundedColoring { colors, deferred }
+}
+
+/// A 2-coloring of a bipartite graph via BFS, or `None` if an odd cycle
+/// exists.
+///
+/// The paper's parking-frequency assignment relies on the 2-D mesh being
+/// bipartite: a checkerboard of two idle frequencies keeps every pair of
+/// coupled idle qubits detuned (§IV-C-1).
+pub fn two_coloring(g: &Graph) -> Option<Coloring> {
+    let mut colors: Vec<Option<usize>> = vec![None; g.node_count()];
+    for start in g.nodes() {
+        if colors[start].is_some() {
+            continue;
+        }
+        colors[start] = Some(0);
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let cu = colors[u].expect("queued nodes are colored");
+            for &v in g.neighbors(u) {
+                match colors[v] {
+                    None => {
+                        colors[v] = Some(1 - cu);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv == cu => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(colors.into_iter().map(|c| c.expect("all components visited")).collect())
+}
+
+/// Whether `colors` assigns distinct colors to every pair of adjacent nodes.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != g.node_count()`.
+pub fn is_proper(g: &Graph, colors: &[usize]) -> bool {
+    assert_eq!(colors.len(), g.node_count(), "one color per node required");
+    g.edges().all(|(_, (u, v))| colors[u] != colors[v])
+}
+
+/// The number of distinct colors in a coloring (`max + 1` for non-empty).
+pub fn color_count(colors: &[usize]) -> usize {
+    colors.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// How many nodes use each color: `histogram(c)[k]` is the multiplicity of
+/// color `k`.
+///
+/// The compiler orders frequencies by color multiplicity: colors used by
+/// more simultaneous gates receive higher interaction frequencies because
+/// higher ω means faster gates (paper §V-B3).
+pub fn histogram(colors: &[usize]) -> Vec<usize> {
+    let mut h = vec![0usize; color_count(colors)];
+    for &c in colors {
+        h[c] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn greedy_on_triangle_uses_three_colors() {
+        let g = topology::complete(3);
+        let c = natural_greedy(&g);
+        assert!(is_proper(&g, &c));
+        assert_eq!(color_count(&c), 3);
+    }
+
+    #[test]
+    fn greedy_respects_visit_order() {
+        let g = topology::linear(3);
+        let c = greedy_coloring(&g, &[1, 0, 2]);
+        assert_eq!(c[1], 0);
+        assert_eq!(c[0], 1);
+        assert_eq!(c[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn greedy_rejects_short_order() {
+        let g = topology::linear(3);
+        let _ = greedy_coloring(&g, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in coloring order")]
+    fn greedy_rejects_duplicate_order() {
+        let g = topology::linear(3);
+        let _ = greedy_coloring(&g, &[0, 1, 1]);
+    }
+
+    #[test]
+    fn welsh_powell_is_proper_and_bounded() {
+        for g in [topology::grid(4, 4), topology::complete(5), topology::express_2d(4, 4, 2)] {
+            let c = welsh_powell(&g);
+            assert!(is_proper(&g, &c));
+            assert!(color_count(&c) <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn welsh_powell_two_colors_on_even_cycle() {
+        let g = topology::ring(6);
+        let c = welsh_powell(&g);
+        assert!(is_proper(&g, &c));
+        assert_eq!(color_count(&c), 2);
+    }
+
+    #[test]
+    fn two_coloring_on_mesh() {
+        let g = topology::grid(5, 5);
+        let c = two_coloring(&g).expect("mesh is bipartite");
+        assert!(is_proper(&g, &c));
+        assert_eq!(color_count(&c), 2);
+        // Checkerboard: (r+c) parity determines the class.
+        for u in g.nodes() {
+            let (r, col) = topology::grid_coord(u, 5);
+            assert_eq!(c[u], (r + col) % 2);
+        }
+    }
+
+    #[test]
+    fn two_coloring_rejects_odd_cycle() {
+        assert!(two_coloring(&topology::ring(5)).is_none());
+        assert!(two_coloring(&topology::complete(3)).is_none());
+    }
+
+    #[test]
+    fn two_coloring_handles_disconnected_graphs() {
+        let g = Graph::with_edges(4, [(0, 1)]).expect("valid");
+        let c = two_coloring(&g).expect("forest is bipartite");
+        assert!(is_proper(&g, &c));
+    }
+
+    #[test]
+    fn bounded_coloring_defers_when_budget_exceeded() {
+        let g = topology::complete(4); // needs 4 colors
+        let b = bounded_coloring(&g, 2);
+        assert_eq!(b.deferred.len(), 2);
+        assert_eq!(b.color_count(), 2);
+        // The colored part is a proper partial coloring.
+        for (_, (u, v)) in g.edges() {
+            if let (Some(cu), Some(cv)) = (b.colors[u], b.colors[v]) {
+                assert_ne!(cu, cv);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_coloring_with_enough_budget_defers_nothing() {
+        let g = topology::grid(3, 3);
+        let b = bounded_coloring(&g, g.max_degree() + 1);
+        assert!(b.deferred.is_empty());
+        let full: Vec<usize> = b.colors.iter().map(|c| c.expect("no deferrals")).collect();
+        assert!(is_proper(&g, &full));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn bounded_coloring_rejects_zero_budget() {
+        let _ = bounded_coloring(&topology::linear(2), 0);
+    }
+
+    #[test]
+    fn histogram_counts_colors() {
+        assert_eq!(histogram(&[0, 1, 0, 2, 0]), vec![3, 1, 1]);
+        assert_eq!(histogram(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_color_budget_on_matching() {
+        // A perfect matching's crosstalk-free layer can be 1-colored.
+        let g = Graph::with_edges(4, []).expect("empty");
+        let b = bounded_coloring(&g, 1);
+        assert!(b.deferred.is_empty());
+        assert_eq!(b.color_count(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or mutating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphError {
+    /// A node index was at least the number of nodes in the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// An edge index was at least the number of edges in the graph.
+    EdgeOutOfRange {
+        /// The offending edge index.
+        edge: usize,
+        /// The number of edges in the graph at the time of the call.
+        edge_count: usize,
+    },
+    /// An edge connecting a node to itself was requested.
+    SelfLoop {
+        /// The node for which a self-loop was requested.
+        node: usize,
+    },
+    /// The requested edge already exists (the graph is simple).
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge index {edge} out of range for graph with {edge_count} edges")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already present in a simple graph")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,433 @@
+//! Device-topology builders.
+//!
+//! The paper evaluates its algorithm on a family of connectivity graphs of
+//! increasing density (Fig. 13): a 1-D linear chain, 1-D *express cubes*
+//! `1EX-k` (a chain with express channels inserted every `k` nodes, after
+//! Dally, *IEEE ToC* 1991), the 2-D grid, and 2-D express cubes `2EX-k`.
+//! This module builds all of them plus the Erdős–Rényi random graphs used by
+//! the QAOA workload.
+
+use crate::Graph;
+
+/// A 1-D chain of `n` nodes: `0 - 1 - ... - n-1`.
+///
+/// # Example
+///
+/// ```
+/// let g = fastsc_graph::topology::linear(4);
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+pub fn linear(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i).expect("chain edges are unique");
+    }
+    g
+}
+
+/// A cycle of `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller rings are not simple graphs).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+    let mut g = linear(n);
+    g.add_edge(n - 1, 0).expect("closing edge is unique");
+    g
+}
+
+/// A complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v).expect("complete edges are unique");
+        }
+    }
+    g
+}
+
+/// A `rows x cols` 2-D mesh with nearest-neighbor connectivity.
+///
+/// Node `(r, c)` has index `r * cols + c`. This is the baseline topology of
+/// the paper (frequency-tunable transmons with capacitive nearest-neighbor
+/// coupling).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(u, u + 1).expect("grid edges are unique");
+            }
+            if r + 1 < rows {
+                g.add_edge(u, u + cols).expect("grid edges are unique");
+            }
+        }
+    }
+    g
+}
+
+/// The node index of grid coordinate `(r, c)` on a `cols`-wide mesh.
+pub fn grid_index(r: usize, c: usize, cols: usize) -> usize {
+    r * cols + c
+}
+
+/// The `(row, col)` coordinate of grid node `u` on a `cols`-wide mesh.
+pub fn grid_coord(u: usize, cols: usize) -> (usize, usize) {
+    (u / cols, u % cols)
+}
+
+/// A 1-D express cube `1EX-k`: a linear chain of `n` nodes augmented with
+/// express channels `i -- i + k` for every `i` divisible by `k`.
+///
+/// Smaller `k` means denser connectivity; `1EX-2` inserts an express link at
+/// every other node. Express links of length 1 would duplicate chain edges
+/// and are skipped.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (a length-1 express channel is just the local channel).
+pub fn express_1d(n: usize, k: usize) -> Graph {
+    assert!(k >= 2, "express interval k must be >= 2, got {k}");
+    let mut g = linear(n);
+    let mut i = 0;
+    while i + k < n {
+        g.add_edge(i, i + k).expect("express edges are unique for k >= 2");
+        i += k;
+    }
+    g
+}
+
+/// A 2-D express cube `2EX-k`: a `rows x cols` grid augmented with express
+/// channels every `k` nodes along both rows and columns.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn express_2d(rows: usize, cols: usize, k: usize) -> Graph {
+    assert!(k >= 2, "express interval k must be >= 2, got {k}");
+    let mut g = grid(rows, cols);
+    for r in 0..rows {
+        let mut c = 0;
+        while c + k < cols {
+            g.add_edge(grid_index(r, c, cols), grid_index(r, c + k, cols))
+                .expect("row express edges are unique for k >= 2");
+            c += k;
+        }
+    }
+    for c in 0..cols {
+        let mut r = 0;
+        while r + k < rows {
+            g.add_edge(grid_index(r, c, cols), grid_index(r + k, c, cols))
+                .expect("column express edges are unique for k >= 2");
+            r += k;
+        }
+    }
+    g
+}
+
+/// A heavy-hex lattice of `rows x cols` unit cells (IBM's reduced-degree
+/// layout, §III "connectivity reduction").
+///
+/// Each hexagonal cell has corner qubits of degree <= 3 joined by edge
+/// qubits of degree 2. Concretely this builds the standard brick-wall
+/// embedding: full horizontal rows of `2 * cols + 1` qubits connected as
+/// chains, plus one bridge qubit per cell column between consecutive rows,
+/// attached at alternating offsets.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn heavy_hex(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "heavy-hex needs at least one cell");
+    let row_len = 2 * cols + 1;
+    let n_rows = rows + 1;
+    let mut g = Graph::new(n_rows * row_len);
+    // Horizontal chains.
+    for r in 0..n_rows {
+        for c in 0..row_len - 1 {
+            g.add_edge(r * row_len + c, r * row_len + c + 1)
+                .expect("chain edges are unique");
+        }
+    }
+    // Bridge qubits between consecutive rows, alternating offsets so the
+    // cells tile like bricks.
+    for r in 0..rows {
+        let offset = if r % 2 == 0 { 0 } else { 2 };
+        let mut c = offset;
+        while c < row_len {
+            let top = r * row_len + c;
+            let bottom = (r + 1) * row_len + c;
+            let bridge = g.add_node();
+            g.add_edge(top, bridge).expect("bridge edges are unique");
+            g.add_edge(bridge, bottom).expect("bridge edges are unique");
+            c += 4;
+        }
+    }
+    g
+}
+
+/// An Erdős–Rényi `G(n, p)` random graph: each of the `n(n-1)/2` candidate
+/// edges is present independently with probability `p`.
+///
+/// Used as the MAX-CUT problem instance for the QAOA workload (Table II).
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]` or is NaN.
+pub fn erdos_renyi<R: rand::Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v).expect("candidate edges are unique");
+            }
+        }
+    }
+    g
+}
+
+/// Named connectivity families from the paper's Fig. 13, ordered from the
+/// sparsest (`Linear`) to the densest (`Express2D { k: 2 }`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// 1-D chain.
+    Linear,
+    /// 1-D express cube with express interval `k` (`1EX-k`).
+    Express1D {
+        /// Express channel interval.
+        k: usize,
+    },
+    /// 2-D nearest-neighbor mesh.
+    Grid,
+    /// 2-D express cube with express interval `k` (`2EX-k`).
+    Express2D {
+        /// Express channel interval.
+        k: usize,
+    },
+}
+
+impl Topology {
+    /// Builds the topology for `n` qubits.
+    ///
+    /// For the 2-D families, `n` must be a perfect square and the mesh is
+    /// `sqrt(n) x sqrt(n)`; for the 1-D families any `n` is accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a 2-D family is requested with non-square `n`.
+    pub fn build(self, n: usize) -> Graph {
+        match self {
+            Topology::Linear => linear(n),
+            Topology::Express1D { k } => express_1d(n, k),
+            Topology::Grid => {
+                let side = integer_sqrt(n);
+                grid(side, side)
+            }
+            Topology::Express2D { k } => {
+                let side = integer_sqrt(n);
+                express_2d(side, side, k)
+            }
+        }
+    }
+
+    /// The Fig. 13 x-axis sweep, sparsest to densest:
+    /// linear, 1EX-5..1EX-2, grid, 2EX-5..2EX-2.
+    pub fn fig13_sweep() -> Vec<Topology> {
+        let mut v = vec![Topology::Linear];
+        for k in (2..=5).rev() {
+            v.push(Topology::Express1D { k });
+        }
+        v.push(Topology::Grid);
+        for k in (2..=5).rev() {
+            v.push(Topology::Express2D { k });
+        }
+        v
+    }
+
+    /// Short label matching the paper's axis ticks (e.g. `"1EX3"`).
+    pub fn label(self) -> String {
+        match self {
+            Topology::Linear => "linear".to_owned(),
+            Topology::Express1D { k } => format!("1EX{k}"),
+            Topology::Grid => "grid".to_owned(),
+            Topology::Express2D { k } => format!("2EX{k}"),
+        }
+    }
+}
+
+fn integer_sqrt(n: usize) -> usize {
+    let side = (n as f64).sqrt().round() as usize;
+    assert_eq!(side * side, n, "2-D topologies need a square qubit count, got {n}");
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_counts() {
+        let g = linear(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert_eq!(linear(0).node_count(), 0);
+        assert_eq!(linear(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn ring_closes_the_chain() {
+        let g = ring(4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn ring_rejects_tiny() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid_counts_match_formula() {
+        // |E| = rows*(cols-1) + cols*(rows-1)
+        for (r, c) in [(2, 2), (3, 3), (4, 5), (5, 5)] {
+            let g = grid(r, c);
+            assert_eq!(g.node_count(), r * c);
+            assert_eq!(g.edge_count(), r * (c - 1) + c * (r - 1));
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn grid_adjacency_is_manhattan_neighbors() {
+        let g = grid(3, 3);
+        let center = grid_index(1, 1, 3);
+        let mut n: Vec<usize> = g.neighbors(center).to_vec();
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn grid_coord_roundtrip() {
+        for u in 0..12 {
+            let (r, c) = grid_coord(u, 4);
+            assert_eq!(grid_index(r, c, 4), u);
+        }
+    }
+
+    #[test]
+    fn express_1d_adds_express_channels() {
+        let g = express_1d(9, 3);
+        // chain: 8 edges; express: (0,3), (3,6) => 10 edges.
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 6));
+        assert!(!g.has_edge(6, 9_usize.saturating_sub(1)) || g.has_edge(6, 8) == g.has_edge(6, 8));
+    }
+
+    #[test]
+    fn express_1d_k2_is_denser_than_k5() {
+        assert!(express_1d(25, 2).edge_count() > express_1d(25, 5).edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 2")]
+    fn express_1d_rejects_k1() {
+        let _ = express_1d(5, 1);
+    }
+
+    #[test]
+    fn express_2d_contains_grid() {
+        let e = express_2d(5, 5, 2);
+        let g = grid(5, 5);
+        for (_, (u, v)) in g.edges() {
+            assert!(e.has_edge(u, v), "missing grid edge ({u},{v})");
+        }
+        assert!(e.edge_count() > g.edge_count());
+        assert!(e.has_edge(grid_index(0, 0, 5), grid_index(0, 2, 5)));
+        assert!(e.has_edge(grid_index(0, 0, 5), grid_index(2, 0, 5)));
+    }
+
+    #[test]
+    fn heavy_hex_degree_bounded_by_three() {
+        for (r, c) in [(1, 1), (2, 2), (3, 4)] {
+            let g = heavy_hex(r, c);
+            assert!(g.is_connected(), "{r}x{c} heavy-hex disconnected");
+            assert!(g.max_degree() <= 3, "{r}x{c}: degree {}", g.max_degree());
+        }
+    }
+
+    #[test]
+    fn heavy_hex_sparser_than_grid() {
+        let hh = heavy_hex(3, 3);
+        let n = hh.node_count();
+        // Average degree strictly below the mesh's (~3.3 for 5x5+).
+        let avg = 2.0 * hh.edge_count() as f64 / n as f64;
+        assert!(avg < 2.6, "avg degree {avg}");
+    }
+
+    #[test]
+    fn heavy_hex_bridges_have_degree_two() {
+        let g = heavy_hex(2, 2);
+        let row_len = 2 * 2 + 1;
+        let chain_nodes = (2 + 1) * row_len;
+        for bridge in chain_nodes..g.node_count() {
+            assert_eq!(g.degree(bridge), 2, "bridge {bridge}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic() {
+        let g1 = erdos_renyi(10, 0.5, &mut StdRng::seed_from_u64(42));
+        let g2 = erdos_renyi(10, 0.5, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn topology_sweep_matches_fig13_axis() {
+        let labels: Vec<String> =
+            Topology::fig13_sweep().into_iter().map(Topology::label).collect();
+        assert_eq!(
+            labels,
+            vec!["linear", "1EX5", "1EX4", "1EX3", "1EX2", "grid", "2EX5", "2EX4", "2EX3", "2EX2"]
+        );
+    }
+
+    #[test]
+    fn topology_build_densities_increase() {
+        let sweep = Topology::fig13_sweep();
+        let counts: Vec<usize> = sweep.iter().map(|t| t.build(16).edge_count()).collect();
+        // Not strictly monotone between families, but the 2-D half must be
+        // denser than the 1-D half, and k=2 denser than k=5 within a family.
+        assert!(counts[5] > counts[0], "grid denser than linear");
+        assert!(counts[4] > counts[1], "1EX2 denser than 1EX5");
+        assert!(counts[9] > counts[6], "2EX2 denser than 2EX5");
+    }
+
+    #[test]
+    #[should_panic(expected = "square qubit count")]
+    fn topology_build_rejects_non_square_grid() {
+        let _ = Topology::Grid.build(12);
+    }
+}

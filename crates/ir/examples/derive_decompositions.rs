@@ -1,0 +1,85 @@
+//! Derivation tool for the two-qubit decomposition identities hard-coded in
+//! `fastsc_ir::decompose`.
+//!
+//! Exhaustively searches circuits of the form
+//! `L3 . M . L2 . M . L1` (matrix order; `L1` executes first), where each
+//! `Li = Ai (x) Bi` is a pair of single-qubit Cliffords/rotations and `M` is
+//! the entangling native gate, for sequences equal (up to global phase) to
+//! `CNOT` and `CZ`. Run with `--release`; prints every found identity and
+//! stops after the first per target.
+//!
+//! ```bash
+//! cargo run -p fastsc-ir --release --example derive_decompositions
+//! ```
+
+use fastsc_ir::math::{kron2, mat4_eq_up_to_phase, matmul4, Mat2, Mat4};
+use fastsc_ir::Gate;
+
+fn locals() -> Vec<(String, Mat2)> {
+    use std::f64::consts::FRAC_PI_2;
+    let named: Vec<(&str, Gate)> = vec![
+        ("I", Gate::Id),
+        ("H", Gate::H),
+        ("S", Gate::S),
+        ("Sdg", Gate::Sdg),
+        ("X", Gate::X),
+        ("Z", Gate::Z),
+        ("Rx(+)", Gate::Rx(FRAC_PI_2)),
+        ("Rx(-)", Gate::Rx(-FRAC_PI_2)),
+        ("Ry(+)", Gate::Ry(FRAC_PI_2)),
+        ("Ry(-)", Gate::Ry(-FRAC_PI_2)),
+        ("Rz(+)", Gate::Rz(FRAC_PI_2)),
+        ("Rz(-)", Gate::Rz(-FRAC_PI_2)),
+    ];
+    named
+        .into_iter()
+        .map(|(n, g)| (n.to_owned(), g.matrix1().expect("1q gate")))
+        .collect()
+}
+
+fn search(target_name: &str, target: &Mat4, m: &Mat4) {
+    let ls = locals();
+    // Pairs Ai (x) Bi.
+    let mut pairs: Vec<(String, Mat4)> = Vec::new();
+    for (na, a) in &ls {
+        for (nb, b) in &ls {
+            pairs.push((format!("{na}(x){nb}"), kron2(a, b)));
+        }
+    }
+    // Precompute M * L1 and L3 * M.
+    let right: Vec<(usize, Mat4)> =
+        pairs.iter().enumerate().map(|(i, (_, l))| (i, matmul4(m, l))).collect();
+    let left: Vec<(usize, Mat4)> =
+        pairs.iter().enumerate().map(|(i, (_, l))| (i, matmul4(l, m))).collect();
+
+    for (i3, lm) in &left {
+        for (i2, (_, l2)) in pairs.iter().enumerate() {
+            let lml2 = matmul4(lm, l2);
+            for (i1, ml1) in &right {
+                let u = matmul4(&lml2, ml1);
+                if mat4_eq_up_to_phase(&u, target, 1e-9) {
+                    println!(
+                        "{target_name} = [{}] . M . [{}] . M . [{}]",
+                        pairs[*i3].0, pairs[i2].0, pairs[*i1].0
+                    );
+                    return;
+                }
+            }
+        }
+    }
+    println!("{target_name}: no sequence found with this local set");
+}
+
+fn main() {
+    let cnot = Gate::Cnot.matrix2().expect("2q");
+    let cz = Gate::Cz.matrix2().expect("2q");
+    let iswap = Gate::ISwap.matrix2().expect("2q");
+    let sqiswap = Gate::SqrtISwap.matrix2().expect("2q");
+
+    println!("== using M = iSWAP ==");
+    search("CNOT", &cnot, &iswap);
+    search("CZ", &cz, &iswap);
+    println!("== using M = sqrt(iSWAP) ==");
+    search("CNOT", &cnot, &sqiswap);
+    search("CZ", &cz, &sqiswap);
+}

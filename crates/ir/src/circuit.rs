@@ -1,0 +1,368 @@
+//! Quantum circuits: ordered gate lists over `n` program qubits.
+
+use crate::gate::Gate;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrError {
+    /// A qubit operand was at least the circuit's qubit count.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: usize,
+        /// The circuit's qubit count.
+        n_qubits: usize,
+    },
+    /// A two-qubit gate was applied to one qubit twice.
+    DuplicateOperand {
+        /// The repeated qubit.
+        qubit: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IrError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for circuit with {n_qubits} qubits")
+            }
+            IrError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate applied twice to qubit {qubit}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// The qubit operands of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operands {
+    /// A single-qubit operand.
+    One(usize),
+    /// Two distinct qubit operands (order significant for `CNOT`).
+    Two(usize, usize),
+}
+
+impl Operands {
+    /// The operands as a slice-like small vector.
+    pub fn as_vec(self) -> Vec<usize> {
+        match self {
+            Operands::One(q) => vec![q],
+            Operands::Two(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether `q` is among the operands.
+    pub fn contains(self, q: usize) -> bool {
+        match self {
+            Operands::One(a) => a == q,
+            Operands::Two(a, b) => a == q || b == q,
+        }
+    }
+
+    /// Whether any operand is shared with `other`.
+    pub fn overlaps(self, other: Operands) -> bool {
+        match self {
+            Operands::One(a) => other.contains(a),
+            Operands::Two(a, b) => other.contains(a) || other.contains(b),
+        }
+    }
+}
+
+/// A gate applied to specific qubits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// The gate.
+    pub gate: Gate,
+    /// Its operands (arity checked at construction).
+    pub operands: Operands,
+}
+
+impl Instruction {
+    /// The qubits this instruction touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        self.operands.as_vec()
+    }
+
+    /// For two-qubit instructions, the operand pair `(a, b)`.
+    pub fn qubit_pair(&self) -> Option<(usize, usize)> {
+        match self.operands {
+            Operands::Two(a, b) => Some((a, b)),
+            Operands::One(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operands {
+            Operands::One(q) => write!(f, "{} q{q}", self.gate),
+            Operands::Two(a, b) => write!(f, "{} q{a}, q{b}", self.gate),
+        }
+    }
+}
+
+/// An ordered list of instructions over `n_qubits` program qubits.
+///
+/// # Example
+///
+/// ```
+/// use fastsc_ir::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push1(Gate::H, 0)?;
+/// c.push2(Gate::Cnot, 0, 1)?;
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// # Ok::<(), fastsc_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit { n_qubits, instructions: Vec::new() }
+    }
+
+    /// The number of program qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Appends a single-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gate is two-qubit or the operand is out of
+    /// range.
+    pub fn push1(&mut self, gate: Gate, q: usize) -> Result<&mut Self, IrError> {
+        assert!(!gate.is_two_qubit(), "push1 with two-qubit gate {gate}");
+        self.check_qubit(q)?;
+        self.instructions.push(Instruction { gate, operands: Operands::One(q) });
+        Ok(self)
+    }
+
+    /// Appends a two-qubit gate; for `CNOT`, `a` is the control.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either operand is out of range or if `a == b`.
+    pub fn push2(&mut self, gate: Gate, a: usize, b: usize) -> Result<&mut Self, IrError> {
+        assert!(gate.is_two_qubit(), "push2 with single-qubit gate {gate}");
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if a == b {
+            return Err(IrError::DuplicateOperand { qubit: a });
+        }
+        self.instructions.push(Instruction { gate, operands: Operands::Two(a, b) });
+        Ok(self)
+    }
+
+    /// Appends an already-validated instruction from another circuit with
+    /// the same (or larger) qubit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if operands are out of range.
+    pub fn push(&mut self, instruction: Instruction) -> Result<&mut Self, IrError> {
+        for q in instruction.qubits() {
+            self.check_qubit(q)?;
+        }
+        if let Some((a, b)) = instruction.qubit_pair() {
+            if a == b {
+                return Err(IrError::DuplicateOperand { qubit: a });
+            }
+        }
+        self.instructions.push(instruction);
+        Ok(self)
+    }
+
+    /// Appends every instruction of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `other` uses qubits outside this circuit's range.
+    pub fn extend(&mut self, other: &Circuit) -> Result<&mut Self, IrError> {
+        for &inst in other.instructions() {
+            self.push(inst)?;
+        }
+        Ok(self)
+    }
+
+    /// Number of two-qubit instructions.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit instructions.
+    pub fn single_qubit_count(&self) -> usize {
+        self.len() - self.two_qubit_count()
+    }
+
+    /// Gate histogram keyed by mnemonic.
+    pub fn gate_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for inst in &self.instructions {
+            *counts.entry(inst.gate.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Logical depth: the number of layers in an ASAP schedule where
+    /// instructions sharing a qubit cannot share a layer.
+    pub fn depth(&self) -> usize {
+        let mut busy_until = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for inst in &self.instructions {
+            let start =
+                inst.qubits().into_iter().map(|q| busy_until[q]).max().unwrap_or(0);
+            for q in inst.qubits() {
+                busy_until[q] = start + 1;
+            }
+            depth = depth.max(start + 1);
+        }
+        depth
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), IrError> {
+        if q >= self.n_qubits {
+            Err(IrError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.n_qubits)?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::H, 1).expect("valid");
+        c.push2(Gate::Cnot, 0, 2).expect("valid");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.single_qubit_count(), 2);
+        assert_eq!(c.gate_counts()["h"], 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        assert_eq!(
+            c.push1(Gate::X, 2),
+            Err(IrError::QubitOutOfRange { qubit: 2, n_qubits: 2 })
+        );
+        assert_eq!(
+            c.push2(Gate::Cz, 0, 5),
+            Err(IrError::QubitOutOfRange { qubit: 5, n_qubits: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_equal_operands() {
+        let mut c = Circuit::new(2);
+        assert_eq!(c.push2(Gate::Cz, 1, 1), Err(IrError::DuplicateOperand { qubit: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "push1 with two-qubit gate")]
+    fn push1_rejects_two_qubit_gate() {
+        let mut c = Circuit::new(2);
+        let _ = c.push1(Gate::Cnot, 0);
+    }
+
+    #[test]
+    fn depth_serial_vs_parallel() {
+        // Parallel single-qubit gates: depth 1.
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push1(Gate::H, q).expect("valid");
+        }
+        assert_eq!(c.depth(), 1);
+
+        // Chain on one qubit: depth = number of gates.
+        let mut c = Circuit::new(1);
+        for _ in 0..5 {
+            c.push1(Gate::X, 0).expect("valid");
+        }
+        assert_eq!(c.depth(), 5);
+
+        // Two CNOTs sharing a qubit: depth 2.
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push2(Gate::Cnot, 1, 2).expect("valid");
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.push1(Gate::H, 0).expect("valid");
+        let mut b = Circuit::new(2);
+        b.push2(Gate::Cz, 0, 1).expect("valid");
+        a.extend(&b).expect("same width");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn extend_rejects_wider_circuit() {
+        let mut narrow = Circuit::new(1);
+        let mut wide = Circuit::new(3);
+        wide.push2(Gate::Cz, 0, 2).expect("valid");
+        assert!(narrow.extend(&wide).is_err());
+    }
+
+    #[test]
+    fn operands_overlap() {
+        let a = Operands::Two(0, 1);
+        assert!(a.overlaps(Operands::One(1)));
+        assert!(a.overlaps(Operands::Two(1, 2)));
+        assert!(!a.overlaps(Operands::Two(2, 3)));
+        assert!(Operands::One(5).overlaps(Operands::One(5)));
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        let s = c.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cnot q0, q1"));
+    }
+}

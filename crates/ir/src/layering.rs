@@ -1,0 +1,197 @@
+//! Dependency analysis, ASAP circuit slicing, and gate criticality.
+//!
+//! The frequency-aware compiler slices the decomposed program into layers
+//! (time steps) and, inside its queueing scheduler, prioritizes gates by
+//! *criticality* — their position along the program critical path (paper
+//! §V-B6). Both are standard longest-path computations over the
+//! per-qubit dependency DAG.
+
+use crate::circuit::Circuit;
+
+/// The dependency DAG of a circuit: instruction `j` depends on `i` when
+/// `i < j`, they share a qubit, and no instruction between them touches
+/// that qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Builds the dependency DAG of `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            for q in inst.qubits() {
+                if let Some(p) = last_on_qubit[q] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        Dag { preds, succs }
+    }
+
+    /// Direct predecessors of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the DAG has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// Slices `circuit` into ASAP layers: each instruction is placed in the
+/// earliest layer after all of its dependencies. Returns instruction
+/// indices per layer.
+///
+/// This reproduces the maximal-parallelism list schedule a conventional
+/// (crosstalk-unaware) compiler such as Qiskit would produce — the starting
+/// point of both Baseline N and ColorDynamic.
+pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let dag = Dag::build(circuit);
+    let mut layer_of = vec![0usize; circuit.len()];
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    for i in 0..circuit.len() {
+        let layer =
+            dag.preds(i).iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        layer_of[i] = layer;
+        if layers.len() <= layer {
+            layers.resize_with(layer + 1, Vec::new);
+        }
+        layers[layer].push(i);
+    }
+    layers
+}
+
+/// Criticality of each instruction: the number of instructions (inclusive)
+/// on the longest dependency chain starting at it. Gates with higher
+/// criticality lie on the program critical path and are scheduled first by
+/// the noise-aware queueing scheduler.
+pub fn criticality(circuit: &Circuit) -> Vec<usize> {
+    let dag = Dag::build(circuit);
+    let mut crit = vec![1usize; circuit.len()];
+    // Instructions are already in topological order (program order).
+    for i in (0..circuit.len()).rev() {
+        for &s in dag.succs(i) {
+            crit[i] = crit[i].max(1 + crit[s]);
+        }
+    }
+    crit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        // q0: H --.--------
+        //         |
+        // q1: ----X---.----
+        //             |
+        // q2: --------X--H-
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push2(Gate::Cnot, 1, 2).expect("valid");
+        c.push1(Gate::H, 2).expect("valid");
+        c
+    }
+
+    #[test]
+    fn dag_edges_follow_qubit_order() {
+        let dag = Dag::build(&sample());
+        assert_eq!(dag.preds(0), &[] as &[usize]);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+        assert_eq!(dag.preds(3), &[2]);
+        assert_eq!(dag.succs(0), &[1]);
+        assert_eq!(dag.len(), 4);
+    }
+
+    #[test]
+    fn dag_deduplicates_double_dependency() {
+        // Two CZs on the same pair: the second depends on the first once.
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        let dag = Dag::build(&c);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.succs(0), &[1]);
+    }
+
+    #[test]
+    fn asap_layers_chain() {
+        let layers = asap_layers(&sample());
+        assert_eq!(layers, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn asap_layers_parallel_gates_share_layer() {
+        let mut c = Circuit::new(4);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::H, 1).expect("valid");
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        c.push2(Gate::Cz, 2, 3).expect("valid");
+        let layers = asap_layers(&c);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0], vec![0, 1, 3]); // CZ(2,3) has no deps
+        assert_eq!(layers[1], vec![2]);
+    }
+
+    #[test]
+    fn asap_layer_count_equals_depth() {
+        let c = sample();
+        assert_eq!(asap_layers(&c).len(), c.depth());
+    }
+
+    #[test]
+    fn criticality_decreases_along_chain() {
+        let crit = criticality(&sample());
+        assert_eq!(crit, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn criticality_of_independent_gate_is_one() {
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        c.push1(Gate::H, 2).expect("valid");
+        let crit = criticality(&c);
+        assert_eq!(crit[1], 1);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        assert!(asap_layers(&c).is_empty());
+        assert!(criticality(&c).is_empty());
+        assert!(Dag::build(&c).is_empty());
+    }
+}

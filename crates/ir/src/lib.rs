@@ -1,0 +1,38 @@
+//! Circuit intermediate representation for FastSC.
+//!
+//! This crate replaces the Qiskit dependency of the original FastSC: a
+//! [`Circuit`] of [`Gate`]s over program qubits, dependency analysis and
+//! ASAP slicing ([`layering`]), lowering of program gates to the native
+//! tunable-transmon set ([`decompose`], paper Fig. 8 including the hybrid
+//! strategy of §V-B5), a peephole cleanup pass ([`optimize`]), and dense
+//! unitaries for equivalence checking ([`unitary`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fastsc_ir::{Circuit, Gate, decompose::{decompose, Strategy}};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push1(Gate::H, 0)?;
+//! c.push2(Gate::Cnot, 0, 1)?;
+//! let lowered = decompose(&c, Strategy::Hybrid);
+//! // CNOT lowered via CZ: no CNOT left, exactly one CZ.
+//! assert_eq!(lowered.gate_counts().get("cnot"), None);
+//! assert_eq!(lowered.gate_counts()["cz"], 1);
+//! # Ok::<(), fastsc_ir::IrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+pub mod decompose;
+mod gate;
+pub mod layering;
+pub mod math;
+pub mod optimize;
+pub mod qasm;
+pub mod unitary;
+
+pub use circuit::{Circuit, Instruction, IrError, Operands};
+pub use gate::{Gate, NativeGateSet};

@@ -1,0 +1,368 @@
+//! Minimal complex arithmetic and small-matrix helpers.
+//!
+//! The workspace deliberately avoids external numerics crates; gate
+//! unitaries are 2x2 / 4x4 complex matrices, and the simulator needs little
+//! more than multiply, conjugate and norm. Everything here is `f64`-based.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The real unit.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// Zero.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates `re + i*im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a real number.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Whether both components are within `tol` of `other`'s.
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// A 2x2 complex matrix, row-major.
+pub type Mat2 = [[C64; 2]; 2];
+/// A 4x4 complex matrix, row-major.
+pub type Mat4 = [[C64; 4]; 4];
+
+/// The 2x2 identity.
+pub const fn identity2() -> Mat2 {
+    [[ONE, ZERO], [ZERO, ONE]]
+}
+
+/// The 4x4 identity.
+pub const fn identity4() -> Mat4 {
+    [
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, ONE, ZERO, ZERO],
+        [ZERO, ZERO, ONE, ZERO],
+        [ZERO, ZERO, ZERO, ONE],
+    ]
+}
+
+/// Product of two 2x2 matrices: `a * b`.
+pub fn matmul2(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            for (k, bk) in b.iter().enumerate() {
+                *cell += a[i][k] * bk[j];
+            }
+        }
+    }
+    out
+}
+
+/// Product of two 4x4 matrices: `a * b`.
+pub fn matmul4(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            for (k, bk) in b.iter().enumerate() {
+                *cell += a[i][k] * bk[j];
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker product `a (x) b` of two 2x2 matrices; the first factor is the
+/// most significant qubit.
+pub fn kron2(a: &Mat2, b: &Mat2) -> Mat4 {
+    let mut out = [[ZERO; 4]; 4];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                for l in 0..2 {
+                    out[2 * i + k][2 * j + l] = a[i][j] * b[k][l];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a 2x2 matrix.
+pub fn dagger2(m: &Mat2) -> Mat2 {
+    let mut out = [[ZERO; 2]; 2];
+    for (i, row) in m.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v.conj();
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a 4x4 matrix.
+pub fn dagger4(m: &Mat4) -> Mat4 {
+    let mut out = [[ZERO; 4]; 4];
+    for (i, row) in m.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v.conj();
+        }
+    }
+    out
+}
+
+/// Whether `m` is unitary within tolerance `tol` (checks `m m^dag = I`).
+pub fn is_unitary2(m: &Mat2, tol: f64) -> bool {
+    mat2_approx_eq(&matmul2(m, &dagger2(m)), &identity2(), tol)
+}
+
+/// Whether `m` is unitary within tolerance `tol` (checks `m m^dag = I`).
+pub fn is_unitary4(m: &Mat4, tol: f64) -> bool {
+    mat4_approx_eq(&matmul4(m, &dagger4(m)), &identity4(), tol)
+}
+
+/// Element-wise approximate equality of 2x2 matrices.
+pub fn mat2_approx_eq(a: &Mat2, b: &Mat2, tol: f64) -> bool {
+    a.iter().zip(b).all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, tol)))
+}
+
+/// Element-wise approximate equality of 4x4 matrices.
+pub fn mat4_approx_eq(a: &Mat4, b: &Mat4, tol: f64) -> bool {
+    a.iter().zip(b).all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, tol)))
+}
+
+/// Whether `a = e^{i phi} b` for some global phase `phi`, within `tol`.
+pub fn mat4_eq_up_to_phase(a: &Mat4, b: &Mat4, tol: f64) -> bool {
+    // Find the largest-magnitude entry of b to fix the phase.
+    let mut best = (0usize, 0usize);
+    let mut best_mag = 0.0;
+    for (i, row) in b.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v.abs() > best_mag {
+                best_mag = v.abs();
+                best = (i, j);
+            }
+        }
+    }
+    if best_mag < tol {
+        return mat4_approx_eq(a, b, tol);
+    }
+    let (bi, bj) = best;
+    if a[bi][bj].abs() < tol {
+        return false;
+    }
+    let phase = a[bi][bj] / b[bi][bj];
+    // The ratio must itself be a pure phase.
+    if (phase.abs() - 1.0).abs() > tol {
+        return false;
+    }
+    let mut scaled = *b;
+    for row in &mut scaled {
+        for v in row.iter_mut() {
+            *v = *v * phase;
+        }
+    }
+    mat4_approx_eq(a, &scaled, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn complex_field_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert!((a / b * b).approx_eq(a, 1e-12));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(C64::cis(std::f64::consts::PI).approx_eq(C64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn matmul2_identity() {
+        let h = [
+            [C64::real(FRAC_1_SQRT_2), C64::real(FRAC_1_SQRT_2)],
+            [C64::real(FRAC_1_SQRT_2), C64::real(-FRAC_1_SQRT_2)],
+        ];
+        assert!(mat2_approx_eq(&matmul2(&h, &identity2()), &h, 1e-12));
+        // H^2 = I.
+        assert!(mat2_approx_eq(&matmul2(&h, &h), &identity2(), 1e-12));
+        assert!(is_unitary2(&h, 1e-12));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        assert!(mat4_approx_eq(&kron2(&identity2(), &identity2()), &identity4(), 1e-15));
+    }
+
+    #[test]
+    fn kron_ordering_first_factor_msb() {
+        // X (x) I flips the most significant qubit: |00> -> |10> (0 -> 2).
+        let x = [[ZERO, ONE], [ONE, ZERO]];
+        let m = kron2(&x, &identity2());
+        assert!(m[2][0].approx_eq(ONE, 1e-15));
+        assert!(m[0][2].approx_eq(ONE, 1e-15));
+        assert!(m[0][0].approx_eq(ZERO, 1e-15));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let s: Mat2 = [[ONE, ZERO], [ZERO, I]];
+        let x: Mat2 = [[ZERO, ONE], [ONE, ZERO]];
+        let sx = matmul2(&s, &x);
+        let expect = matmul2(&dagger2(&x), &dagger2(&s));
+        assert!(mat2_approx_eq(&dagger2(&sx), &expect, 1e-12));
+    }
+
+    #[test]
+    fn phase_equivalence_detects_global_phase() {
+        let mut a = identity4();
+        for row in &mut a {
+            for v in row.iter_mut() {
+                *v = *v * C64::cis(0.7);
+            }
+        }
+        assert!(mat4_eq_up_to_phase(&a, &identity4(), 1e-12));
+        // But not for a non-phase difference.
+        let mut b = identity4();
+        b[0][0] = C64::real(2.0);
+        assert!(!mat4_eq_up_to_phase(&b, &identity4(), 1e-9));
+    }
+
+    #[test]
+    fn phase_equivalence_rejects_different_structure() {
+        let x = [[ZERO, ONE], [ONE, ZERO]];
+        let xi = kron2(&x, &identity2());
+        assert!(!mat4_eq_up_to_phase(&xi, &identity4(), 1e-9));
+    }
+}

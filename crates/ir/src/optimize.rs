@@ -1,0 +1,238 @@
+//! Peephole circuit cleanup.
+//!
+//! Decomposition introduces sequences of single-qubit gates that frequently
+//! cancel (e.g. the `H H` produced by back-to-back lowered `CNOT`s). This
+//! pass performs the standard local simplifications:
+//!
+//! * adjacent inverse pairs on identical operands are removed
+//!   ([`Gate::is_inverse_of`]);
+//! * adjacent rotations about the same axis on the same qubit are merged;
+//! * identity gates and zero-angle rotations are dropped.
+//!
+//! "Adjacent" is with respect to the dependency DAG: two gates cancel when
+//! no intervening instruction touches any of their qubits.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+
+/// Rotation angles within this tolerance of zero (mod 4 pi) are dropped.
+const ANGLE_TOL: f64 = 1e-12;
+
+/// Applies peephole simplification until a fixed point is reached and
+/// returns the cleaned circuit.
+pub fn peephole(circuit: &Circuit) -> Circuit {
+    let mut current: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let (next, changed) = one_pass(circuit.n_qubits(), &current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.n_qubits());
+    for inst in current {
+        out.push(inst).expect("instructions validated by the source circuit");
+    }
+    out
+}
+
+fn is_trivial(gate: Gate) -> bool {
+    match gate {
+        Gate::Id => true,
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) => {
+            // Rotations are 4 pi periodic (2 pi flips global phase only).
+            let reduced = t.rem_euclid(4.0 * std::f64::consts::PI);
+            reduced.abs() < ANGLE_TOL
+                || (reduced - 4.0 * std::f64::consts::PI).abs() < ANGLE_TOL
+        }
+        _ => false,
+    }
+}
+
+fn merge(a: Gate, b: Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Some(Gate::Rx(x + y)),
+        (Gate::Ry(x), Gate::Ry(y)) => Some(Gate::Ry(x + y)),
+        (Gate::Rz(x), Gate::Rz(y)) => Some(Gate::Rz(x + y)),
+        _ => None,
+    }
+}
+
+fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) {
+    let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
+    // For each qubit, the index *in `out`* of the last instruction touching
+    // it (if still present).
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; n_qubits];
+    let mut changed = false;
+
+    for &inst in insts {
+        if is_trivial(inst.gate) {
+            changed = true;
+            continue;
+        }
+        // The candidate partner must be the last instruction on *all* of
+        // this instruction's qubits, with identical operands.
+        let qubits = inst.qubits();
+        let candidate = last_on_qubit[qubits[0]];
+        let partner = candidate.filter(|&idx| {
+            qubits.iter().all(|&q| last_on_qubit[q] == Some(idx))
+                && out[idx].operands == inst.operands
+        });
+
+        if let Some(idx) = partner {
+            let prev = out[idx];
+            if prev.gate.is_inverse_of(inst.gate) {
+                // Remove the pair: mark the slot dead and clear trackers.
+                out[idx] = Instruction { gate: Gate::Id, operands: prev.operands };
+                for q in qubits {
+                    last_on_qubit[q] = None;
+                }
+                changed = true;
+                continue;
+            }
+            if let Some(merged) = merge(prev.gate, inst.gate) {
+                if is_trivial(merged) {
+                    out[idx] = Instruction { gate: Gate::Id, operands: prev.operands };
+                    for q in qubits {
+                        last_on_qubit[q] = None;
+                    }
+                } else {
+                    out[idx] = Instruction { gate: merged, operands: prev.operands };
+                }
+                changed = true;
+                continue;
+            }
+        }
+
+        let idx = out.len();
+        out.push(inst);
+        for q in inst.qubits() {
+            last_on_qubit[q] = Some(idx);
+        }
+    }
+
+    let cleaned: Vec<Instruction> =
+        out.into_iter().filter(|i| !is_trivial(i.gate)).collect();
+    (cleaned, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::{circuit_unitary, matrices_equal_up_to_phase};
+
+    #[test]
+    fn cancels_adjacent_hadamards() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::H, 0).expect("valid");
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn keeps_separated_hadamards() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::T, 0).expect("valid");
+        c.push1(Gate::H, 0).expect("valid");
+        assert_eq!(peephole(&c).len(), 3);
+    }
+
+    #[test]
+    fn blocking_gate_on_other_qubit_does_not_matter() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::T, 1).expect("valid"); // disjoint qubit
+        c.push1(Gate::H, 0).expect("valid");
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate, Gate::T);
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rz(0.3), 0).expect("valid");
+        c.push1(Gate::Rz(0.4), 0).expect("valid");
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        match opt.instructions()[0].gate {
+            Gate::Rz(t) => assert!((t - 0.7).abs() < 1e-12),
+            g => panic!("expected rz, got {g}"),
+        }
+    }
+
+    #[test]
+    fn merged_rotation_cancelling_is_removed() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rx(0.5), 0).expect("valid");
+        c.push1(Gate::Rx(-0.5), 0).expect("valid");
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn cancels_adjacent_cz_pairs() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn cz_with_intervening_gate_survives() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        c.push1(Gate::X, 0).expect("valid");
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        assert_eq!(peephole(&c).len(), 3);
+    }
+
+    #[test]
+    fn drops_identity_and_zero_rotations() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Id, 0).expect("valid");
+        c.push1(Gate::Rz(0.0), 0).expect("valid");
+        c.push1(Gate::X, 0).expect("valid");
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate, Gate::X);
+    }
+
+    #[test]
+    fn cascading_cancellation_via_fixed_point() {
+        // T Tdg collapses, exposing H H which then collapses.
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::T, 0).expect("valid");
+        c.push1(Gate::Tdg, 0).expect("valid");
+        c.push1(Gate::H, 0).expect("valid");
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn preserves_unitary_semantics() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::Rz(0.9), 1).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push1(Gate::Rz(-0.2), 1).expect("valid");
+        c.push1(Gate::Rz(0.2), 1).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        let opt = peephole(&c);
+        assert!(opt.len() < c.len());
+        assert!(matrices_equal_up_to_phase(
+            &circuit_unitary(&c),
+            &circuit_unitary(&opt),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn asymmetric_cnot_operands_must_match_exactly() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push2(Gate::Cnot, 1, 0).expect("valid"); // reversed: no cancel
+        assert_eq!(peephole(&c).len(), 2);
+    }
+}

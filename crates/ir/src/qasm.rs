@@ -1,0 +1,298 @@
+//! OpenQASM 2.0 interchange (subset).
+//!
+//! The original FastSC consumed Qiskit circuits; this module provides the
+//! equivalent interoperability for a Rust toolchain: [`to_qasm`] emits a
+//! self-contained OpenQASM 2.0 program for any [`Circuit`], and
+//! [`from_qasm`] parses the subset this workspace emits (one quantum
+//! register, the gate set of [`Gate`], no classical control).
+
+use crate::circuit::{Circuit, Operands};
+use crate::gate::Gate;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from [`from_qasm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The program never declared a quantum register.
+    MissingRegister,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::Syntax { line, message } => {
+                write!(f, "QASM syntax error on line {line}: {message}")
+            }
+            QasmError::MissingRegister => {
+                write!(f, "QASM program declares no qreg")
+            }
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+/// Emits the circuit as an OpenQASM 2.0 program over one register `q`.
+///
+/// Gates outside the OpenQASM standard header (`iswap`, `sqiswap`) are
+/// declared as opaque gates so the output round-trips through
+/// [`from_qasm`] and remains readable by tools that ignore opaque bodies.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str("opaque iswap a, b;\n");
+    out.push_str("opaque sqiswap a, b;\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    for inst in circuit.instructions() {
+        let line = match (inst.gate, inst.operands) {
+            (Gate::Id, Operands::One(q)) => format!("id q[{q}];"),
+            (Gate::X, Operands::One(q)) => format!("x q[{q}];"),
+            (Gate::Y, Operands::One(q)) => format!("y q[{q}];"),
+            (Gate::Z, Operands::One(q)) => format!("z q[{q}];"),
+            (Gate::H, Operands::One(q)) => format!("h q[{q}];"),
+            (Gate::S, Operands::One(q)) => format!("s q[{q}];"),
+            (Gate::Sdg, Operands::One(q)) => format!("sdg q[{q}];"),
+            (Gate::T, Operands::One(q)) => format!("t q[{q}];"),
+            (Gate::Tdg, Operands::One(q)) => format!("tdg q[{q}];"),
+            (Gate::Rx(a), Operands::One(q)) => format!("rx({a:.17}) q[{q}];"),
+            (Gate::Ry(a), Operands::One(q)) => format!("ry({a:.17}) q[{q}];"),
+            (Gate::Rz(a), Operands::One(q)) => format!("rz({a:.17}) q[{q}];"),
+            (Gate::Cnot, Operands::Two(c, t)) => format!("cx q[{c}], q[{t}];"),
+            (Gate::Cz, Operands::Two(a, b)) => format!("cz q[{a}], q[{b}];"),
+            (Gate::Swap, Operands::Two(a, b)) => format!("swap q[{a}], q[{b}];"),
+            (Gate::ISwap, Operands::Two(a, b)) => format!("iswap q[{a}], q[{b}];"),
+            (Gate::SqrtISwap, Operands::Two(a, b)) => format!("sqiswap q[{a}], q[{b}];"),
+            (g, _) => unreachable!("gate {g} with mismatched operands"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the OpenQASM 2.0 subset emitted by [`to_qasm`].
+///
+/// Accepted statements: the version header, `include`, `opaque`/`barrier`
+/// (ignored), one `qreg` declaration, and applications of the gate set.
+/// Comments (`//`) and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`QasmError`] on unknown statements, malformed operands, or a
+/// missing register declaration.
+pub fn from_qasm(source: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let stmt = line.strip_suffix(';').ok_or_else(|| QasmError::Syntax {
+            line: line_no,
+            message: "missing trailing semicolon".into(),
+        })?;
+        let stmt = stmt.trim();
+        if stmt.starts_with("OPENQASM")
+            || stmt.starts_with("include")
+            || stmt.starts_with("opaque")
+            || stmt.starts_with("barrier")
+        {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = parse_register_size(rest).ok_or_else(|| QasmError::Syntax {
+                line: line_no,
+                message: format!("bad qreg declaration '{stmt}'"),
+            })?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let circuit = circuit.as_mut().ok_or(QasmError::MissingRegister)?;
+        parse_gate_statement(stmt, circuit).map_err(|message| QasmError::Syntax {
+            line: line_no,
+            message,
+        })?;
+    }
+    circuit.ok_or(QasmError::MissingRegister)
+}
+
+fn parse_register_size(rest: &str) -> Option<usize> {
+    // e.g. ` q[16]`
+    let rest = rest.trim();
+    let open = rest.find('[')?;
+    let close = rest.find(']')?;
+    rest[open + 1..close].parse().ok()
+}
+
+fn parse_qubit(token: &str) -> Option<usize> {
+    // e.g. `q[3]`
+    let token = token.trim();
+    let open = token.find('[')?;
+    let close = token.find(']')?;
+    token[open + 1..close].parse().ok()
+}
+
+fn parse_gate_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), String> {
+    let (head, args) = stmt
+        .split_once(' ')
+        .ok_or_else(|| format!("cannot split gate statement '{stmt}'"))?;
+    let operands: Vec<usize> = args
+        .split(',')
+        .map(parse_qubit)
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| format!("bad operand list '{args}'"))?;
+
+    // Parameterized heads look like `rx(1.5707)`.
+    let (name, angle) = match head.split_once('(') {
+        Some((name, rest)) => {
+            let angle: f64 = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unterminated parameter in '{head}'"))?
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad angle in '{head}'"))?;
+            (name.trim(), Some(angle))
+        }
+        None => (head.trim(), None),
+    };
+
+    let gate = match (name, angle) {
+        ("id", None) => Gate::Id,
+        ("x", None) => Gate::X,
+        ("y", None) => Gate::Y,
+        ("z", None) => Gate::Z,
+        ("h", None) => Gate::H,
+        ("s", None) => Gate::S,
+        ("sdg", None) => Gate::Sdg,
+        ("t", None) => Gate::T,
+        ("tdg", None) => Gate::Tdg,
+        ("rx", Some(a)) => Gate::Rx(a),
+        ("ry", Some(a)) => Gate::Ry(a),
+        ("rz", Some(a)) => Gate::Rz(a),
+        ("cx", None) => Gate::Cnot,
+        ("cz", None) => Gate::Cz,
+        ("swap", None) => Gate::Swap,
+        ("iswap", None) => Gate::ISwap,
+        ("sqiswap", None) => Gate::SqrtISwap,
+        _ => return Err(format!("unsupported gate '{head}'")),
+    };
+
+    match (gate.arity(), operands.as_slice()) {
+        (1, &[q]) => circuit.push1(gate, q).map(|_| ()).map_err(|e| e.to_string()),
+        (2, &[a, b]) => circuit.push2(gate, a, b).map(|_| ()).map_err(|e| e.to_string()),
+        (arity, ops) => {
+            Err(format!("gate '{name}' expects {arity} operands, got {}", ops.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::{circuit_unitary, matrices_equal_up_to_phase};
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::Rz(0.25), 1).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push2(Gate::ISwap, 1, 2).expect("valid");
+        c.push2(Gate::SqrtISwap, 0, 2).expect("valid");
+        c.push1(Gate::Tdg, 2).expect("valid");
+        c
+    }
+
+    #[test]
+    fn emits_header_and_register() {
+        let qasm = to_qasm(&sample());
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("cx q[0], q[1];"));
+        assert!(qasm.contains("iswap q[1], q[2];"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let original = sample();
+        let parsed = from_qasm(&to_qasm(&original)).expect("roundtrip parses");
+        assert_eq!(parsed.n_qubits(), original.n_qubits());
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.instructions().iter().zip(parsed.instructions()) {
+            assert_eq!(a.operands, b.operands);
+            assert_eq!(a.gate.name(), b.gate.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_unitary() {
+        let original = sample();
+        let parsed = from_qasm(&to_qasm(&original)).expect("parses");
+        assert!(matrices_equal_up_to_phase(
+            &circuit_unitary(&original),
+            &circuit_unitary(&parsed),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let src = "OPENQASM 2.0;\n// a comment\n\nqreg q[2];\nh q[0]; // trailing\ncx q[0], q[1];\n";
+        let c = from_qasm(src).expect("parses");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_gate_before_register() {
+        let err = from_qasm("OPENQASM 2.0;\nh q[0];\n").expect_err("no qreg");
+        assert_eq!(err, QasmError::MissingRegister);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err =
+            from_qasm("qreg q[2];\nccx q[0], q[1];\n").expect_err("ccx unsupported");
+        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = from_qasm("qreg q[1]\n").expect_err("no semicolon");
+        assert!(matches!(err, QasmError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_operand() {
+        let err = from_qasm("qreg q[1];\nh q[4];\n").expect_err("q4 out of range");
+        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = from_qasm("qreg q[2];\ncx q[0];\n").expect_err("cx needs 2");
+        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn angle_precision_survives_roundtrip() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rx(std::f64::consts::PI / 7.0), 0).expect("valid");
+        let parsed = from_qasm(&to_qasm(&c)).expect("parses");
+        match parsed.instructions()[0].gate {
+            Gate::Rx(a) => {
+                assert!((a - std::f64::consts::PI / 7.0).abs() < 1e-15)
+            }
+            ref g => panic!("expected rx, got {g}"),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Dense circuit unitaries and state-vector application.
+//!
+//! Used by decomposition-equivalence tests and by the noisy simulator.
+//! Convention: **qubit 0 is the most significant bit** of the state index,
+//! so a two-qubit circuit acting on `(0, 1)` has exactly the matrices of
+//! [`Gate::matrix2`](crate::Gate::matrix2).
+
+use crate::circuit::{Circuit, Operands};
+use crate::math::{C64, Mat2, Mat4, ZERO};
+
+/// Applies a single-qubit unitary to qubit `q` of an `n`-qubit state.
+///
+/// # Panics
+///
+/// Panics if `state.len() != 2^n` or `q >= n`.
+pub fn apply1(state: &mut [C64], n: usize, q: usize, m: &Mat2) {
+    assert_eq!(state.len(), 1 << n, "state length must be 2^n");
+    assert!(q < n, "qubit {q} out of range for {n}-qubit state");
+    let bit = n - 1 - q;
+    let mask = 1usize << bit;
+    for idx in 0..state.len() {
+        if idx & mask == 0 {
+            let j = idx | mask;
+            let (a0, a1) = (state[idx], state[j]);
+            state[idx] = m[0][0] * a0 + m[0][1] * a1;
+            state[j] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+}
+
+/// Applies a two-qubit unitary to qubits `(qa, qb)` of an `n`-qubit state;
+/// `qa` is the most significant bit of the gate's 4-dimensional basis.
+///
+/// # Panics
+///
+/// Panics if `state.len() != 2^n`, either qubit is out of range, or
+/// `qa == qb`.
+pub fn apply2(state: &mut [C64], n: usize, qa: usize, qb: usize, m: &Mat4) {
+    assert_eq!(state.len(), 1 << n, "state length must be 2^n");
+    assert!(qa < n && qb < n, "qubits ({qa}, {qb}) out of range for {n}-qubit state");
+    assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+    let ma = 1usize << (n - 1 - qa);
+    let mb = 1usize << (n - 1 - qb);
+    for idx in 0..state.len() {
+        if idx & ma == 0 && idx & mb == 0 {
+            let i00 = idx;
+            let i01 = idx | mb;
+            let i10 = idx | ma;
+            let i11 = idx | ma | mb;
+            let v = [state[i00], state[i01], state[i10], state[i11]];
+            for (r, &target) in [i00, i01, i10, i11].iter().enumerate() {
+                state[target] =
+                    m[r][0] * v[0] + m[r][1] * v[1] + m[r][2] * v[2] + m[r][3] * v[3];
+            }
+        }
+    }
+}
+
+/// Applies every instruction of `circuit` to `state` in order.
+///
+/// # Panics
+///
+/// Panics if `state.len() != 2^circuit.n_qubits()`.
+pub fn apply_circuit(state: &mut [C64], circuit: &Circuit) {
+    let n = circuit.n_qubits();
+    for inst in circuit.instructions() {
+        match inst.operands {
+            Operands::One(q) => {
+                let m = inst.gate.matrix1().expect("arity checked at construction");
+                apply1(state, n, q, &m);
+            }
+            Operands::Two(a, b) => {
+                let m = inst.gate.matrix2().expect("arity checked at construction");
+                apply2(state, n, a, b, &m);
+            }
+        }
+    }
+}
+
+/// The dense `2^n x 2^n` unitary of `circuit`, column by column.
+///
+/// Intended for small circuits (equivalence checks); memory is `4^n`
+/// complex numbers.
+pub fn circuit_unitary(circuit: &Circuit) -> Vec<Vec<C64>> {
+    let dim = 1usize << circuit.n_qubits();
+    let mut columns = Vec::with_capacity(dim);
+    for j in 0..dim {
+        let mut state = vec![ZERO; dim];
+        state[j] = C64::real(1.0);
+        apply_circuit(&mut state, circuit);
+        columns.push(state);
+    }
+    // Transpose columns into row-major form.
+    let mut rows = vec![vec![ZERO; dim]; dim];
+    for (j, col) in columns.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            rows[i][j] = v;
+        }
+    }
+    rows
+}
+
+/// Whether two same-size dense matrices are equal up to a global phase.
+pub fn matrices_equal_up_to_phase(a: &[Vec<C64>], b: &[Vec<C64>], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // Anchor the phase at the largest entry of b.
+    let mut best = (0usize, 0usize);
+    let mut best_mag = 0.0f64;
+    for (i, row) in b.iter().enumerate() {
+        if row.len() != a[i].len() {
+            return false;
+        }
+        for (j, &v) in row.iter().enumerate() {
+            if v.abs() > best_mag {
+                best_mag = v.abs();
+                best = (i, j);
+            }
+        }
+    }
+    if best_mag < tol {
+        // b ~ 0: require a ~ 0 as well.
+        return a.iter().flatten().all(|v| v.abs() <= tol);
+    }
+    let (bi, bj) = best;
+    if a[bi][bj].abs() < tol {
+        return false;
+    }
+    let phase = a[bi][bj] / b[bi][bj];
+    if (phase.abs() - 1.0).abs() > tol {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y * phase, tol))
+    })
+}
+
+/// The probability of measuring basis state `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx >= state.len()`.
+pub fn probability(state: &[C64], idx: usize) -> f64 {
+    state[idx].norm_sqr()
+}
+
+/// The squared norm of a state (1 for normalized states).
+pub fn norm_sqr(state: &[C64]) -> f64 {
+    state.iter().map(|v| v.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn hadamard_makes_plus_state() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0).expect("valid");
+        let mut state = vec![C64::real(1.0), ZERO];
+        apply_circuit(&mut state, &c);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(state[0].approx_eq(C64::real(inv_sqrt2), TOL));
+        assert!(state[1].approx_eq(C64::real(inv_sqrt2), TOL));
+    }
+
+    #[test]
+    fn bell_state_from_h_cnot() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        let mut state = vec![ZERO; 4];
+        state[0] = C64::real(1.0);
+        apply_circuit(&mut state, &c);
+        assert!((probability(&state, 0) - 0.5).abs() < TOL);
+        assert!((probability(&state, 3) - 0.5).abs() < TOL);
+        assert!(probability(&state, 1) < TOL);
+        assert!((norm_sqr(&state) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn two_qubit_unitary_matches_gate_matrix() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        let u = circuit_unitary(&c);
+        let m = Gate::Cnot.matrix2().expect("two-qubit");
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(u[i][j].approx_eq(m[i][j], TOL), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_cnot_differs() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cnot, 1, 0).expect("valid");
+        let u = circuit_unitary(&c);
+        // CNOT with control q1: |01> -> |11> i.e. column 1 maps to row 3.
+        assert!(u[3][1].approx_eq(C64::real(1.0), TOL));
+        assert!(u[1][3].approx_eq(C64::real(1.0), TOL));
+    }
+
+    #[test]
+    fn unitarity_of_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push1(Gate::T, 1).expect("valid");
+        c.push2(Gate::ISwap, 0, 2).expect("valid");
+        c.push1(Gate::Rx(0.3), 2).expect("valid");
+        c.push2(Gate::Cz, 1, 2).expect("valid");
+        let u = circuit_unitary(&c);
+        // Columns are orthonormal.
+        for j in 0..8 {
+            for k in 0..8 {
+                let dot: C64 = (0..8)
+                    .map(|i| u[i][j].conj() * u[i][k])
+                    .fold(ZERO, |acc, v| acc + v);
+                let expect = if j == k { 1.0 } else { 0.0 };
+                assert!(
+                    (dot.re - expect).abs() < 1e-10 && dot.im.abs() < 1e-10,
+                    "columns {j},{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_equality_detects_phase() {
+        let mut c1 = Circuit::new(1);
+        c1.push1(Gate::Z, 0).expect("valid");
+        let mut c2 = Circuit::new(1);
+        // Rz(pi) = diag(e^{-i pi/2}, e^{i pi/2}) = -i * Z.
+        c2.push1(Gate::Rz(std::f64::consts::PI), 0).expect("valid");
+        let u1 = circuit_unitary(&c1);
+        let u2 = circuit_unitary(&c2);
+        assert!(matrices_equal_up_to_phase(&u1, &u2, 1e-12));
+        let mut c3 = Circuit::new(1);
+        c3.push1(Gate::X, 0).expect("valid");
+        assert!(!matrices_equal_up_to_phase(&u1, &circuit_unitary(&c3), 1e-9));
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::X, 0).expect("valid");
+        c.push2(Gate::Swap, 0, 1).expect("valid");
+        let mut state = vec![ZERO; 4];
+        state[0] = C64::real(1.0);
+        apply_circuit(&mut state, &c);
+        // X on q0 gives |10> (index 2); SWAP moves it to |01> (index 1).
+        assert!((probability(&state, 1) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length must be 2^n")]
+    fn apply1_rejects_bad_length() {
+        let mut state = vec![ZERO; 3];
+        apply1(&mut state, 2, 0, &crate::math::identity2());
+    }
+}

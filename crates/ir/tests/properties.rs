@@ -1,0 +1,147 @@
+//! Property-based tests for the circuit IR: decomposition and peephole
+//! passes must preserve the circuit unitary (up to global phase), and
+//! layering must respect dependencies.
+
+use fastsc_ir::decompose::{decompose, Strategy as Lowering};
+use fastsc_ir::optimize::peephole;
+use fastsc_ir::unitary::{circuit_unitary, matrices_equal_up_to_phase};
+use fastsc_ir::{layering, Circuit, Gate};
+use proptest::prelude::*;
+
+/// An arbitrary gate on an `n`-qubit circuit, encoded as a constructor.
+fn arb_instruction(n: usize) -> impl Strategy<Value = (u8, usize, usize, f64)> {
+    (0u8..12, 0..n, 0..n, -3.0f64..3.0)
+}
+
+fn build_circuit(n: usize, raw: &[(u8, usize, usize, f64)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b, angle) in raw {
+        match kind {
+            0 => c.push1(Gate::H, a).map(|_| ()).expect("valid"),
+            1 => c.push1(Gate::X, a).map(|_| ()).expect("valid"),
+            2 => c.push1(Gate::T, a).map(|_| ()).expect("valid"),
+            3 => c.push1(Gate::S, a).map(|_| ()).expect("valid"),
+            4 => c.push1(Gate::Rz(angle), a).map(|_| ()).expect("valid"),
+            5 => c.push1(Gate::Rx(angle), a).map(|_| ()).expect("valid"),
+            6 => c.push1(Gate::Ry(angle), a).map(|_| ()).expect("valid"),
+            k => {
+                if a != b {
+                    let gate = match k {
+                        7 => Gate::Cnot,
+                        8 => Gate::Cz,
+                        9 => Gate::Swap,
+                        10 => Gate::ISwap,
+                        _ => Gate::SqrtISwap,
+                    };
+                    c.push2(gate, a, b).map(|_| ()).expect("valid");
+                }
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decompose_preserves_unitary(
+        raw in proptest::collection::vec(arb_instruction(3), 0..10),
+    ) {
+        let c = build_circuit(3, &raw);
+        for s in [Lowering::CzOnly, Lowering::ISwapOnly, Lowering::SqrtISwapOnly, Lowering::Hybrid] {
+            let lowered = decompose(&c, s);
+            prop_assert!(
+                matrices_equal_up_to_phase(
+                    &circuit_unitary(&c), &circuit_unitary(&lowered), 1e-8),
+                "{s:?} changed the unitary"
+            );
+            let native = s.native_set();
+            for inst in lowered.instructions() {
+                prop_assert!(native.contains(inst.gate));
+            }
+        }
+    }
+
+    #[test]
+    fn peephole_preserves_unitary(
+        raw in proptest::collection::vec(arb_instruction(3), 0..14),
+    ) {
+        let c = build_circuit(3, &raw);
+        let cleaned = peephole(&c);
+        prop_assert!(cleaned.len() <= c.len());
+        prop_assert!(matrices_equal_up_to_phase(
+            &circuit_unitary(&c), &circuit_unitary(&cleaned), 1e-8));
+    }
+
+    #[test]
+    fn peephole_is_idempotent(
+        raw in proptest::collection::vec(arb_instruction(3), 0..14),
+    ) {
+        let c = build_circuit(3, &raw);
+        let once = peephole(&c);
+        let twice = peephole(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn asap_layers_respect_dependencies(
+        raw in proptest::collection::vec(arb_instruction(4), 0..20),
+    ) {
+        let c = build_circuit(4, &raw);
+        let layers = layering::asap_layers(&c);
+        // Each instruction appears exactly once.
+        let mut seen = vec![false; c.len()];
+        for layer in &layers {
+            // No two instructions in a layer share a qubit.
+            for (i, &x) in layer.iter().enumerate() {
+                prop_assert!(!seen[x]);
+                seen[x] = true;
+                for &y in &layer[i + 1..] {
+                    let ox = c.instructions()[x].operands;
+                    let oy = c.instructions()[y].operands;
+                    prop_assert!(!ox.overlaps(oy), "layer shares a qubit");
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Program order within a qubit maps to increasing layers.
+        let mut layer_of = vec![0usize; c.len()];
+        for (l, layer) in layers.iter().enumerate() {
+            for &i in layer {
+                layer_of[i] = l;
+            }
+        }
+        let dag = layering::Dag::build(&c);
+        for i in 0..c.len() {
+            for &p in dag.preds(i) {
+                prop_assert!(layer_of[p] < layer_of[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn criticality_bounded_by_depth(
+        raw in proptest::collection::vec(arb_instruction(4), 1..20),
+    ) {
+        let c = build_circuit(4, &raw);
+        if c.is_empty() {
+            return Ok(());
+        }
+        let crit = layering::criticality(&c);
+        let depth = c.depth();
+        let max_crit = crit.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(max_crit, depth, "longest chain equals depth");
+        for &k in &crit {
+            prop_assert!(k >= 1);
+        }
+    }
+
+    #[test]
+    fn depth_never_increases_under_peephole(
+        raw in proptest::collection::vec(arb_instruction(3), 0..14),
+    ) {
+        let c = build_circuit(3, &raw);
+        prop_assert!(peephole(&c).depth() <= c.depth());
+    }
+}

@@ -1,0 +1,576 @@
+//! The worst-case program-success estimator (paper Eq. 4, §VI-C).
+
+use crate::coupling;
+use crate::decoherence::{flux_adjusted_t2, DecoherenceModel};
+use crate::schedule::Schedule;
+use fastsc_device::Device;
+
+/// Toggles for the noise channels included in the estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Decoherence combination model (default: the paper's product form).
+    pub decoherence: DecoherenceModel,
+    /// Include the `omega01 <-> omega12` sideband/leakage channels.
+    pub include_leakage: bool,
+    /// Degrade `T2` away from flux sweet spots.
+    pub include_flux_noise: bool,
+    /// Include next-neighbor (distance-2) residual channels, using
+    /// `DeviceParams::distance2_coupling_factor`.
+    pub include_distance2: bool,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            decoherence: DecoherenceModel::PaperProduct,
+            include_leakage: true,
+            include_flux_noise: true,
+            include_distance2: false,
+        }
+    }
+}
+
+/// The estimator's output: the Eq. 4 product and its factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessReport {
+    /// Worst-case program success rate (Eq. 4).
+    pub p_success: f64,
+    /// `prod (1 - eps)` over intended gates' base errors.
+    pub gate_survival: f64,
+    /// `prod (1 - eps)` over unwanted crosstalk channels.
+    pub crosstalk_survival: f64,
+    /// `prod (1 - eps_q)` over qubit decoherence.
+    pub decoherence_survival: f64,
+    /// Schedule depth in cycles.
+    pub depth: usize,
+    /// Total schedule duration, ns.
+    pub duration_ns: f64,
+    /// Largest single crosstalk-channel error encountered.
+    pub max_channel_error: f64,
+    /// Number of crosstalk channels evaluated.
+    pub channels_evaluated: usize,
+}
+
+impl SuccessReport {
+    /// Total crosstalk error `1 - crosstalk_survival`.
+    pub fn crosstalk_error(&self) -> f64 {
+        1.0 - self.crosstalk_survival
+    }
+
+    /// Total decoherence error `1 - decoherence_survival`.
+    pub fn decoherence_error(&self) -> f64 {
+        1.0 - self.decoherence_survival
+    }
+}
+
+/// A contiguous stretch of cycles over which one coupling's channel
+/// configuration (endpoint frequencies + coupler attenuation) is constant
+/// and undisturbed.
+///
+/// A detuned exchange at constant configuration evolves coherently: its
+/// worst-case transfer is the Rabi amplitude *once per episode*, not once
+/// per cycle. Episodes end when an endpoint is retuned (frequencies
+/// change), executes any gate (drive/flux activity scrambles the channel
+/// phase — charged conservatively as a fresh worst case afterwards), or
+/// the coupling performs its own gate.
+#[derive(Debug, Clone, Copy, Default)]
+struct Episode {
+    active: bool,
+    wu: f64,
+    wv: f64,
+    /// Fully attenuated effective coupling for this episode, GHz.
+    g0: f64,
+    t_ns: f64,
+}
+
+struct ChannelLedger {
+    survival: f64,
+    max_error: f64,
+    episodes_closed: usize,
+}
+
+impl ChannelLedger {
+    fn close(
+        &mut self,
+        ep: &mut Episode,
+        alpha_u: f64,
+        alpha_v: f64,
+        include_leakage: bool,
+    ) {
+        if !ep.active {
+            return;
+        }
+        let ch = coupling::pair_channels(
+            ep.g0,
+            ep.wu,
+            ep.wv,
+            alpha_u,
+            alpha_v,
+            ep.t_ns,
+            include_leakage,
+        );
+        for eps in [ch.exchange, ch.leakage_a, ch.leakage_b] {
+            self.survival *= 1.0 - eps;
+            self.max_error = self.max_error.max(eps);
+        }
+        self.episodes_closed += 1;
+        ep.active = false;
+    }
+}
+
+/// Estimates the worst-case success rate of `schedule` on `device`.
+///
+/// Every physical coupling not executing its own gate contributes the
+/// Eq. 5/6 channel errors once per *episode* of constant, undisturbed
+/// configuration (scaled by the coupler's inactive factor on gmon
+/// hardware); intended gates contribute their base calibration error;
+/// qubits accumulate decoherence exponents with flux-noise-adjusted `T2`.
+/// See the crate docs for the exact formula.
+///
+/// # Panics
+///
+/// Panics if `schedule.n_qubits() != device.n_qubits()` or if a scheduled
+/// two-qubit gate sits on a pair of qubits that are not coupled on the
+/// device (a routing bug in the producing compiler).
+pub fn estimate(device: &Device, schedule: &Schedule, config: &NoiseConfig) -> SuccessReport {
+    assert_eq!(
+        schedule.n_qubits(),
+        device.n_qubits(),
+        "schedule and device disagree on qubit count"
+    );
+    let params = *device.params();
+    let n = device.n_qubits();
+
+    // Channel pair lists: nearest-neighbor couplings, plus distance-2
+    // pairs when that channel is enabled.
+    let edges: Vec<(usize, usize)> =
+        device.connectivity().edges().map(|(_, e)| e).collect();
+    let distance2_pairs: Vec<(usize, usize)> =
+        if config.include_distance2 && params.distance2_coupling_factor > 0.0 {
+            let g = device.connectivity();
+            let mut pairs = Vec::new();
+            for u in 0..n {
+                let dist = g.bfs_distances(u);
+                for (v, d) in dist.iter().enumerate() {
+                    if v > u && *d == Some(2) {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            pairs
+        } else {
+            Vec::new()
+        };
+
+    let mut gate_survival = 1.0f64;
+    let mut ledger =
+        ChannelLedger { survival: 1.0, max_error: 0.0, episodes_closed: 0 };
+    let mut edge_eps = vec![Episode::default(); edges.len()];
+    let mut d2_eps = vec![Episode::default(); distance2_pairs.len()];
+    let mut x1 = vec![0.0f64; n]; // accumulated t/T1
+    let mut x2 = vec![0.0f64; n]; // accumulated t/T2_eff
+
+    for cycle in schedule.cycles() {
+        let t = cycle.duration_ns;
+
+        // Intended-gate base errors.
+        for g in &cycle.gates {
+            let eps = if g.instruction.gate.is_two_qubit() {
+                params.base_two_qubit_error
+            } else {
+                params.base_single_qubit_error
+            };
+            gate_survival *= 1.0 - eps;
+        }
+
+        let busy = cycle.busy_couplings();
+        let coupler_on = |a: usize, b: usize| -> bool {
+            let key = (a.min(b), a.max(b));
+            busy.contains(&key) || cycle.active_couplings.contains(&key)
+        };
+
+        // Advance per-coupling episodes.
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            let ep = &mut edge_eps[idx];
+            let alpha_u = device.qubit(u).anharmonicity;
+            let alpha_v = device.qubit(v).anharmonicity;
+            if busy.contains(&(u, v)) {
+                // Own gate: close without charging a crosstalk channel.
+                ledger.close(ep, alpha_u, alpha_v, config.include_leakage);
+                continue;
+            }
+            let factor = if device.coupler().is_tunable() && !coupler_on(u, v) {
+                device.coupler().inactive_factor()
+            } else {
+                1.0
+            };
+            let (wu, wv) = (cycle.frequencies[u], cycle.frequencies[v]);
+            let g0 = factor * params.coupling_at(wu.max(wv));
+            let same_config = ep.active
+                && (ep.wu - wu).abs() < 1e-12
+                && (ep.wv - wv).abs() < 1e-12
+                && (ep.g0 - g0).abs() < 1e-15;
+            if !same_config {
+                ledger.close(ep, alpha_u, alpha_v, config.include_leakage);
+                *ep = Episode { active: g0 > 0.0, wu, wv, g0, t_ns: 0.0 };
+            }
+            if ep.active {
+                ep.t_ns += t;
+            }
+            // Drive or flux activity on an endpoint scrambles the channel
+            // phase: charge this episode now and restart.
+            if cycle.is_qubit_busy(u) || cycle.is_qubit_busy(v) {
+                ledger.close(ep, alpha_u, alpha_v, config.include_leakage);
+            }
+        }
+
+        // Next-neighbor residual channels (optional). The two-hop virtual
+        // coupling is mediated by the couplers along the path, so on
+        // tunable-coupler hardware it is attenuated by the inactive factor
+        // of each hop (squared) — this is the leakage path behind the
+        // paper's Fig. 12 sensitivity study.
+        let d2_attenuation = if device.coupler().is_tunable() {
+            device.coupler().inactive_factor().powi(2)
+        } else {
+            1.0
+        };
+        for (idx, &(u, v)) in distance2_pairs.iter().enumerate() {
+            let ep = &mut d2_eps[idx];
+            let alpha_u = device.qubit(u).anharmonicity;
+            let alpha_v = device.qubit(v).anharmonicity;
+            let (wu, wv) = (cycle.frequencies[u], cycle.frequencies[v]);
+            let g0 = d2_attenuation
+                * params.distance2_coupling_factor
+                * params.coupling_at(wu.max(wv));
+            let same_config = ep.active
+                && (ep.wu - wu).abs() < 1e-12
+                && (ep.wv - wv).abs() < 1e-12
+                && (ep.g0 - g0).abs() < 1e-15;
+            if !same_config {
+                ledger.close(ep, alpha_u, alpha_v, config.include_leakage);
+                *ep = Episode { active: g0 > 0.0, wu, wv, g0, t_ns: 0.0 };
+            }
+            if ep.active {
+                ep.t_ns += t;
+            }
+            if cycle.is_qubit_busy(u) || cycle.is_qubit_busy(v) {
+                ledger.close(ep, alpha_u, alpha_v, config.include_leakage);
+            }
+        }
+
+        // Decoherence exponents with per-cycle flux-noise adjustment.
+        for q in 0..n {
+            let spec = device.qubit(q);
+            let t2 = if config.include_flux_noise {
+                flux_adjusted_t2(
+                    spec.t2_us,
+                    spec.sweet_spot_distance(cycle.frequencies[q]),
+                    params.flux_noise_slope,
+                )
+            } else {
+                spec.t2_us
+            };
+            let t_us = t * 1e-3;
+            x1[q] += t_us / spec.t1_us;
+            x2[q] += t_us / t2;
+        }
+    }
+
+    // Close every episode still open at program end.
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        ledger.close(
+            &mut edge_eps[idx],
+            device.qubit(u).anharmonicity,
+            device.qubit(v).anharmonicity,
+            config.include_leakage,
+        );
+    }
+    for (idx, &(u, v)) in distance2_pairs.iter().enumerate() {
+        ledger.close(
+            &mut d2_eps[idx],
+            device.qubit(u).anharmonicity,
+            device.qubit(v).anharmonicity,
+            config.include_leakage,
+        );
+    }
+
+    let mut decoherence_survival = 1.0f64;
+    for q in 0..n {
+        let eps = config.decoherence.error_from_exponents(x1[q], x2[q]);
+        decoherence_survival *= 1.0 - eps;
+    }
+
+    SuccessReport {
+        p_success: gate_survival * ledger.survival * decoherence_survival,
+        gate_survival,
+        crosstalk_survival: ledger.survival,
+        decoherence_survival,
+        depth: schedule.depth(),
+        duration_ns: schedule.total_duration_ns(),
+        max_channel_error: ledger.max_error,
+        channels_evaluated: 3 * ledger.episodes_closed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Cycle, ScheduledGate};
+    use fastsc_device::{CouplerKind, Device};
+    use fastsc_ir::{Gate, Instruction, Operands};
+
+    fn gate2(g: Gate, a: usize, b: usize, f: f64) -> ScheduledGate {
+        ScheduledGate {
+            instruction: Instruction { gate: g, operands: Operands::Two(a, b) },
+            interaction_freq: Some(f),
+        }
+    }
+
+    /// A 2x2 device; parking at 5.0/5.5 checkerboard.
+    fn device() -> Device {
+        Device::grid(2, 2, 7)
+    }
+
+    fn parked_frequencies(n: usize) -> Vec<f64> {
+        // Checkerboard across the full parking band (maximum spread, as
+        // the compiler produces): qubits 0,3 at 4.5; 1,2 at 5.5.
+        (0..n).map(|q| if q == 0 || q == 3 { 4.5 } else { 5.5 }).collect()
+    }
+
+    fn one_gate_cycle(fa: f64, fb: f64, int: f64) -> Cycle {
+        // CZ on coupling (0,1); qubits 2,3 parked.
+        let mut freqs = parked_frequencies(4);
+        freqs[0] = fa;
+        freqs[1] = fb;
+        Cycle {
+            gates: vec![gate2(Gate::Cz, 0, 1, int)],
+            frequencies: freqs,
+            active_couplings: vec![],
+            duration_ns: 70.0,
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_perfect() {
+        let d = device();
+        let s = Schedule::new(4);
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert_eq!(r.p_success, 1.0);
+        assert_eq!(r.depth, 0);
+    }
+
+    #[test]
+    fn idle_cycle_with_separated_parking_is_nearly_perfect() {
+        let d = device();
+        let mut s = Schedule::new(4);
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: parked_frequencies(4),
+            active_couplings: vec![],
+            duration_ns: 100.0,
+        });
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert!(r.p_success > 0.99, "p = {}", r.p_success);
+        assert!(r.crosstalk_error() < 5e-3, "xtalk = {}", r.crosstalk_error());
+    }
+
+    #[test]
+    fn parking_collision_is_catastrophic() {
+        let d = device();
+        let mut s = Schedule::new(4);
+        // All four qubits parked at the same frequency: every coupling on
+        // resonance.
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![5.0; 4],
+            active_couplings: vec![],
+            duration_ns: 100.0,
+        });
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert!(r.p_success < 0.01, "p = {}", r.p_success);
+        assert!(r.max_channel_error > 0.9);
+    }
+
+    #[test]
+    fn single_gate_survival_dominated_by_base_error() {
+        let d = device();
+        let mut s = Schedule::new(4);
+        s.push_cycle(one_gate_cycle(6.5, 6.5, 6.5));
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert!(r.p_success > 0.97, "p = {}", r.p_success);
+        assert!((r.gate_survival - 0.995).abs() < 1e-9);
+        assert_eq!(r.depth, 1);
+    }
+
+    #[test]
+    fn parallel_gates_same_frequency_crosstalk() {
+        // Two CZs on opposite edges of the 2x2 mesh: (0,1) and (2,3).
+        // The connecting couplings (0,2) and (1,3) see both pairs at the
+        // same interaction frequency -> near-resonant crosstalk.
+        let d = device();
+        let build = |f1: f64, f2: f64| {
+            let mut s = Schedule::new(4);
+            s.push_cycle(Cycle {
+                gates: vec![gate2(Gate::Cz, 0, 1, f1), gate2(Gate::Cz, 2, 3, f2)],
+                frequencies: vec![f1, f1, f2, f2],
+                active_couplings: vec![],
+                duration_ns: 70.0,
+            });
+            s
+        };
+        let same = estimate(&d, &build(6.5, 6.5), &NoiseConfig::default());
+        let apart = estimate(&d, &build(6.9, 6.2), &NoiseConfig::default());
+        assert!(
+            apart.crosstalk_survival > same.crosstalk_survival + 0.5,
+            "separated {} vs colliding {}",
+            apart.crosstalk_survival,
+            same.crosstalk_survival
+        );
+        assert!(apart.p_success > 10.0 * same.p_success);
+    }
+
+    #[test]
+    fn gmon_perfect_couplers_suppress_crosstalk() {
+        let d = device().with_coupler(CouplerKind::tunable(0.0));
+        let mut s = Schedule::new(4);
+        // Colliding parking frequencies, but all couplers off.
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![5.0; 4],
+            active_couplings: vec![],
+            duration_ns: 100.0,
+        });
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert_eq!(r.crosstalk_survival, 1.0);
+    }
+
+    #[test]
+    fn gmon_residual_coupling_degrades_with_factor() {
+        let mut last = 1.0;
+        for residual in [0.0, 0.2, 0.4, 0.8] {
+            let d = device().with_coupler(CouplerKind::tunable(residual));
+            let mut s = Schedule::new(4);
+            s.push_cycle(Cycle {
+                gates: vec![],
+                frequencies: vec![5.0, 5.3, 5.3, 5.0],
+                active_couplings: vec![],
+                duration_ns: 200.0,
+            });
+            let r = estimate(&d, &s, &NoiseConfig::default());
+            assert!(
+                r.p_success <= last + 1e-12,
+                "residual {residual}: p rose to {}",
+                r.p_success
+            );
+            last = r.p_success;
+        }
+    }
+
+    #[test]
+    fn decoherence_grows_with_duration() {
+        let d = device();
+        let mut short = Schedule::new(4);
+        short.push_cycle(one_gate_cycle(6.5, 6.5, 6.5));
+        let mut long = Schedule::new(4);
+        for _ in 0..50 {
+            long.push_cycle(one_gate_cycle(6.5, 6.5, 6.5));
+        }
+        let cfg = NoiseConfig::default();
+        let rs = estimate(&d, &short, &cfg);
+        let rl = estimate(&d, &long, &cfg);
+        assert!(rl.decoherence_error() > rs.decoherence_error());
+        assert!(rl.p_success < rs.p_success);
+    }
+
+    #[test]
+    fn leakage_channel_catches_anharmonicity_collision() {
+        // Two coupled qubits parked exactly alpha apart: the 0-1
+        // frequencies are detuned but omega12(q0) = omega01(q1).
+        let d = Device::linear(2, 3);
+        let alpha = d.qubit(0).anharmonicity; // -0.2
+        let mut s = Schedule::new(2);
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![5.2, 5.2 + alpha],
+            active_couplings: vec![],
+            duration_ns: 100.0,
+        });
+        let with = estimate(&d, &s, &NoiseConfig::default());
+        let without = estimate(
+            &d,
+            &s,
+            &NoiseConfig { include_leakage: false, ..NoiseConfig::default() },
+        );
+        assert!(
+            with.crosstalk_error() > without.crosstalk_error() + 0.1,
+            "with = {}, without = {}",
+            with.crosstalk_error(),
+            without.crosstalk_error()
+        );
+    }
+
+    #[test]
+    fn flux_noise_toggle_matters_off_sweet_spot() {
+        let d = device();
+        let mut s = Schedule::new(4);
+        // Park far from both sweet spots (5 GHz low, ~7 GHz high).
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![6.0, 6.4, 6.4, 6.0],
+            active_couplings: vec![],
+            duration_ns: 5_000.0,
+        });
+        let with = estimate(&d, &s, &NoiseConfig::default());
+        let without = estimate(
+            &d,
+            &s,
+            &NoiseConfig { include_flux_noise: false, ..NoiseConfig::default() },
+        );
+        assert!(with.decoherence_error() > without.decoherence_error());
+    }
+
+    #[test]
+    fn distance2_channels_add_error_when_enabled() {
+        let mut builder = fastsc_device::DeviceBuilder::new(fastsc_graph::topology::linear(3));
+        let mut params = fastsc_device::DeviceParams::default();
+        params.distance2_coupling_factor = 0.3;
+        builder.params(params).seed(3);
+        let d = builder.build();
+        let mut s = Schedule::new(3);
+        // Qubits 0 and 2 (distance 2) at the same frequency.
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![5.2, 5.45, 5.2],
+            active_couplings: vec![],
+            duration_ns: 200.0,
+        });
+        let off = estimate(&d, &s, &NoiseConfig::default());
+        let on = estimate(
+            &d,
+            &s,
+            &NoiseConfig { include_distance2: true, ..NoiseConfig::default() },
+        );
+        assert!(on.crosstalk_error() > off.crosstalk_error());
+        assert!(on.channels_evaluated > off.channels_evaluated);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on qubit count")]
+    fn rejects_mismatched_schedule() {
+        let d = device();
+        let s = Schedule::new(9);
+        let _ = estimate(&d, &s, &NoiseConfig::default());
+    }
+
+    #[test]
+    fn report_accessors_consistent() {
+        let d = device();
+        let mut s = Schedule::new(4);
+        s.push_cycle(one_gate_cycle(6.5, 6.5, 6.5));
+        let r = estimate(&d, &s, &NoiseConfig::default());
+        assert!((r.crosstalk_error() - (1.0 - r.crosstalk_survival)).abs() < 1e-15);
+        assert!((r.decoherence_error() - (1.0 - r.decoherence_survival)).abs() < 1e-15);
+        let product = r.gate_survival * r.crosstalk_survival * r.decoherence_survival;
+        assert!((r.p_success - product).abs() < 1e-12);
+    }
+}

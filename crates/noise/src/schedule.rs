@@ -1,0 +1,240 @@
+//! The compiled-schedule data model: what the compiler emits and the
+//! estimator consumes.
+
+use fastsc_ir::{Instruction, Operands};
+use std::fmt;
+
+/// One gate placed in a cycle, with its interaction frequency when it is a
+/// two-qubit (resonance) gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledGate {
+    /// The gate and its operands.
+    pub instruction: Instruction,
+    /// The interaction frequency (GHz) both qubits are tuned to for the
+    /// gate's duration; `None` for single-qubit gates.
+    pub interaction_freq: Option<f64>,
+}
+
+/// One time step of a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cycle {
+    /// Gates executing in this cycle (disjoint operand sets).
+    pub gates: Vec<ScheduledGate>,
+    /// Every qubit's 0-1 frequency (GHz) during this cycle — interaction
+    /// frequencies for gate qubits, parking frequencies for idle ones.
+    pub frequencies: Vec<f64>,
+    /// Couplings (normalized `(min, max)` qubit pairs) whose tunable
+    /// coupler is active this cycle. Ignored on fixed-coupler hardware.
+    pub active_couplings: Vec<(usize, usize)>,
+    /// Wall-clock duration of the cycle in ns (slowest gate plus flux
+    /// settling).
+    pub duration_ns: f64,
+}
+
+impl Cycle {
+    /// The couplings `(min, max)` executing a two-qubit gate this cycle.
+    pub fn busy_couplings(&self) -> Vec<(usize, usize)> {
+        self.gates
+            .iter()
+            .filter_map(|g| g.instruction.qubit_pair())
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect()
+    }
+
+    /// Whether `q` executes any gate this cycle.
+    pub fn is_qubit_busy(&self, q: usize) -> bool {
+        self.gates.iter().any(|g| g.instruction.operands.contains(q))
+    }
+}
+
+/// A fully scheduled program: an ordered list of [`Cycle`]s over a fixed
+/// number of device qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    n_qubits: usize,
+    cycles: Vec<Cycle>,
+}
+
+impl Schedule {
+    /// An empty schedule over `n_qubits` device qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Schedule { n_qubits, cycles: Vec::new() }
+    }
+
+    /// Appends a cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle's frequency vector does not cover every qubit,
+    /// if its duration is negative, if two gates share a qubit, or if any
+    /// operand is out of range.
+    pub fn push_cycle(&mut self, cycle: Cycle) {
+        assert_eq!(
+            cycle.frequencies.len(),
+            self.n_qubits,
+            "cycle must assign a frequency to every qubit"
+        );
+        assert!(cycle.duration_ns >= 0.0, "cycle duration must be non-negative");
+        let mut used = vec![false; self.n_qubits];
+        for g in &cycle.gates {
+            for q in g.instruction.qubits() {
+                assert!(q < self.n_qubits, "operand {q} out of range");
+                assert!(!used[q], "two gates share qubit {q} in one cycle");
+                used[q] = true;
+            }
+        }
+        self.cycles.push(cycle);
+    }
+
+    /// Number of device qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The cycles in execution order.
+    pub fn cycles(&self) -> &[Cycle] {
+        &self.cycles
+    }
+
+    /// Circuit depth (number of cycles).
+    pub fn depth(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total wall-clock duration in ns.
+    pub fn total_duration_ns(&self) -> f64 {
+        self.cycles.iter().map(|c| c.duration_ns).sum()
+    }
+
+    /// Total number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.cycles.iter().map(|c| c.gates.len()).sum()
+    }
+
+    /// Total number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.cycles
+            .iter()
+            .flat_map(|c| &c.gates)
+            .filter(|g| g.instruction.gate.is_two_qubit())
+            .count()
+    }
+
+    /// A canonical multiset of `(gate name, operands)` for
+    /// schedule-preserves-program tests.
+    pub fn gate_multiset(&self) -> Vec<(String, Vec<usize>)> {
+        let mut v: Vec<(String, Vec<usize>)> = self
+            .cycles
+            .iter()
+            .flat_map(|c| &c.gates)
+            .map(|g| {
+                let name = match g.instruction.operands {
+                    Operands::One(_) => g.instruction.gate.to_string(),
+                    Operands::Two(..) => g.instruction.gate.name().to_owned(),
+                };
+                (name, g.instruction.qubits())
+            })
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule: {} qubits, {} cycles, {:.1} ns",
+            self.n_qubits,
+            self.depth(),
+            self.total_duration_ns()
+        )?;
+        for (i, c) in self.cycles.iter().enumerate() {
+            write!(f, "  cycle {i} ({:.1} ns):", c.duration_ns)?;
+            for g in &c.gates {
+                write!(f, " [{}]", g.instruction)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_ir::{Gate, Instruction, Operands};
+
+    fn gate1(g: Gate, q: usize) -> ScheduledGate {
+        ScheduledGate {
+            instruction: Instruction { gate: g, operands: Operands::One(q) },
+            interaction_freq: None,
+        }
+    }
+
+    fn gate2(g: Gate, a: usize, b: usize, f: f64) -> ScheduledGate {
+        ScheduledGate {
+            instruction: Instruction { gate: g, operands: Operands::Two(a, b) },
+            interaction_freq: Some(f),
+        }
+    }
+
+    fn cycle(gates: Vec<ScheduledGate>, n: usize, t: f64) -> Cycle {
+        Cycle { gates, frequencies: vec![5.0; n], active_couplings: vec![], duration_ns: t }
+    }
+
+    #[test]
+    fn push_and_totals() {
+        let mut s = Schedule::new(3);
+        s.push_cycle(cycle(vec![gate1(Gate::H, 0), gate1(Gate::H, 1)], 3, 25.0));
+        s.push_cycle(cycle(vec![gate2(Gate::Cz, 0, 1, 6.5)], 3, 70.0));
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.gate_count(), 3);
+        assert_eq!(s.two_qubit_count(), 1);
+        assert!((s.total_duration_ns() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share qubit")]
+    fn rejects_overlapping_gates() {
+        let mut s = Schedule::new(3);
+        s.push_cycle(cycle(vec![gate1(Gate::H, 0), gate2(Gate::Cz, 0, 1, 6.5)], 3, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency to every qubit")]
+    fn rejects_short_frequency_vector() {
+        let mut s = Schedule::new(3);
+        s.push_cycle(Cycle {
+            gates: vec![],
+            frequencies: vec![5.0; 2],
+            active_couplings: vec![],
+            duration_ns: 10.0,
+        });
+    }
+
+    #[test]
+    fn busy_couplings_normalized() {
+        let c = cycle(vec![gate2(Gate::ISwap, 2, 1, 6.2)], 3, 50.0);
+        assert_eq!(c.busy_couplings(), vec![(1, 2)]);
+        assert!(c.is_qubit_busy(1));
+        assert!(!c.is_qubit_busy(0));
+    }
+
+    #[test]
+    fn gate_multiset_is_order_independent() {
+        let mut s1 = Schedule::new(2);
+        s1.push_cycle(cycle(vec![gate1(Gate::H, 0), gate1(Gate::X, 1)], 2, 25.0));
+        let mut s2 = Schedule::new(2);
+        s2.push_cycle(cycle(vec![gate1(Gate::X, 1)], 2, 25.0));
+        s2.push_cycle(cycle(vec![gate1(Gate::H, 0)], 2, 25.0));
+        assert_eq!(s1.gate_multiset(), s2.gate_multiset());
+    }
+
+    #[test]
+    fn display_mentions_cycles() {
+        let mut s = Schedule::new(2);
+        s.push_cycle(cycle(vec![gate1(Gate::H, 0)], 2, 25.0));
+        assert!(s.to_string().contains("cycle 0"));
+    }
+}

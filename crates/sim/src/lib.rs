@@ -1,0 +1,46 @@
+//! Noisy quantum-circuit simulation for validating the success-rate
+//! heuristic (paper §VI-C) and reproducing the two-transmon state-transition
+//! maps of Fig. 15.
+//!
+//! Three layers:
+//!
+//! * [`StateVector`] — an ideal state-vector simulator over the IR's gate
+//!   set (qubit 0 is the most significant bit, matching
+//!   `fastsc_ir::unitary`);
+//! * [`trajectory`] — Monte-Carlo noisy execution of a compiled
+//!   [`Schedule`](fastsc_noise::Schedule): per cycle it applies the
+//!   scheduled gates, then coherent residual-exchange crosstalk on every
+//!   idle coupling (the detuned-Rabi unitary on the `{|01>, |10>}`
+//!   subspace), then stochastic amplitude-damping and dephasing jumps per
+//!   qubit;
+//! * [`qutrit`] — an exact two-transmon three-level Hamiltonian integrator
+//!   for the `|01> <-> |10>` (iSWAP) and `|11> <-> |20>` (CZ/leakage)
+//!   resonance maps.
+//!
+//! # Example
+//!
+//! ```
+//! use fastsc_sim::StateVector;
+//! use fastsc_ir::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push1(Gate::H, 0)?;
+//! c.push2(Gate::Cnot, 0, 1)?;
+//! let mut psi = StateVector::zero(2);
+//! psi.apply_circuit(&c);
+//! assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+//! # Ok::<(), fastsc_ir::IrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod qutrit;
+mod statevector;
+pub mod trajectory;
+
+pub use density::DensityMatrix;
+pub use statevector::StateVector;
+pub use trajectory::{simulate_success, TrajectoryOutcome};

@@ -1,0 +1,279 @@
+//! Exact two-transmon three-level dynamics (paper Fig. 15 and App. B).
+//!
+//! Transmons are weakly anharmonic oscillators; the computational qubit
+//! levels `|0>, |1>` sit below a third level `|2>` that participates in
+//! both the intended `CZ` gate (`|11> <-> |20>` resonance) and leakage
+//! errors. This module integrates the Schrödinger equation of two coupled
+//! three-level transmons,
+//!
+//! ```text
+//! H / 2pi = sum_q [ omega_q n_q + (alpha_q / 2) n_q (n_q - 1) ]
+//!           + g (a^dag b + a b^dag)
+//! ```
+//!
+//! in the rotating frame of the total excitation number (the coupling
+//! conserves it, so the frame shift only changes global phases within each
+//! sector), exactly, via Jacobi eigendecomposition of the 9x9 real
+//! symmetric Hamiltonian.
+
+use fastsc_ir::math::C64;
+
+/// Dimension of the two-qutrit Hilbert space.
+pub const DIM: usize = 9;
+
+/// Basis index of `|n_a n_b>` (each level in `0..3`).
+///
+/// # Panics
+///
+/// Panics if either level exceeds 2.
+pub fn basis_index(na: usize, nb: usize) -> usize {
+    assert!(na < 3 && nb < 3, "transmon levels are truncated at |2>");
+    3 * na + nb
+}
+
+/// Two capacitively coupled three-level transmons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoTransmon {
+    /// 0-1 frequency of transmon A, GHz.
+    pub omega_a: f64,
+    /// 0-1 frequency of transmon B, GHz.
+    pub omega_b: f64,
+    /// Anharmonicity of A, GHz (negative).
+    pub alpha_a: f64,
+    /// Anharmonicity of B, GHz (negative).
+    pub alpha_b: f64,
+    /// Exchange coupling, GHz.
+    pub g: f64,
+}
+
+impl TwoTransmon {
+    /// A pair with the workspace default anharmonicity and coupling.
+    pub fn new(omega_a: f64, omega_b: f64, g: f64) -> Self {
+        TwoTransmon { omega_a, omega_b, alpha_a: -0.2, alpha_b: -0.2, g }
+    }
+
+    /// The Hamiltonian matrix (GHz, cyclic units) in the rotating frame
+    /// `H - omega_b N`: real and symmetric.
+    pub fn hamiltonian(&self) -> [[f64; DIM]; DIM] {
+        let mut h = [[0.0; DIM]; DIM];
+        let delta = self.omega_a - self.omega_b;
+        for na in 0..3 {
+            for nb in 0..3 {
+                let i = basis_index(na, nb);
+                h[i][i] = delta * na as f64
+                    + 0.5 * self.alpha_a * (na * (na.max(1) - 1)) as f64
+                    + 0.5 * self.alpha_b * (nb * (nb.max(1) - 1)) as f64;
+            }
+        }
+        // g (a^dag b + a b^dag): |na, nb> <-> |na+1, nb-1>.
+        for na in 0..2 {
+            for nb in 1..3 {
+                let i = basis_index(na, nb);
+                let j = basis_index(na + 1, nb - 1);
+                let amp = self.g * ((na + 1) as f64).sqrt() * (nb as f64).sqrt();
+                h[i][j] += amp;
+                h[j][i] += amp;
+            }
+        }
+        h
+    }
+
+    /// Evolves the basis state `initial` for `t_ns` exactly:
+    /// `psi(t) = V e^{-i 2 pi Lambda t} V^T e_initial` from a Jacobi
+    /// eigendecomposition of the real symmetric Hamiltonian. Unitary to
+    /// machine precision at any time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ns < 0` or `initial >= 9`.
+    pub fn evolve(&self, initial: usize, t_ns: f64) -> [C64; DIM] {
+        assert!(initial < DIM, "basis index {initial} out of range");
+        assert!(t_ns >= 0.0, "duration must be non-negative");
+        let (eigenvalues, vectors) = jacobi_eigen(self.hamiltonian());
+        // Coefficients in the eigenbasis: c_k = V^T e_initial = V[initial][k].
+        let mut psi = [C64::real(0.0); DIM];
+        let two_pi = 2.0 * std::f64::consts::PI;
+        for k in 0..DIM {
+            let coeff = vectors[initial][k];
+            let phase = C64::cis(-two_pi * eigenvalues[k] * t_ns).scale(coeff);
+            for (i, out) in psi.iter_mut().enumerate() {
+                *out += phase.scale(vectors[i][k]);
+            }
+        }
+        psi
+    }
+
+    /// Probability of ending in basis state `to` after evolving `from` for
+    /// `t_ns`.
+    pub fn transition_probability(&self, from: usize, to: usize, t_ns: f64) -> f64 {
+        assert!(to < DIM, "basis index {to} out of range");
+        self.evolve(from, t_ns)[to].norm_sqr()
+    }
+}
+
+/// Jacobi eigendecomposition of a real symmetric matrix: returns
+/// `(eigenvalues, V)` with columns of `V` the eigenvectors
+/// (`A = V diag(lambda) V^T`).
+fn jacobi_eigen(mut a: [[f64; DIM]; DIM]) -> ([f64; DIM], [[f64; DIM]; DIM]) {
+    let mut v = [[0.0f64; DIM]; DIM];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _rotation in 0..5000 {
+        // Largest off-diagonal element.
+        let mut off = 0.0f64;
+        let (mut p, mut q) = (0usize, 1usize);
+        for i in 0..DIM {
+            for j in (i + 1)..DIM {
+                if a[i][j].abs() > off {
+                    off = a[i][j].abs();
+                    p = i;
+                    q = j;
+                }
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        // Rotation angle zeroing a[p][q].
+        let theta = 0.5 * (2.0 * a[p][q]).atan2(a[q][q] - a[p][p]);
+        let (s, c) = theta.sin_cos();
+        // A <- J^T A J with the Givens rotation J in the (p, q) plane.
+        for i in 0..DIM {
+            let (aip, aiq) = (a[i][p], a[i][q]);
+            a[i][p] = c * aip - s * aiq;
+            a[i][q] = s * aip + c * aiq;
+        }
+        for j in 0..DIM {
+            let (apj, aqj) = (a[p][j], a[q][j]);
+            a[p][j] = c * apj - s * aqj;
+            a[q][j] = s * apj + c * aqj;
+        }
+        for i in 0..DIM {
+            let (vip, viq) = (v[i][p], v[i][q]);
+            v[i][p] = c * vip - s * viq;
+            v[i][q] = s * vip + c * viq;
+        }
+    }
+    let mut eigenvalues = [0.0f64; DIM];
+    for i in 0..DIM {
+        eigenvalues[i] = a[i][i];
+    }
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 0.005;
+
+    fn norm(psi: &[C64; DIM]) -> f64 {
+        psi.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    #[test]
+    fn evolution_preserves_norm() {
+        let sys = TwoTransmon::new(5.44, 5.44, G);
+        for t in [10.0, 50.0, 200.0] {
+            let psi = sys.evolve(basis_index(0, 1), t);
+            assert!((norm(&psi) - 1.0).abs() < 1e-6, "t = {t}: norm {}", norm(&psi));
+        }
+    }
+
+    #[test]
+    fn resonant_iswap_transfer_at_quarter_period() {
+        // omega_a = omega_b: |01> fully transfers to |10> at t = 1/(4g).
+        let sys = TwoTransmon::new(5.44, 5.44, G);
+        let t = 1.0 / (4.0 * G);
+        let p = sys.transition_probability(basis_index(0, 1), basis_index(1, 0), t);
+        assert!(p > 0.999, "transfer probability {p}");
+        // And returns at the half period.
+        let p_back =
+            sys.transition_probability(basis_index(0, 1), basis_index(0, 1), 2.0 * t);
+        assert!(p_back > 0.99, "return probability {p_back}");
+    }
+
+    #[test]
+    fn detuned_iswap_is_suppressed() {
+        let sys = TwoTransmon::new(5.74, 5.44, G); // 300 MHz detuned
+        let t = 1.0 / (4.0 * G);
+        let p = sys.transition_probability(basis_index(0, 1), basis_index(1, 0), t);
+        assert!(p < 0.02, "suppressed transfer {p}");
+    }
+
+    #[test]
+    fn cz_resonance_at_anharmonicity_offset() {
+        // |11> <-> |20> resonant when omega_a + alpha_a = omega_b, with
+        // coupling sqrt(2) g: complete transfer at t = 1/(4 sqrt(2) g).
+        let sys = TwoTransmon::new(5.64, 5.44, G); // alpha = -0.2
+        let t = 1.0 / (4.0 * std::f64::consts::SQRT_2 * G);
+        let p = sys.transition_probability(basis_index(1, 1), basis_index(2, 0), t);
+        assert!(p > 0.99, "CZ-channel transfer {p}");
+        // Complete CZ: population returns at twice that time (App. B).
+        let p_return =
+            sys.transition_probability(basis_index(1, 1), basis_index(1, 1), 2.0 * t);
+        assert!(p_return > 0.98, "CZ return {p_return}");
+    }
+
+    #[test]
+    fn cz_channel_off_resonance_when_aligned_01() {
+        // At the iSWAP point (omega_a = omega_b) the |11> <-> |20> channel
+        // is detuned by alpha: leakage from |11> stays bounded.
+        let sys = TwoTransmon::new(5.44, 5.44, G);
+        let t = 1.0 / (4.0 * G);
+        let p20 = sys.transition_probability(basis_index(1, 1), basis_index(2, 0), t);
+        let p02 = sys.transition_probability(basis_index(1, 1), basis_index(0, 2), t);
+        assert!(p20 < 0.05, "leakage to |20>: {p20}");
+        assert!(p02 < 0.05, "leakage to |02>: {p02}");
+    }
+
+    #[test]
+    fn fig15_peak_structure_along_flux_axis() {
+        // Sweeping omega_a with omega_b fixed: the 01->10 transfer after
+        // t = 1/(4g) peaks at omega_a = omega_b, the 11->20 transfer at
+        // omega_a = omega_b - alpha.
+        let omega_b = 5.44;
+        let probe = |omega_a: f64, from: (usize, usize), to: (usize, usize), t: f64| {
+            TwoTransmon::new(omega_a, omega_b, G)
+                .transition_probability(basis_index(from.0, from.1), basis_index(to.0, to.1), t)
+        };
+        let t_iswap = 1.0 / (4.0 * G);
+        let sweep: Vec<f64> = (0..=40).map(|i| 5.34 + 0.005 * i as f64).collect();
+        let iswap_peak = sweep
+            .iter()
+            .copied()
+            .max_by(|&x, &y| {
+                probe(x, (0, 1), (1, 0), t_iswap).total_cmp(&probe(y, (0, 1), (1, 0), t_iswap))
+            })
+            .expect("nonempty");
+        assert!((iswap_peak - omega_b).abs() < 0.011, "iSWAP peak at {iswap_peak}");
+
+        let t_cz = 1.0 / (4.0 * std::f64::consts::SQRT_2 * G);
+        let sweep_cz: Vec<f64> = (0..=40).map(|i| 5.54 + 0.005 * i as f64).collect();
+        let cz_peak = sweep_cz
+            .iter()
+            .copied()
+            .max_by(|&x, &y| {
+                probe(x, (1, 1), (2, 0), t_cz).total_cmp(&probe(y, (1, 1), (2, 0), t_cz))
+            })
+            .expect("nonempty");
+        assert!((cz_peak - (omega_b + 0.2)).abs() < 0.011, "CZ peak at {cz_peak}");
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric() {
+        let h = TwoTransmon::new(5.5, 5.4, G).hamiltonian();
+        for i in 0..DIM {
+            for j in 0..DIM {
+                assert!((h[i][j] - h[j][i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated at |2>")]
+    fn basis_index_rejects_high_levels() {
+        let _ = basis_index(3, 0);
+    }
+}

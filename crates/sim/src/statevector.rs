@@ -1,0 +1,223 @@
+//! An ideal state-vector simulator over the IR gate set.
+
+use fastsc_ir::math::{C64, Mat2, Mat4, ZERO};
+use fastsc_ir::unitary;
+use fastsc_ir::{Circuit, Instruction, Operands};
+
+/// A pure `n`-qubit state. Qubit 0 is the most significant bit of the
+/// basis index (the `fastsc_ir::unitary` convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amplitudes: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 26` (state would exceed memory).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 26, "state vector too large: {n_qubits} qubits");
+        let mut amplitudes = vec![ZERO; 1 << n_qubits];
+        amplitudes[0] = C64::real(1.0);
+        StateVector { n_qubits, amplitudes }
+    }
+
+    /// A computational basis state `|index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn basis(n_qubits: usize, index: usize) -> Self {
+        let mut s = StateVector::zero(n_qubits);
+        assert!(index < s.amplitudes.len(), "basis index {index} out of range");
+        s.amplitudes[0] = ZERO;
+        s.amplitudes[index] = C64::real(1.0);
+        s
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The raw amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amplitudes
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply1(&mut self, q: usize, m: &Mat2) {
+        unitary::apply1(&mut self.amplitudes, self.n_qubits, q, m);
+    }
+
+    /// Applies a two-qubit unitary to `(a, b)` (`a` = gate MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or `a == b`.
+    pub fn apply2(&mut self, a: usize, b: usize, m: &Mat4) {
+        unitary::apply2(&mut self.amplitudes, self.n_qubits, a, b, m);
+    }
+
+    /// Applies one IR instruction.
+    pub fn apply_instruction(&mut self, inst: &Instruction) {
+        match inst.operands {
+            Operands::One(q) => {
+                self.apply1(q, &inst.gate.matrix1().expect("validated arity"));
+            }
+            Operands::Two(a, b) => {
+                self.apply2(a, b, &inst.gate.matrix2().expect("validated arity"));
+            }
+        }
+    }
+
+    /// Applies a whole circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.n_qubits() <= self.n_qubits, "circuit wider than state");
+        for inst in circuit.instructions() {
+            self.apply_instruction(inst);
+        }
+    }
+
+    /// The probability of measuring basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// The probability that qubit `q` reads 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn excited_population(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let mask = 1usize << (self.n_qubits - 1 - q);
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Squared overlap `|<other|self>|^2` with another state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "states must have equal width");
+        let mut overlap = ZERO;
+        for (a, b) in self.amplitudes.iter().zip(&other.amplitudes) {
+            overlap += b.conj() * *a;
+        }
+        overlap.norm_sqr()
+    }
+
+    /// The squared norm (1 for physical states).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) zero.
+    pub fn normalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 1e-300, "cannot normalize the zero vector");
+        for a in &mut self.amplitudes {
+            *a = a.scale(1.0 / norm);
+        }
+    }
+
+    /// Mutable access for noise channels (norm may be temporarily broken;
+    /// callers must renormalize).
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amplitudes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_ir::Gate;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.probability(0), 1.0);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(s.n_qubits(), 3);
+    }
+
+    #[test]
+    fn basis_state_placement() {
+        let s = StateVector::basis(2, 0b10);
+        assert_eq!(s.probability(2), 1.0);
+        // Qubit 0 is the MSB: |10> has qubit 0 excited.
+        assert!((s.excited_population(0) - 1.0).abs() < 1e-15);
+        assert_eq!(s.excited_population(1), 0.0);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push2(Gate::Cnot, 0, 1).expect("valid");
+        c.push2(Gate::Cnot, 1, 2).expect("valid");
+        let mut s = StateVector::zero(3);
+        s.apply_circuit(&c);
+        assert!((s.probability(0b000) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b111) - 0.5).abs() < 1e-12);
+        for q in 0..3 {
+            assert!((s.excited_population(q) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fidelity_extremes() {
+        let a = StateVector::basis(2, 1);
+        let b = StateVector::basis(2, 2);
+        assert_eq!(a.fidelity(&a), 1.0);
+        assert_eq!(a.fidelity(&b), 0.0);
+    }
+
+    #[test]
+    fn fidelity_of_rotated_state() {
+        let mut a = StateVector::zero(1);
+        a.apply1(0, &Gate::Ry(std::f64::consts::FRAC_PI_2).matrix1().expect("1q"));
+        let z = StateVector::zero(1);
+        assert!((a.fidelity(&z) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_recovers_unit_norm() {
+        let mut s = StateVector::zero(1);
+        s.amplitudes_mut()[0] = C64::real(0.5);
+        s.normalize();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn fidelity_rejects_mismatched_widths() {
+        let _ = StateVector::zero(1).fidelity(&StateVector::zero(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the simulators: unitarity, trace preservation,
+//! and physical bounds.
+
+use fastsc_ir::{Circuit, Gate};
+use fastsc_sim::qutrit::{basis_index, TwoTransmon};
+use fastsc_sim::{DensityMatrix, StateVector};
+use proptest::prelude::*;
+
+fn build_circuit(n: usize, raw: &[(u8, usize, usize, f64)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b, angle) in raw {
+        match kind {
+            0 => drop(c.push1(Gate::H, a).expect("valid")),
+            1 => drop(c.push1(Gate::Rx(angle), a).expect("valid")),
+            2 => drop(c.push1(Gate::Rz(angle), a).expect("valid")),
+            3 => drop(c.push1(Gate::T, a).expect("valid")),
+            k => {
+                if a != b {
+                    let gate = match k {
+                        4 => Gate::Cnot,
+                        5 => Gate::Cz,
+                        6 => Gate::ISwap,
+                        _ => Gate::SqrtISwap,
+                    };
+                    c.push2(gate, a, b).expect("valid");
+                }
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn statevector_stays_normalized(
+        raw in proptest::collection::vec((0u8..8, 0usize..4, 0usize..4, -3.0f64..3.0), 0..20),
+    ) {
+        let c = build_circuit(4, &raw);
+        let mut psi = StateVector::zero(4);
+        psi.apply_circuit(&c);
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+        // Populations are probabilities.
+        for q in 0..4 {
+            let p = psi.excited_population(q);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+
+    #[test]
+    fn density_matrix_trace_preserved_under_channels(
+        raw in proptest::collection::vec((0u8..8, 0usize..3, 0usize..3, -3.0f64..3.0), 0..8),
+        gamma in 0.0f64..1.0,
+        p_phi in 0.0f64..1.0,
+        q in 0usize..3,
+    ) {
+        let c = build_circuit(3, &raw);
+        let mut rho = DensityMatrix::zero(3);
+        for inst in c.instructions() {
+            rho.apply_instruction(inst);
+        }
+        rho.amplitude_damp(q, gamma);
+        rho.phase_damp(q, p_phi);
+        prop_assert!((rho.trace() - 1.0).abs() < 1e-9, "trace {}", rho.trace());
+        let purity = rho.purity();
+        prop_assert!(purity <= 1.0 + 1e-9 && purity >= 1.0 / 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn density_fidelity_matches_statevector_for_unitaries(
+        raw in proptest::collection::vec((0u8..8, 0usize..3, 0usize..3, -3.0f64..3.0), 0..10),
+    ) {
+        let c = build_circuit(3, &raw);
+        let mut psi = StateVector::zero(3);
+        psi.apply_circuit(&c);
+        let mut rho = DensityMatrix::zero(3);
+        for inst in c.instructions() {
+            rho.apply_instruction(inst);
+        }
+        prop_assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn qutrit_evolution_unitary(
+        omega_a in 5.0f64..6.0,
+        omega_b in 5.0f64..6.0,
+        g in 0.001f64..0.02,
+        t in 1.0f64..150.0,
+        initial in 0usize..9,
+    ) {
+        let sys = TwoTransmon::new(omega_a, omega_b, g);
+        let psi = sys.evolve(initial, t);
+        let norm: f64 = psi.iter().map(|a| a.norm_sqr()).sum();
+        prop_assert!((norm - 1.0).abs() < 1e-9, "norm {}", norm);
+    }
+
+    #[test]
+    fn qutrit_conserves_excitation_number(
+        detuning in -0.4f64..0.4,
+        t in 1.0f64..120.0,
+    ) {
+        // The exchange coupling conserves total excitations: starting in
+        // |01>, population stays in the {|01>, |10>} sector.
+        let sys = TwoTransmon::new(5.44 + detuning, 5.44, 0.005);
+        let psi = sys.evolve(basis_index(0, 1), t);
+        let sector: f64 =
+            psi[basis_index(0, 1)].norm_sqr() + psi[basis_index(1, 0)].norm_sqr();
+        prop_assert!((sector - 1.0).abs() < 1e-9, "leaked out of N=1 sector: {}", sector);
+    }
+
+    #[test]
+    fn qutrit_transition_probabilities_bounded(
+        omega_a in 5.2f64..5.7,
+        t in 1.0f64..100.0,
+        from in 0usize..9,
+        to in 0usize..9,
+    ) {
+        let sys = TwoTransmon::new(omega_a, 5.44, 0.005);
+        let p = sys.transition_probability(from, to, t);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+    }
+}

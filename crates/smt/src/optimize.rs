@@ -1,0 +1,172 @@
+//! Binary-search maximization of a satisfiability-parameterized problem.
+//!
+//! The paper's `smt_find` routine searches for the *maximum* separation
+//! threshold δ for which the frequency-assignment constraints remain
+//! satisfiable (§V-B3). [`maximize`] implements that search generically: the
+//! caller supplies a closure building a [`Problem`] for a candidate
+//! parameter, and the search homes in on the feasibility boundary.
+
+use crate::problem::Problem;
+use crate::solver::Model;
+
+/// Result of [`maximize`]: the largest feasible parameter found and the
+/// model witnessing it.
+#[derive(Debug, Clone)]
+pub struct MaximizeResult {
+    /// The largest parameter value proven feasible (within tolerance).
+    pub best: f64,
+    /// A model for the problem at `best`.
+    pub model: Model,
+    /// Number of solver invocations performed.
+    pub solver_calls: usize,
+}
+
+/// Finds (approximately) the largest `t` in `[lo, hi]` such that
+/// `build(t)` is satisfiable, assuming feasibility is *downward closed*
+/// (if `t` is feasible, so is any smaller value — true for separation
+/// thresholds).
+///
+/// Returns `None` when even `build(lo)` is unsatisfiable. The search stops
+/// once the bracket is narrower than `tol` and returns the largest
+/// *verified-feasible* parameter, never an unverified midpoint.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, `tol <= 0`, or any bound is NaN.
+///
+/// # Example
+///
+/// ```
+/// use fastsc_smt::{maximize, Problem};
+///
+/// // Maximum pairwise separation of 3 points in [0, 1] is 0.5.
+/// let result = maximize(0.0, 2.0, 1e-6, |delta| {
+///     let mut p = Problem::new();
+///     let xs: Vec<_> = (0..3).map(|_| p.new_var()).collect();
+///     for &x in &xs {
+///         p.add_bounds(x, 0.0, 1.0);
+///     }
+///     for i in 0..3 {
+///         for j in (i + 1)..3 {
+///             p.add_abs_ge(xs[i], 0.0, xs[j], delta);
+///         }
+///     }
+///     p
+/// })
+/// .expect("delta = 0 is feasible");
+/// assert!((result.best - 0.5).abs() < 1e-4);
+/// ```
+pub fn maximize<F>(lo: f64, hi: f64, tol: f64, build: F) -> Option<MaximizeResult>
+where
+    F: Fn(f64) -> Problem,
+{
+    assert!(!lo.is_nan() && !hi.is_nan(), "bounds must not be NaN");
+    assert!(lo <= hi, "empty search interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive, got {tol}");
+
+    let mut calls = 0usize;
+    let solve_at = |t: f64, calls: &mut usize| -> Option<Model> {
+        *calls += 1;
+        build(t).solve()
+    };
+
+    // Feasibility floor.
+    let mut best_model = solve_at(lo, &mut calls)?;
+    let mut feasible = lo;
+
+    // Fast path: the whole interval may be feasible.
+    if let Some(m) = solve_at(hi, &mut calls) {
+        return Some(MaximizeResult { best: hi, model: m, solver_calls: calls });
+    }
+    let mut infeasible = hi;
+
+    while infeasible - feasible > tol {
+        let mid = 0.5 * (feasible + infeasible);
+        match solve_at(mid, &mut calls) {
+            Some(m) => {
+                feasible = mid;
+                best_model = m;
+            }
+            None => infeasible = mid,
+        }
+    }
+    Some(MaximizeResult { best: feasible, model: best_model, solver_calls: calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn separation_problem(n: usize, delta: f64, lo: f64, hi: f64) -> Problem {
+        let mut p = Problem::new();
+        let xs: Vec<_> = (0..n).map(|_| p.new_var()).collect();
+        for &x in &xs {
+            p.add_bounds(x, lo, hi);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                p.add_abs_ge(xs[i], 0.0, xs[j], delta);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn max_separation_of_k_points_is_range_over_k_minus_1() {
+        for k in 2..=5 {
+            let r = maximize(0.0, 2.0, 1e-7, |d| separation_problem(k, d, 0.0, 1.0))
+                .expect("delta = 0 always feasible");
+            let expected = 1.0 / (k as f64 - 1.0);
+            assert!(
+                (r.best - expected).abs() < 1e-5,
+                "k = {k}: got {} expected {expected}",
+                r.best
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_saturates_upper_bound() {
+        let r = maximize(0.0, 3.0, 1e-7, |d| separation_problem(1, d, 0.0, 1.0))
+            .expect("single point unconstrained");
+        assert_eq!(r.best, 3.0, "no pair constraints: every delta feasible");
+        assert_eq!(r.solver_calls, 2, "fast path should trigger");
+    }
+
+    #[test]
+    fn returns_none_when_floor_infeasible() {
+        // Even delta = lo is infeasible: 2 points, separation 0.5 in a
+        // 0.1-wide interval.
+        let r = maximize(0.5, 1.0, 1e-7, |d| separation_problem(2, d, 0.0, 0.1));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn model_is_feasible_at_best() {
+        let r = maximize(0.0, 2.0, 1e-7, |d| separation_problem(3, d, 0.0, 1.0))
+            .expect("feasible at 0");
+        let p = separation_problem(3, r.best, 0.0, 1.0);
+        assert!(r.model.satisfies(&p, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty search interval")]
+    fn rejects_inverted_interval() {
+        let _ = maximize(1.0, 0.0, 1e-6, |d| separation_problem(2, d, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn rejects_zero_tolerance() {
+        let _ = maximize(0.0, 1.0, 0.0, |d| separation_problem(2, d, 0.0, 1.0));
+    }
+
+    #[test]
+    fn solver_call_count_is_logarithmic() {
+        let r = maximize(0.0, 1.0, 1e-6, |d| separation_problem(2, d, 0.0, 1.0))
+            .expect("feasible");
+        // ~log2(1 / 1e-6) + 2 = ~22 calls.
+        assert!(r.solver_calls < 30, "calls = {}", r.solver_calls);
+    }
+}

@@ -1,0 +1,276 @@
+use std::fmt;
+
+/// A real-valued solver variable.
+///
+/// Create variables with [`Problem::new_var`]; the index is an opaque handle
+/// valid only for the problem that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw index of this variable within its problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An atomic difference constraint `x - y <= bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConstraint {
+    /// Minuend variable.
+    pub x: Var,
+    /// Subtrahend variable.
+    pub y: Var,
+    /// Upper bound on `x - y`.
+    pub bound: f64,
+}
+
+impl fmt::Display for DiffConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {} <= {}", self.x, self.y, self.bound)
+    }
+}
+
+impl DiffConstraint {
+    /// Whether the assignment `values` satisfies this constraint, up to
+    /// `tol` of slack.
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        values[self.x.0] - values[self.y.0] <= self.bound + tol
+    }
+}
+
+/// A disjunction of difference constraints (at least one must hold).
+///
+/// Absolute-value separations expand into two-literal clauses; see
+/// [`Problem::add_abs_ge`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// The disjuncts.
+    pub literals: Vec<DiffConstraint>,
+}
+
+impl Clause {
+    /// Whether at least one literal is satisfied by `values` (up to `tol`).
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        self.literals.iter().any(|l| l.is_satisfied(values, tol))
+    }
+}
+
+/// A difference-logic satisfiability problem: a conjunction of hard
+/// [`DiffConstraint`]s and disjunctive [`Clause`]s over real variables.
+///
+/// Internally a reserved *zero variable* anchors absolute bounds
+/// (`lo <= x <= hi` becomes `x - zero <= hi` and `zero - x <= -lo`); models
+/// are normalized so that the zero variable evaluates to `0`.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) n_vars: usize, // includes the zero variable at index 0
+    pub(crate) hard: Vec<DiffConstraint>,
+    pub(crate) clauses: Vec<Clause>,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Problem { n_vars: 1, hard: Vec::new(), clauses: Vec::new() }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.n_vars);
+        self.n_vars += 1;
+        v
+    }
+
+    /// Number of user variables (excluding the internal zero variable).
+    pub fn var_count(&self) -> usize {
+        self.n_vars - 1
+    }
+
+    /// Number of hard constraints (including expanded bounds).
+    pub fn constraint_count(&self) -> usize {
+        self.hard.len()
+    }
+
+    /// Number of disjunctive clauses.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub(crate) fn zero(&self) -> Var {
+        Var(0)
+    }
+
+    /// Adds `x - y <= c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variable does not belong to this problem or if `c`
+    /// is NaN.
+    pub fn add_le(&mut self, x: Var, y: Var, c: f64) {
+        self.check(x);
+        self.check(y);
+        assert!(!c.is_nan(), "constraint bound must not be NaN");
+        self.hard.push(DiffConstraint { x, y, bound: c });
+    }
+
+    /// Adds `x - y >= c` (equivalently `y - x <= -c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variable does not belong to this problem or if `c`
+    /// is NaN.
+    pub fn add_ge(&mut self, x: Var, y: Var, c: f64) {
+        self.add_le(y, x, -c);
+    }
+
+    /// Constrains `lo <= x <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, if either bound is NaN, or if `x` does not
+    /// belong to this problem.
+    pub fn add_bounds(&mut self, x: Var, lo: f64, hi: f64) {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        let zero = self.zero();
+        self.add_le(x, zero, hi); // x <= hi
+        self.add_le(zero, x, -lo); // -x <= -lo
+    }
+
+    /// Adds the separation constraint `|x + offset - y| >= delta` as the
+    /// two-literal clause `(x - y >= delta - offset) OR (y - x >= delta + offset)`.
+    ///
+    /// With `offset = 0` this is the direct resonance-avoidance constraint
+    /// of the paper's Eq. (2); with `offset = α` (the anharmonicity) it is
+    /// the sideband constraint of Eq. (3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta < 0`, any value is NaN, or a variable does not
+    /// belong to this problem.
+    pub fn add_abs_ge(&mut self, x: Var, offset: f64, y: Var, delta: f64) {
+        self.check(x);
+        self.check(y);
+        assert!(delta >= 0.0, "separation must be non-negative, got {delta}");
+        assert!(!offset.is_nan(), "offset must not be NaN");
+        // x + offset - y >= delta  <=>  y - x <= offset - delta
+        let pos = DiffConstraint { x: y, y: x, bound: offset - delta };
+        // y - x - offset >= delta  <=>  x - y <= -offset - delta
+        let neg = DiffConstraint { x, y, bound: -offset - delta };
+        self.clauses.push(Clause { literals: vec![pos, neg] });
+    }
+
+    /// Adds an arbitrary disjunction of difference constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty (an empty disjunction is trivially
+    /// unsatisfiable — model that by an infeasible hard constraint instead)
+    /// or mentions foreign variables.
+    pub fn add_clause(&mut self, literals: Vec<DiffConstraint>) {
+        assert!(!literals.is_empty(), "clauses must have at least one literal");
+        for l in &literals {
+            self.check(l.x);
+            self.check(l.y);
+            assert!(!l.bound.is_nan(), "constraint bound must not be NaN");
+        }
+        self.clauses.push(Clause { literals });
+    }
+
+    fn check(&self, v: Var) {
+        assert!(v.0 < self.n_vars, "variable {v} does not belong to this problem");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_indices_increase() {
+        let mut p = Problem::new();
+        let a = p.new_var();
+        let b = p.new_var();
+        assert_ne!(a, b);
+        assert_eq!(p.var_count(), 2);
+    }
+
+    #[test]
+    fn bounds_expand_to_two_constraints() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        p.add_bounds(x, 1.0, 2.0);
+        assert_eq!(p.constraint_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn bounds_reject_inverted_interval() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        p.add_bounds(x, 2.0, 1.0);
+    }
+
+    #[test]
+    fn abs_ge_expands_to_clause() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let y = p.new_var();
+        p.add_abs_ge(x, 0.0, y, 0.5);
+        assert_eq!(p.clause_count(), 1);
+        let clause = &p.clauses[0];
+        assert_eq!(clause.literals.len(), 2);
+        // x = 1.0, y = 0.0 satisfies |x - y| >= 0.5.
+        let values = vec![0.0, 1.0, 0.0];
+        assert!(clause.is_satisfied(&values, 1e-12));
+        // x = 0.2, y = 0.0 does not.
+        let values = vec![0.0, 0.2, 0.0];
+        assert!(!clause.is_satisfied(&values, 1e-12));
+    }
+
+    #[test]
+    fn abs_ge_with_offset_shifts_the_band() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let y = p.new_var();
+        // |x - 0.2 - y| >= 0.1: forbidden band is y in (x-0.3, x-0.1).
+        p.add_abs_ge(x, -0.2, y, 0.1);
+        let clause = &p.clauses[0];
+        let sat = |xv: f64, yv: f64| clause.is_satisfied(&[0.0, xv, yv], 1e-12);
+        assert!(sat(1.0, 1.0)); // |1 - 0.2 - 1| = 0.2 >= 0.1
+        assert!(!sat(1.0, 0.8)); // |1 - 0.2 - 0.8| = 0 < 0.1
+        assert!(sat(1.0, 0.6)); // |1 - 0.2 - 0.6| = 0.2
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_variable_rejected() {
+        let mut p1 = Problem::new();
+        let mut p2 = Problem::new();
+        let _ = p1.new_var();
+        let x2 = p2.new_var();
+        let x2b = p2.new_var();
+        let _ = (x2, x2b);
+        // p1 has 1 user var (index 1); index 2 is foreign to p1.
+        p1.add_le(Var(2), Var(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one literal")]
+    fn empty_clause_rejected() {
+        let mut p = Problem::new();
+        p.add_clause(Vec::new());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = DiffConstraint { x: Var(1), y: Var(2), bound: 0.5 };
+        assert_eq!(c.to_string(), "x1 - x2 <= 0.5");
+    }
+}

@@ -1,0 +1,279 @@
+//! DPLL-style case-split search over disjunctive difference clauses.
+//!
+//! The solver maintains a stack of chosen literals (one per decided clause)
+//! and asks the theory core for feasibility of the hard constraints plus the
+//! chosen literals after every decision, pruning infeasible branches early.
+//! Clauses are decided in order of increasing literal count (all clauses
+//! from the frequency optimizer are binary, but the engine is general).
+
+use crate::problem::{DiffConstraint, Problem, Var};
+use crate::theory::{self, Feasibility, EPSILON};
+
+/// A satisfying assignment for a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    values: Vec<f64>, // index 0 is the zero variable (always 0.0)
+}
+
+impl Model {
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the problem that produced this
+    /// model.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.0]
+    }
+
+    /// All user-variable values, in variable-creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values[1..]
+    }
+
+    /// Verifies this model against a problem, with `tol` slack per
+    /// constraint. Useful in tests and debug assertions.
+    pub fn satisfies(&self, p: &Problem, tol: f64) -> bool {
+        p.hard.iter().all(|c| c.is_satisfied(&self.values, tol))
+            && p.clauses.iter().all(|cl| cl.is_satisfied(&self.values, tol))
+    }
+}
+
+impl Problem {
+    /// Decides satisfiability and returns a model if one exists.
+    ///
+    /// The search explores at most `prod(|clause_i|)` theory checks but
+    /// prunes aggressively: each partial choice set is checked for
+    /// feasibility before descending, and clauses already entailed by the
+    /// current witness are skipped. For the frequency-assignment workload
+    /// (binary clauses over at most ~10 colors) this is microseconds.
+    pub fn solve(&self) -> Option<Model> {
+        // Order clauses smallest-first to fail fast on tight disjunctions.
+        let mut order: Vec<usize> = (0..self.clauses.len()).collect();
+        order.sort_by_key(|&i| self.clauses[i].literals.len());
+
+        let mut chosen: Vec<DiffConstraint> = Vec::with_capacity(self.clauses.len());
+        self.search(&order, 0, &mut chosen).map(|values| Model { values })
+    }
+
+    fn search(
+        &self,
+        order: &[usize],
+        depth: usize,
+        chosen: &mut Vec<DiffConstraint>,
+    ) -> Option<Vec<f64>> {
+        let mut active: Vec<DiffConstraint> =
+            Vec::with_capacity(self.hard.len() + chosen.len());
+        active.extend_from_slice(&self.hard);
+        active.extend_from_slice(chosen);
+        let witness = match theory::check(self.n_vars, &active) {
+            Feasibility::Sat(w) => w,
+            Feasibility::Unsat => return None,
+        };
+
+        // Find the next clause not already satisfied by the witness; any
+        // clause the witness happens to satisfy can be skipped *only* if we
+        // re-validate at the end, so instead we skip clauses whose literal
+        // is entailed (conservative: decide every remaining clause, but
+        // prefer the literal the witness already satisfies).
+        if depth == order.len() {
+            return Some(witness);
+        }
+        let clause = &self.clauses[order[depth]];
+
+        // Try literals, starting with those the current witness satisfies
+        // (they are most likely to stay feasible).
+        let mut literal_order: Vec<&DiffConstraint> = clause.literals.iter().collect();
+        literal_order
+            .sort_by_key(|l| if l.is_satisfied(&witness, EPSILON) { 0u8 } else { 1u8 });
+
+        for literal in literal_order {
+            chosen.push(*literal);
+            if let Some(model) = self.search(order, depth + 1, chosen) {
+                chosen.pop();
+                return Some(model);
+            }
+            chosen.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_problem_is_sat() {
+        let mut p = Problem::new();
+        let _ = p.new_var();
+        let model = p.solve().expect("no constraints");
+        assert!(model.satisfies(&p, EPSILON));
+    }
+
+    #[test]
+    fn simple_bounds_model_in_range() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        p.add_bounds(x, 5.0, 7.0);
+        let m = p.solve().expect("interval is satisfiable");
+        assert!((5.0 - 1e-9..=7.0 + 1e-9).contains(&m.value(x)));
+    }
+
+    #[test]
+    fn infeasible_bounds_unsat() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let zero_width = 6.0;
+        p.add_bounds(x, zero_width, zero_width); // fine: x == 6
+        p.add_ge(x, p.zero(), 8.0); // x >= 8 contradicts x <= 6
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn two_vars_separation_clause() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let y = p.new_var();
+        p.add_bounds(x, 0.0, 1.0);
+        p.add_bounds(y, 0.0, 1.0);
+        p.add_abs_ge(x, 0.0, y, 0.7);
+        let m = p.solve().expect("0.7 separation fits in [0,1]");
+        assert!((m.value(x) - m.value(y)).abs() >= 0.7 - 1e-9);
+        assert!(m.satisfies(&p, EPSILON));
+    }
+
+    #[test]
+    fn separation_too_wide_unsat() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let y = p.new_var();
+        p.add_bounds(x, 0.0, 1.0);
+        p.add_bounds(y, 0.0, 1.0);
+        p.add_abs_ge(x, 0.0, y, 1.5);
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn three_way_separation_packs_interval() {
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..3).map(|_| p.new_var()).collect();
+        for &v in &vars {
+            p.add_bounds(v, 0.0, 1.0);
+        }
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                p.add_abs_ge(vars[i], 0.0, vars[j], 0.5);
+            }
+        }
+        // 3 points pairwise >= 0.5 apart need an interval of length >= 1.0.
+        let m = p.solve().expect("exactly fits");
+        assert!(m.satisfies(&p, EPSILON));
+        let mut vals: Vec<f64> = vars.iter().map(|&v| m.value(v)).collect();
+        vals.sort_by(f64::total_cmp);
+        assert!(vals[1] - vals[0] >= 0.5 - 1e-9);
+        assert!(vals[2] - vals[1] >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn three_way_separation_overpacked_unsat() {
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..3).map(|_| p.new_var()).collect();
+        for &v in &vars {
+            p.add_bounds(v, 0.0, 1.0);
+        }
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                p.add_abs_ge(vars[i], 0.0, vars[j], 0.51);
+            }
+        }
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn sideband_constraint_with_anharmonicity() {
+        // Mirrors the paper's Eq. (3): |x_i + alpha - x_j| >= delta with
+        // alpha = -0.2 GHz. Place two interaction frequencies in [6, 7].
+        let mut p = Problem::new();
+        let x = p.new_var();
+        let y = p.new_var();
+        let alpha = -0.2;
+        p.add_bounds(x, 6.0, 7.0);
+        p.add_bounds(y, 6.0, 7.0);
+        p.add_abs_ge(x, 0.0, y, 0.3);
+        p.add_abs_ge(x, alpha, y, 0.3);
+        p.add_abs_ge(y, alpha, x, 0.3);
+        let m = p.solve().expect("plenty of room in 1 GHz");
+        let (xv, yv) = (m.value(x), m.value(y));
+        assert!((xv - yv).abs() >= 0.3 - 1e-9);
+        assert!((xv + alpha - yv).abs() >= 0.3 - 1e-9);
+        assert!((yv + alpha - xv).abs() >= 0.3 - 1e-9);
+    }
+
+    #[test]
+    fn ordering_constraints_respected() {
+        let mut p = Problem::new();
+        let hi = p.new_var();
+        let lo = p.new_var();
+        p.add_bounds(hi, 0.0, 10.0);
+        p.add_bounds(lo, 0.0, 10.0);
+        p.add_ge(hi, lo, 2.0); // hi >= lo + 2
+        let m = p.solve().expect("feasible");
+        assert!(m.value(hi) - m.value(lo) >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn general_clause_three_literals() {
+        let mut p = Problem::new();
+        let x = p.new_var();
+        p.add_bounds(x, 0.0, 10.0);
+        // x <= 1 OR x <= 2 OR x >= 9 — trivially satisfiable.
+        let z = p.zero();
+        p.add_clause(vec![
+            DiffConstraint { x, y: z, bound: 1.0 },
+            DiffConstraint { x, y: z, bound: 2.0 },
+            DiffConstraint { x: z, y: x, bound: -9.0 },
+        ]);
+        // Force x >= 5 so only the third literal can hold.
+        p.add_ge(x, z, 5.0);
+        let m = p.solve().expect("third literal satisfiable");
+        assert!(m.value(x) >= 9.0 - 1e-9);
+    }
+
+    #[test]
+    fn model_values_exposes_user_vars_only() {
+        let mut p = Problem::new();
+        let a = p.new_var();
+        let b = p.new_var();
+        p.add_bounds(a, 1.0, 1.0);
+        p.add_bounds(b, 2.0, 2.0);
+        let m = p.solve().expect("pinned values");
+        assert_eq!(m.values().len(), 2);
+        assert!((m.value(a) - 1.0).abs() < 1e-9);
+        assert!((m.value(b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_binary_clauses_scale() {
+        // 8 colors in [6, 7] with 0.1 separation plus sidebands: the size
+        // the static baseline needs on a mesh. Must solve quickly.
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..8).map(|_| p.new_var()).collect();
+        for &v in &vars {
+            p.add_bounds(v, 6.0, 7.0);
+        }
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                p.add_abs_ge(vars[i], 0.0, vars[j], 0.1);
+                p.add_abs_ge(vars[i], -0.2, vars[j], 0.05);
+            }
+        }
+        // Fix a total order to emulate the multiplicity ordering the
+        // compiler applies (also keeps the search tiny).
+        for w in vars.windows(2) {
+            p.add_ge(w[0], w[1], 0.0);
+        }
+        let m = p.solve().expect("8 slots with 0.1 spacing fit in 1 GHz");
+        assert!(m.satisfies(&p, EPSILON));
+    }
+}

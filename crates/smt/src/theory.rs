@@ -1,0 +1,147 @@
+//! Theory core: feasibility of a conjunction of difference constraints.
+//!
+//! A system `{ x_i - x_j <= c_ij }` is satisfiable over the reals iff its
+//! *constraint graph* — an edge `j -> i` of weight `c_ij` per constraint —
+//! has no negative-weight cycle. Shortest-path distances from a virtual
+//! source connected to every node with weight 0 then form a satisfying
+//! assignment (Bellman–Ford; see Cormen et al., §24.4).
+
+use crate::problem::DiffConstraint;
+
+/// Numeric slack used when comparing floating-point path lengths.
+///
+/// Constraint systems produced by the frequency optimizer have magnitudes
+/// of a few GHz, so absolute 1e-9 (one Hz, in GHz units) is far below any
+/// physically meaningful difference.
+pub(crate) const EPSILON: f64 = 1e-9;
+
+/// Outcome of a feasibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Feasibility {
+    /// Satisfiable, with a witness assignment (index 0 is the zero var,
+    /// already normalized to 0.0).
+    Sat(Vec<f64>),
+    /// Unsatisfiable: the constraints contain a negative cycle.
+    Unsat,
+}
+
+/// Decides a conjunction of difference constraints over `n_vars` variables
+/// (including the zero variable at index 0).
+///
+/// Returns a normalized witness (zero variable at exactly 0.0) when
+/// satisfiable.
+pub(crate) fn check(n_vars: usize, constraints: &[DiffConstraint]) -> Feasibility {
+    // dist[v]: shortest distance from the virtual source; starting at 0 for
+    // every node is equivalent to an explicit source with 0-weight edges.
+    let mut dist = vec![0.0f64; n_vars];
+
+    // Bellman–Ford: n-1 relaxation rounds, then one detection round.
+    // Early-exit when a round changes nothing.
+    for _ in 0..n_vars.saturating_sub(1) {
+        let mut changed = false;
+        for c in constraints {
+            // x - y <= bound  =>  edge y -> x with weight `bound`.
+            let candidate = dist[c.y.0] + c.bound;
+            if candidate < dist[c.x.0] - EPSILON {
+                dist[c.x.0] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for c in constraints {
+        if dist[c.y.0] + c.bound < dist[c.x.0] - EPSILON {
+            return Feasibility::Unsat;
+        }
+    }
+
+    // Normalize so the zero variable sits at exactly 0.
+    let shift = dist[0];
+    for d in &mut dist {
+        *d -= shift;
+    }
+    Feasibility::Sat(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Var;
+
+    fn le(x: usize, y: usize, bound: f64) -> DiffConstraint {
+        DiffConstraint { x: Var(x), y: Var(y), bound }
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        match check(3, &[]) {
+            Feasibility::Sat(vals) => assert_eq!(vals, vec![0.0; 3]),
+            Feasibility::Unsat => panic!("empty system must be satisfiable"),
+        }
+    }
+
+    #[test]
+    fn chain_is_sat_and_witness_satisfies() {
+        // x1 - x2 <= -1 (x1 + 1 <= x2), x2 - x3 <= -1.
+        let cs = [le(1, 2, -1.0), le(2, 3, -1.0)];
+        match check(4, &cs) {
+            Feasibility::Sat(v) => {
+                for c in &cs {
+                    assert!(c.is_satisfied(&v, EPSILON), "violated: {c}");
+                }
+            }
+            Feasibility::Unsat => panic!("chain is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn negative_cycle_is_unsat() {
+        // x - y <= -1 and y - x <= 0 => (x - y) + (y - x) <= -1 => 0 <= -1.
+        let cs = [le(1, 2, -1.0), le(2, 1, 0.0)];
+        assert_eq!(check(3, &cs), Feasibility::Unsat);
+    }
+
+    #[test]
+    fn zero_cycle_is_sat() {
+        // x - y <= 0 and y - x <= 0 => x == y: satisfiable.
+        let cs = [le(1, 2, 0.0), le(2, 1, 0.0)];
+        match check(3, &cs) {
+            Feasibility::Sat(v) => assert!((v[1] - v[2]).abs() < 1e-9),
+            Feasibility::Unsat => panic!("equality is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn bounds_via_zero_variable() {
+        // 5 <= x <= 7 as x - z <= 7, z - x <= -5.
+        let cs = [le(1, 0, 7.0), le(0, 1, -5.0)];
+        match check(2, &cs) {
+            Feasibility::Sat(v) => {
+                assert_eq!(v[0], 0.0);
+                assert!((5.0..=7.0).contains(&v[1]), "x = {}", v[1]);
+            }
+            Feasibility::Unsat => panic!("interval is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_unsat() {
+        // x <= 1 and x >= 2.
+        let cs = [le(1, 0, 1.0), le(0, 1, -2.0)];
+        assert_eq!(check(2, &cs), Feasibility::Unsat);
+    }
+
+    #[test]
+    fn witness_is_normalized() {
+        let cs = [le(0, 1, -3.0)]; // z - x <= -3 => x >= 3.
+        match check(2, &cs) {
+            Feasibility::Sat(v) => {
+                assert_eq!(v[0], 0.0);
+                assert!(v[1] >= 3.0 - EPSILON);
+            }
+            Feasibility::Unsat => panic!("satisfiable"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the difference-logic SMT solver.
+
+use fastsc_smt::{maximize, Problem, Var};
+use proptest::prelude::*;
+
+/// Generate a random assignment, then emit constraints consistent with it.
+/// The solver must find *some* model (not necessarily the same one).
+fn consistent_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let values = proptest::collection::vec(-10.0f64..10.0, n);
+        values.prop_flat_map(move |vals| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+                .collect();
+            let vals2 = vals.clone();
+            proptest::collection::vec(
+                (proptest::sample::select(pairs), 0.0f64..3.0),
+                0..12,
+            )
+            .prop_map(move |picks| {
+                let constraints: Vec<(usize, usize, f64)> = picks
+                    .into_iter()
+                    .map(|((i, j), slack)| {
+                        // x_i - x_j <= (v_i - v_j) + slack: satisfied by vals.
+                        (i, j, vals2[i] - vals2[j] + slack)
+                    })
+                    .collect();
+                (n, constraints, vals2.clone())
+            })
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn satisfiable_systems_are_solved((n, constraints, _witness) in consistent_system()) {
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..n).map(|_| p.new_var()).collect();
+        // Keep variables bounded so the model is finite and normalized.
+        for &v in &vars {
+            p.add_bounds(v, -100.0, 100.0);
+        }
+        for &(i, j, bound) in &constraints {
+            p.add_le(vars[i], vars[j], bound);
+        }
+        let model = p.solve().expect("system built from a witness is satisfiable");
+        prop_assert!(model.satisfies(&p, 1e-6));
+    }
+
+    #[test]
+    fn models_satisfy_all_clause_kinds(
+        n in 2usize..5,
+        delta in 0.01f64..0.2,
+        alpha in -0.3f64..0.0,
+    ) {
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..n).map(|_| p.new_var()).collect();
+        for &v in &vars {
+            p.add_bounds(v, 6.0, 7.0);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                p.add_abs_ge(vars[i], 0.0, vars[j], delta);
+                p.add_abs_ge(vars[i], alpha, vars[j], delta);
+                p.add_abs_ge(vars[j], alpha, vars[i], delta);
+            }
+        }
+        if let Some(m) = p.solve() {
+            prop_assert!(m.satisfies(&p, 1e-6));
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (xi, xj) = (m.value(vars[i]), m.value(vars[j]));
+                    prop_assert!((xi - xj).abs() >= delta - 1e-6);
+                    prop_assert!((xi + alpha - xj).abs() >= delta - 1e-6);
+                    prop_assert!((xj + alpha - xi).abs() >= delta - 1e-6);
+                }
+            }
+        }
+        // Small deltas with n <= 4 in a 1 GHz window must be satisfiable:
+        // worst case needs (n-1) * (delta + |alpha|) <= 1.0.
+        let needed = (n as f64 - 1.0) * (delta + alpha.abs());
+        if needed < 0.9 {
+            prop_assert!(p.solve().is_some(), "expected feasible: needed = {}", needed);
+        }
+    }
+
+    #[test]
+    fn contradiction_always_detected(n in 2usize..6, gap in 0.1f64..5.0) {
+        // x0 > x1 > ... > x_{n-1} > x0 by `gap` is a negative cycle.
+        let mut p = Problem::new();
+        let vars: Vec<Var> = (0..n).map(|_| p.new_var()).collect();
+        for i in 0..n {
+            let next = vars[(i + 1) % n];
+            p.add_ge(vars[i], next, gap); // x_i >= x_{i+1} + gap
+        }
+        prop_assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn maximize_matches_closed_form(k in 2usize..6, width in 0.5f64..4.0) {
+        // k points in [0, width]: max pairwise separation = width / (k-1).
+        let r = maximize(0.0, width + 1.0, 1e-6, |d| {
+            let mut p = Problem::new();
+            let xs: Vec<Var> = (0..k).map(|_| p.new_var()).collect();
+            for &x in &xs {
+                p.add_bounds(x, 0.0, width);
+            }
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    p.add_abs_ge(xs[i], 0.0, xs[j], d);
+                }
+            }
+            p
+        }).expect("0 separation always feasible");
+        let expected = width / (k as f64 - 1.0);
+        prop_assert!((r.best - expected).abs() < 1e-4,
+            "k={}, width={}: got {} expected {}", k, width, r.best, expected);
+    }
+
+    #[test]
+    fn maximize_monotone_in_width(k in 2usize..5) {
+        let solve_width = |width: f64| {
+            maximize(0.0, 10.0, 1e-6, |d| {
+                let mut p = Problem::new();
+                let xs: Vec<Var> = (0..k).map(|_| p.new_var()).collect();
+                for &x in &xs {
+                    p.add_bounds(x, 0.0, width);
+                }
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        p.add_abs_ge(xs[i], 0.0, xs[j], d);
+                    }
+                }
+                p
+            }).expect("feasible at 0").best
+        };
+        prop_assert!(solve_width(2.0) >= solve_width(1.0) - 1e-6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Bernstein–Vazirani (paper Table II, Bernstein & Vazirani 1997).
+//!
+//! Finds a hidden bit string `s` with a single oracle query. The circuit
+//! uses `n - 1` data qubits and one ancilla (the last qubit):
+//!
+//! 1. `H` on every data qubit; `X` then `H` on the ancilla (prepares `|->`);
+//! 2. the oracle: `CNOT(data_i -> ancilla)` for every `s_i = 1`;
+//! 3. `H` on every data qubit — the data register now reads `s` exactly.
+//!
+//! All oracle `CNOT`s share the ancilla, so BV has essentially no two-qubit
+//! parallelism; in the paper's Fig. 9 it is the benchmark where even naive
+//! strategies do comparatively well.
+
+use fastsc_ir::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds `BV(n)` (`n >= 2`) with a random non-zero hidden string drawn
+/// from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (one data qubit plus the ancilla is the minimum).
+pub fn bv(n: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "BV needs at least 2 qubits, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = n - 1;
+    let mut hidden = vec![false; data];
+    while hidden.iter().all(|&b| !b) {
+        for bit in &mut hidden {
+            *bit = rng.gen::<bool>();
+        }
+    }
+    bv_with_hidden_string(&hidden)
+}
+
+/// Builds Bernstein–Vazirani for an explicit hidden string; the circuit
+/// has `hidden.len() + 1` qubits (ancilla last).
+///
+/// # Panics
+///
+/// Panics if `hidden` is empty.
+pub fn bv_with_hidden_string(hidden: &[bool]) -> Circuit {
+    assert!(!hidden.is_empty(), "hidden string must be non-empty");
+    let data = hidden.len();
+    let ancilla = data;
+    let mut c = Circuit::new(data + 1);
+    for q in 0..data {
+        c.push1(Gate::H, q).expect("in range");
+    }
+    c.push1(Gate::X, ancilla).expect("in range");
+    c.push1(Gate::H, ancilla).expect("in range");
+    for (q, &bit) in hidden.iter().enumerate() {
+        if bit {
+            c.push2(Gate::Cnot, q, ancilla).expect("in range");
+        }
+    }
+    for q in 0..data {
+        c.push1(Gate::H, q).expect("in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_ir::math::{C64, ZERO};
+    use fastsc_ir::unitary::{apply_circuit, probability};
+
+    #[test]
+    fn oracle_size_matches_hidden_weight() {
+        let c = bv_with_hidden_string(&[true, false, true, true]);
+        assert_eq!(c.n_qubits(), 5);
+        assert_eq!(c.two_qubit_count(), 3);
+        assert_eq!(c.gate_counts()["h"], 9); // 2*4 data + 1 ancilla
+    }
+
+    #[test]
+    fn recovers_the_hidden_string_exactly() {
+        // Simulate: after the circuit, measuring the data register yields
+        // the hidden string with probability 1.
+        for hidden in [[true, false, true], [false, false, true], [true, true, true]] {
+            let c = bv_with_hidden_string(&hidden);
+            let n = c.n_qubits();
+            let mut state = vec![ZERO; 1 << n];
+            state[0] = C64::real(1.0);
+            apply_circuit(&mut state, &c);
+            // Qubit 0 is the most significant bit; the ancilla (last
+            // qubit) is in |->, so both its basis values carry 1/2 each.
+            let mut data_index = 0usize;
+            for (i, &bit) in hidden.iter().enumerate() {
+                if bit {
+                    data_index |= 1 << (n - 1 - i);
+                }
+            }
+            let p = probability(&state, data_index) + probability(&state, data_index | 1);
+            assert!((p - 1.0).abs() < 1e-9, "hidden {hidden:?}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn random_hidden_string_is_nonzero() {
+        for seed in 0..20 {
+            let c = bv(6, seed);
+            assert!(c.two_qubit_count() >= 1, "seed {seed} produced the zero string");
+            assert!(c.two_qubit_count() <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn rejects_single_qubit() {
+        let _ = bv(1, 0);
+    }
+}

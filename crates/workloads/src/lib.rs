@@ -1,0 +1,161 @@
+//! NISQ benchmark circuit generators (paper Table II).
+//!
+//! | Benchmark | Description |
+//! |---|---|
+//! | `BV(n)` | Bernstein–Vazirani with a hidden bit string |
+//! | `QAOA(n)` | MAX-CUT QAOA on an Erdős–Rényi `G(n, 0.5)` graph |
+//! | `ISING(n)` | Trotterized linear Ising spin-chain evolution |
+//! | `QGAN(n)` | Variational generator ansatz of a quantum GAN |
+//! | `XEB(n, p)` | Cross-entropy benchmarking, `p` cycles on a `sqrt(n)` mesh |
+//!
+//! All generators are deterministic given their seed, emit program-level
+//! gates (`CNOT`, `Rz`, ...; the compiler lowers them), and index qubits
+//! `0..n` — the compiler's router maps them onto device qubits and inserts
+//! `SWAP`s where program gates touch uncoupled pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use fastsc_workloads::Benchmark;
+//!
+//! let circuit = Benchmark::Xeb(16, 5).build(7);
+//! assert_eq!(circuit.n_qubits(), 16);
+//! assert_eq!(Benchmark::Xeb(16, 5).label(), "xeb(16,5)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bv;
+mod ising;
+mod qaoa;
+mod qgan;
+mod xeb;
+
+pub use bv::{bv, bv_with_hidden_string};
+pub use ising::{ising, ising_with_steps};
+pub use qaoa::{qaoa, qaoa_with_rounds};
+pub use qgan::{qgan, qgan_with_layers};
+pub use xeb::{xeb, EdgePattern};
+
+use fastsc_ir::Circuit;
+use std::fmt;
+
+/// A named benchmark instance (paper Table II), buildable from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Bernstein–Vazirani on `n` qubits (`n - 1` data + 1 ancilla).
+    Bv(usize),
+    /// MAX-CUT QAOA on an Erdős–Rényi graph with `n` vertices.
+    Qaoa(usize),
+    /// Linear Ising-chain simulation of length `n`.
+    Ising(usize),
+    /// QGAN generator ansatz on `n` qubits.
+    Qgan(usize),
+    /// Cross-entropy benchmarking: `n` qubits, `p` cycles.
+    Xeb(usize, usize),
+}
+
+impl Benchmark {
+    /// Builds the circuit; `seed` fixes hidden strings, random graphs and
+    /// random XEB single-qubit layers.
+    pub fn build(self, seed: u64) -> Circuit {
+        match self {
+            Benchmark::Bv(n) => bv(n, seed),
+            Benchmark::Qaoa(n) => qaoa(n, seed),
+            Benchmark::Ising(n) => ising(n),
+            Benchmark::Qgan(n) => qgan(n, seed),
+            Benchmark::Xeb(n, p) => xeb(n, p, seed),
+        }
+    }
+
+    /// Number of program qubits.
+    pub fn n_qubits(self) -> usize {
+        match self {
+            Benchmark::Bv(n)
+            | Benchmark::Qaoa(n)
+            | Benchmark::Ising(n)
+            | Benchmark::Qgan(n)
+            | Benchmark::Xeb(n, _) => n,
+        }
+    }
+
+    /// The Fig. 9 benchmark suite: `bv`, `qaoa`, `ising`, `qgan`, `xeb`
+    /// at the paper's sizes (n = 4, 9, 16, 25; XEB depths 5, 10, 15).
+    pub fn fig9_suite() -> Vec<Benchmark> {
+        let mut suite = vec![
+            Benchmark::Bv(4),
+            Benchmark::Bv(9),
+            Benchmark::Bv(16),
+            Benchmark::Qaoa(4),
+            Benchmark::Qaoa(9),
+            Benchmark::Ising(4),
+            Benchmark::Qgan(4),
+            Benchmark::Qgan(9),
+            Benchmark::Qgan(16),
+            Benchmark::Qgan(25),
+        ];
+        for p in [5, 10, 15] {
+            for n in [4, 9, 16, 25] {
+                suite.push(Benchmark::Xeb(n, p));
+            }
+        }
+        suite
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl Benchmark {
+    /// The paper's axis label, e.g. `"xeb(16,10)"`.
+    pub fn label(self) -> String {
+        match self {
+            Benchmark::Bv(n) => format!("bv({n})"),
+            Benchmark::Qaoa(n) => format!("qaoa({n})"),
+            Benchmark::Ising(n) => format!("ising({n})"),
+            Benchmark::Qgan(n) => format!("qgan({n})"),
+            Benchmark::Xeb(n, p) => format!("xeb({n},{p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(Benchmark::Bv(16).label(), "bv(16)");
+        assert_eq!(Benchmark::Xeb(25, 15).label(), "xeb(25,15)");
+        assert_eq!(Benchmark::Qaoa(9).to_string(), "qaoa(9)");
+    }
+
+    #[test]
+    fn suite_has_expected_size() {
+        let suite = Benchmark::fig9_suite();
+        assert_eq!(suite.len(), 22);
+        for b in &suite {
+            assert!(b.n_qubits() >= 4);
+        }
+    }
+
+    #[test]
+    fn build_produces_right_width() {
+        for b in Benchmark::fig9_suite() {
+            let c = b.build(3);
+            assert_eq!(c.n_qubits(), b.n_qubits(), "{b}");
+            assert!(!c.is_empty(), "{b}");
+        }
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        for b in [Benchmark::Bv(9), Benchmark::Qaoa(6), Benchmark::Xeb(9, 5)] {
+            assert_eq!(b.build(11), b.build(11), "{b}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! QAOA for MAX-CUT on Erdős–Rényi graphs (paper Table II, Farhi et al.).
+//!
+//! One QAOA round applies the cost unitary
+//! `exp(-i gamma/2 sum_(u,v) Z_u Z_v)` — a `CNOT . Rz . CNOT` block per
+//! problem-graph edge — followed by the mixer `Rx(2 beta)` on every qubit.
+//! Problem edges come from `G(n, 0.5)` and are generally *not*
+//! device-adjacent, so QAOA exercises the compiler's router.
+
+use fastsc_graph::topology;
+use fastsc_ir::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed variational angles; specific values do not affect scheduling
+/// structure, only the `Rz`/`Rx` rotation magnitudes.
+const GAMMA: f64 = 0.7;
+const BETA: f64 = 0.35;
+
+/// Builds one round of MAX-CUT QAOA on an Erdős–Rényi `G(n, 0.5)` graph
+/// sampled from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qaoa(n: usize, seed: u64) -> Circuit {
+    qaoa_with_rounds(n, 1, seed)
+}
+
+/// Builds `rounds` QAOA rounds.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds == 0`.
+pub fn qaoa_with_rounds(n: usize, rounds: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QAOA needs at least 2 qubits, got {n}");
+    assert!(rounds > 0, "QAOA needs at least one round");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let problem = topology::erdos_renyi(n, 0.5, &mut rng);
+
+    let mut c = Circuit::new(n);
+    // |+>^n initial state.
+    for q in 0..n {
+        c.push1(Gate::H, q).expect("in range");
+    }
+    for round in 0..rounds {
+        let round_scale = (round + 1) as f64 / rounds as f64;
+        for (_, (u, v)) in problem.edges() {
+            c.push2(Gate::Cnot, u, v).expect("in range");
+            c.push1(Gate::Rz(2.0 * GAMMA * round_scale), v).expect("in range");
+            c.push2(Gate::Cnot, u, v).expect("in range");
+        }
+        for q in 0..n {
+            c.push1(Gate::Rx(2.0 * BETA * (1.0 - round_scale * 0.5)), q)
+                .expect("in range");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts_match_problem_graph() {
+        let n = 8;
+        let seed = 5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = topology::erdos_renyi(n, 0.5, &mut rng).edge_count();
+        let c = qaoa(n, seed);
+        assert_eq!(c.two_qubit_count(), 2 * edges);
+        assert_eq!(c.gate_counts()["rz"], edges);
+        assert_eq!(c.gate_counts()["rx"], n);
+        assert_eq!(c.gate_counts()["h"], n);
+    }
+
+    #[test]
+    fn rounds_scale_gate_count() {
+        let one = qaoa_with_rounds(6, 1, 9);
+        let three = qaoa_with_rounds(6, 3, 9);
+        assert_eq!(three.two_qubit_count(), 3 * one.two_qubit_count());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(qaoa(7, 2), qaoa(7, 2));
+        // Different seeds give different problem graphs (w.h.p.).
+        assert_ne!(qaoa(7, 2).two_qubit_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn rejects_zero_rounds() {
+        let _ = qaoa_with_rounds(4, 0, 0);
+    }
+}

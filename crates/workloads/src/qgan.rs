@@ -1,0 +1,88 @@
+//! Quantum GAN generator ansatz (paper Table II, after Lloyd & Weedbrook
+//! 2018).
+//!
+//! The generator of a quantum GAN over training data of dimension `2^n` is
+//! a hardware-efficient variational circuit: alternating layers of
+//! parameterized single-qubit rotations (`Ry`, `Rz` on every qubit) and a
+//! nearest-neighbor `CNOT` entangling ladder. Ladder `CNOT`s on
+//! `(0,1), (1,2), ...` chain through shared qubits, so QGAN is mostly
+//! sequential in its two-qubit layer but wide in its rotation layers.
+
+use fastsc_ir::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of generator layers.
+const LAYERS: usize = 2;
+
+/// Builds `QGAN(n)` with the default layer count and angles drawn from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qgan(n: usize, seed: u64) -> Circuit {
+    qgan_with_layers(n, LAYERS, seed)
+}
+
+/// Builds the generator ansatz with an explicit layer count.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `layers == 0`.
+pub fn qgan_with_layers(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QGAN needs at least 2 qubits, got {n}");
+    assert!(layers > 0, "QGAN needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut angle = move || rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push1(Gate::Ry(angle()), q).expect("in range");
+            c.push1(Gate::Rz(angle()), q).expect("in range");
+        }
+        for q in 0..n - 1 {
+            c.push2(Gate::Cnot, q, q + 1).expect("in range");
+        }
+    }
+    // Final rotation layer (read-out basis alignment).
+    for q in 0..n {
+        c.push1(Gate::Ry(angle()), q).expect("in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_scale_with_layers() {
+        let n = 6;
+        let c = qgan_with_layers(n, 3, 1);
+        assert_eq!(c.two_qubit_count(), 3 * (n - 1));
+        assert_eq!(c.gate_counts()["ry"], 3 * n + n);
+        assert_eq!(c.gate_counts()["rz"], 3 * n);
+    }
+
+    #[test]
+    fn default_depth_reasonable_for_25_qubits() {
+        // qgan(25) appears in Fig. 9 with workable success rates: its
+        // depth must stay well below the deep XEB instances.
+        let c = qgan(25, 0);
+        assert!(c.depth() < 60, "depth = {}", c.depth());
+    }
+
+    #[test]
+    fn deterministic_by_seed_and_distinct_across_seeds() {
+        assert_eq!(qgan(5, 7), qgan(5, 7));
+        assert_ne!(qgan(5, 7), qgan(5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_zero_layers() {
+        let _ = qgan_with_layers(4, 0, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Cross-entropy benchmarking circuits (paper Table II, after Arute et al.
+//! 2019 — the Sycamore quantum-supremacy experiment).
+//!
+//! `XEB(n, p)` runs `p` cycles on a `sqrt(n) x sqrt(n)` mesh; each cycle
+//! applies a random single-qubit gate to every qubit followed by `iSWAP`s
+//! on one of four disjoint edge patterns (A/B/C/D), rotating through the
+//! patterns across cycles. Within a pattern the active couplings sit at
+//! distance 1 from each other, making XEB the maximally-parallel,
+//! maximally-crosstalk-prone workload of the suite — the paper uses it to
+//! benchmark simultaneous two-qubit gate fidelity.
+
+use fastsc_graph::topology::grid_index;
+use fastsc_ir::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four disjoint mesh edge patterns cycled by XEB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgePattern {
+    /// Horizontal edges starting at even columns.
+    A,
+    /// Horizontal edges starting at odd columns.
+    B,
+    /// Vertical edges starting at even rows.
+    C,
+    /// Vertical edges starting at odd rows.
+    D,
+}
+
+impl EdgePattern {
+    /// The rotation order used across cycles.
+    pub const CYCLE: [EdgePattern; 4] =
+        [EdgePattern::A, EdgePattern::C, EdgePattern::B, EdgePattern::D];
+
+    /// The qubit pairs active under this pattern on a `side x side` mesh.
+    pub fn edges(self, side: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                match self {
+                    EdgePattern::A | EdgePattern::B => {
+                        let parity = if self == EdgePattern::A { 0 } else { 1 };
+                        if c % 2 == parity && c + 1 < side {
+                            pairs.push((grid_index(r, c, side), grid_index(r, c + 1, side)));
+                        }
+                    }
+                    EdgePattern::C | EdgePattern::D => {
+                        let parity = if self == EdgePattern::C { 0 } else { 1 };
+                        if r % 2 == parity && r + 1 < side {
+                            pairs.push((grid_index(r, c, side), grid_index(r + 1, c, side)));
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Builds `XEB(n, p)`: `p` cycles on a `sqrt(n)`-sided mesh, with random
+/// single-qubit layers drawn from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a perfect square >= 4 or `p == 0`.
+pub fn xeb(n: usize, p: usize, seed: u64) -> Circuit {
+    let side = (n as f64).sqrt().round() as usize;
+    assert_eq!(side * side, n, "XEB needs a square qubit count, got {n}");
+    assert!(n >= 4, "XEB needs at least a 2x2 mesh");
+    assert!(p > 0, "XEB needs at least one cycle");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for cycle in 0..p {
+        // Random single-qubit layer: sqrt(X), sqrt(Y) or sqrt(W)-like.
+        for q in 0..n {
+            let g = match rng.gen_range(0..3) {
+                0 => Gate::Rx(std::f64::consts::FRAC_PI_2),
+                1 => Gate::Ry(std::f64::consts::FRAC_PI_2),
+                _ => Gate::Rz(std::f64::consts::FRAC_PI_2),
+            };
+            c.push1(g, q).expect("in range");
+        }
+        // Entangling layer on the rotating pattern.
+        let pattern = EdgePattern::CYCLE[cycle % EdgePattern::CYCLE.len()];
+        for (a, b) in pattern.edges(side) {
+            c.push2(Gate::ISwap, a, b).expect("in range");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_graph::topology::{self, grid_coord};
+
+    #[test]
+    fn patterns_are_disjoint_and_cover_mesh() {
+        let side = 4;
+        let mesh = topology::grid(side, side);
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for p in EdgePattern::CYCLE {
+            let edges = p.edges(side);
+            // Disjoint qubits within a pattern.
+            let mut used = vec![false; side * side];
+            for &(a, b) in &edges {
+                assert!(!used[a] && !used[b], "{p:?} reuses a qubit");
+                used[a] = true;
+                used[b] = true;
+                assert!(mesh.has_edge(a, b), "{p:?} uses a non-edge");
+            }
+            all.extend(edges);
+        }
+        // Union covers every mesh edge exactly once.
+        all.sort_unstable();
+        let mut expected: Vec<(usize, usize)> = mesh.edges().map(|(_, e)| e).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn pattern_a_has_adjacent_parallel_gates_on_4x4() {
+        // (r,0)-(r,1) and (r,2)-(r,3) are distance-1 couplings: the
+        // crosstalk stress case.
+        let edges = EdgePattern::A.edges(4);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 3)));
+        assert_eq!(edges.len(), 8);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let c = xeb(9, 5, 3);
+        assert_eq!(c.n_qubits(), 9);
+        // 5 cycles x 9 single-qubit gates, plus pattern iSWAPs.
+        assert_eq!(c.single_qubit_count(), 45);
+        assert!(c.two_qubit_count() > 0);
+        assert!(c.gate_counts().contains_key("iswap"));
+    }
+
+    #[test]
+    fn deeper_xeb_has_more_cycles() {
+        let shallow = xeb(16, 5, 1);
+        let deep = xeb(16, 15, 1);
+        assert!(deep.depth() > 2 * shallow.depth());
+        assert!(deep.two_qubit_count() > 2 * shallow.two_qubit_count());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(xeb(16, 10, 9), xeb(16, 10, 9));
+        assert_ne!(xeb(16, 10, 9), xeb(16, 10, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "square qubit count")]
+    fn rejects_non_square() {
+        let _ = xeb(12, 5, 0);
+    }
+
+    #[test]
+    fn pattern_coords_roundtrip() {
+        // Sanity: grid_coord inverse of grid_index for the sizes we use.
+        for side in [2, 3, 4, 5] {
+            for u in 0..side * side {
+                let (r, c) = grid_coord(u, side);
+                assert_eq!(grid_index(r, c, side), u);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the benchmark generators.
+
+use fastsc_ir::layering;
+use fastsc_workloads::{
+    bv_with_hidden_string, ising_with_steps, qaoa_with_rounds, qgan_with_layers, xeb,
+    Benchmark,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bv_counts_match_hidden_weight(
+        hidden in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let c = bv_with_hidden_string(&hidden);
+        prop_assert_eq!(c.n_qubits(), hidden.len() + 1);
+        let weight = hidden.iter().filter(|&&b| b).count();
+        prop_assert_eq!(c.two_qubit_count(), weight);
+    }
+
+    #[test]
+    fn qaoa_structure_scales(n in 2usize..12, rounds in 1usize..4, seed in 0u64..100) {
+        let c = qaoa_with_rounds(n, rounds, seed);
+        prop_assert_eq!(c.n_qubits(), n);
+        // Per round: 2 CNOTs per problem edge; edges <= n(n-1)/2.
+        prop_assert!(c.two_qubit_count() <= rounds * n * (n - 1));
+        prop_assert_eq!(c.two_qubit_count() % (2 * rounds), 0);
+        // Mixer: one Rx per qubit per round.
+        prop_assert_eq!(c.gate_counts().get("rx").copied().unwrap_or(0), n * rounds);
+    }
+
+    #[test]
+    fn ising_depth_independent_of_width(n in 4usize..16, steps in 1usize..5) {
+        let c = ising_with_steps(n, steps);
+        let per_step = layering::asap_layers(&ising_with_steps(n, 1)).len();
+        let total = layering::asap_layers(&c).len();
+        // Depth grows linearly with steps, not with n.
+        prop_assert!(total <= per_step * steps + steps);
+        prop_assert_eq!(c.n_qubits(), n);
+    }
+
+    #[test]
+    fn qgan_counts(n in 2usize..14, layers in 1usize..5, seed in 0u64..50) {
+        let c = qgan_with_layers(n, layers, seed);
+        prop_assert_eq!(c.two_qubit_count(), layers * (n - 1));
+        prop_assert_eq!(c.gate_counts()["rz"], layers * n);
+    }
+
+    #[test]
+    fn xeb_every_cycle_covers_all_qubits(side in 2usize..5, p in 1usize..6, seed in 0u64..50) {
+        let n = side * side;
+        let c = xeb(n, p, seed);
+        prop_assert_eq!(c.single_qubit_count(), n * p, "one 1q gate per qubit per cycle");
+        // Every two-qubit gate is a mesh edge.
+        let mesh = fastsc_graph::topology::grid(side, side);
+        for inst in c.instructions() {
+            if let Some((a, b)) = inst.qubit_pair() {
+                prop_assert!(mesh.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn all_suite_members_deterministic(seed in 0u64..30) {
+        for b in [Benchmark::Bv(9), Benchmark::Qaoa(4), Benchmark::Ising(4),
+                  Benchmark::Qgan(9), Benchmark::Xeb(9, 5)] {
+            prop_assert_eq!(b.build(seed), b.build(seed));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error-budget diagnostics: *why* does a schedule underperform?
+//!
+//! Compiles the same XEB workload under crosstalk-unaware Baseline N and
+//! under ColorDynamic, then attributes every error to its channel: the
+//! naive schedule's budget is dominated by resonant exchange collisions
+//! between simultaneous gates; ColorDynamic's residual budget is sideband
+//! leakage at SMT-separated frequencies, orders of magnitude smaller.
+//!
+//! ```bash
+//! cargo run --release --example error_budget
+//! ```
+
+use fastsc::compiler::{Compiler, CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::noise::{error_budget, estimate, NoiseConfig};
+use fastsc::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::grid(4, 4, 2020);
+    let compiler = Compiler::new(device, CompilerConfig::default());
+    let program = Benchmark::Xeb(16, 5).build(7);
+
+    for strategy in [Strategy::BaselineN, Strategy::ColorDynamic] {
+        let compiled = compiler.compile(&program, strategy)?;
+        let report =
+            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
+        let budget = error_budget(compiler.device(), &compiled.schedule);
+
+        println!("== {} ==", strategy.label());
+        println!(
+            "P_success = {:.4}  (crosstalk {:.4}, decoherence {:.4}, gates {:.4})",
+            report.p_success,
+            report.crosstalk_error(),
+            report.decoherence_error(),
+            budget.gate_error
+        );
+        println!("top crosstalk channels:");
+        for c in budget.top_crosstalk(5) {
+            println!(
+                "  qubits {:?}  cycle {:<3}  {:?}  detuning {:>7.4} GHz  error {:.3e}",
+                c.pair, c.cycle, c.kind, c.detuning, c.error
+            );
+        }
+        if let Some((q, e)) = budget.worst_qubit() {
+            println!("worst decoherence: qubit {q} at {e:.5}");
+        }
+        println!();
+    }
+    println!("Baseline N's budget is saturated resonances (detuning ~ 0) between");
+    println!("parallel gates; ColorDynamic's residual channels sit hundreds of MHz");
+    println!("off resonance, each contributing <1e-3.");
+    Ok(())
+}

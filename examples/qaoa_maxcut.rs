@@ -1,0 +1,54 @@
+//! QAOA MAX-CUT on an Erdős–Rényi problem graph: routing, color budgets,
+//! and the parallelism/fidelity trade-off on a 3x3 device.
+//!
+//! ```bash
+//! cargo run --release --example qaoa_maxcut
+//! ```
+
+use fastsc::compiler::{Compiler, CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::noise::{estimate, NoiseConfig};
+use fastsc::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::grid(3, 3, 11);
+    let program = workloads::qaoa(9, 11);
+    println!(
+        "QAOA MAX-CUT on G(9, 0.5): {} program gates ({} two-qubit)",
+        program.len(),
+        program.two_qubit_count()
+    );
+
+    // Routing: the random problem graph is denser than the mesh, so the
+    // compiler inserts SWAP chains.
+    let compiler = Compiler::new(device.clone(), CompilerConfig::default());
+    let compiled = compiler.compile(&program, Strategy::ColorDynamic)?;
+    println!(
+        "router inserted {} SWAPs; lowered to {} native gates",
+        compiled.stats.swaps_inserted, compiled.stats.lowered_gate_count
+    );
+    println!();
+
+    // Sweep the interaction-frequency color budget (paper Fig. 11): more
+    // colors = more parallelism but tighter spectral packing.
+    println!("{:<12} {:>10} {:>8} {:>12} {:>12}",
+        "max colors", "P_success", "depth", "xtalk err", "decoh err");
+    let noise_config = NoiseConfig::default();
+    for budget in 1..=4 {
+        let c = Compiler::new(device.clone(), CompilerConfig::with_max_colors(budget));
+        let compiled = c.compile(&program, Strategy::ColorDynamic)?;
+        let report = estimate(c.device(), &compiled.schedule, &noise_config);
+        println!(
+            "{:<12} {:>10.4} {:>8} {:>12.5} {:>12.5}",
+            budget,
+            report.p_success,
+            report.depth,
+            report.crosstalk_error(),
+            report.decoherence_error(),
+        );
+    }
+    println!();
+    println!("The sweet spot sits at 1-2 colors for most NISQ workloads");
+    println!("(paper Fig. 11): two frequency sweet spots per qubit suffice.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compile one circuit with every strategy and compare
+//! worst-case success rates.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fastsc::compiler::{Compiler, CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::noise::{estimate, NoiseConfig};
+use fastsc::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4x4 mesh of frequency-tunable transmons with fixed couplers;
+    // maximum frequencies are sampled from N(7 GHz, 0.1 GHz).
+    let device = Device::grid(4, 4, 2020);
+    let compiler = Compiler::new(device, CompilerConfig::default());
+
+    // A 10-cycle cross-entropy-benchmarking circuit: the most parallel,
+    // most crosstalk-prone workload of the paper's suite.
+    let benchmark = Benchmark::Xeb(16, 10);
+    let program = benchmark.build(7);
+    println!("benchmark {benchmark}: {} gates before lowering", program.len());
+    println!();
+    println!("{:<14} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "strategy", "P_success", "xtalk err", "decoh err", "duration", "depth");
+
+    let noise_config = NoiseConfig::default();
+    for strategy in Strategy::all() {
+        // Baseline G needs tunable-coupler hardware; everyone else runs on
+        // the fixed-coupler chip.
+        let target = if strategy == Strategy::BaselineG {
+            compiler.device().with_coupler(fastsc::device::CouplerKind::tunable(0.0))
+        } else {
+            compiler.device().clone()
+        };
+        let c = Compiler::new(target, *compiler.config());
+        let compiled = c.compile(&program, strategy)?;
+        let report = estimate(c.device(), &compiled.schedule, &noise_config);
+        println!(
+            "{:<14} {:>10.4} {:>12.4} {:>12.4} {:>9.0}ns {:>10}",
+            strategy.label(),
+            report.p_success,
+            report.crosstalk_error(),
+            report.decoherence_error(),
+            report.duration_ns,
+            report.depth,
+        );
+    }
+    println!();
+    println!("ColorDynamic matches the tunable-coupler Baseline G on simpler");
+    println!("fixed-coupler hardware, and decisively beats serialization (U).");
+    Ok(())
+}

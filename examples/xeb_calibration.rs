@@ -1,0 +1,60 @@
+//! XEB as a crosstalk probe: validate the analytic success-rate heuristic
+//! against Monte-Carlo noisy simulation, then inspect a compiled cycle's
+//! frequency assignment (the paper's Fig. 14 view).
+//!
+//! ```bash
+//! cargo run --release --example xeb_calibration
+//! ```
+
+use fastsc::compiler::{Compiler, CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::noise::{estimate, NoiseConfig};
+use fastsc::sim::simulate_success;
+use fastsc::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small enough to state-vector simulate, parallel enough to crosstalk.
+    let device = Device::grid(3, 3, 5);
+    let compiler = Compiler::new(device, CompilerConfig::default());
+    let program = Benchmark::Xeb(9, 5).build(5);
+
+    println!("validating the Eq. 4 heuristic against 100-trajectory simulation");
+    println!();
+    println!("{:<14} {:>12} {:>12} {:>10}", "strategy", "heuristic", "simulated", "+/-");
+    for strategy in [Strategy::ColorDynamic, Strategy::BaselineS, Strategy::BaselineU] {
+        let compiled = compiler.compile(&program, strategy)?;
+        let heuristic =
+            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
+        let sim = simulate_success(compiler.device(), &compiled.schedule, 100, 99);
+        println!(
+            "{:<14} {:>12.4} {:>12.4} {:>10.4}",
+            strategy.label(),
+            heuristic.p_success,
+            sim.success,
+            sim.std_error,
+        );
+    }
+    println!();
+
+    // Fig. 14-style dump: the frequency map of the busiest cycle.
+    let compiled = compiler.compile(&program, Strategy::ColorDynamic)?;
+    let busiest = compiled
+        .schedule
+        .cycles()
+        .iter()
+        .max_by_key(|c| c.gates.iter().filter(|g| g.instruction.gate.is_two_qubit()).count())
+        .expect("non-empty schedule");
+    println!("busiest cycle frequency assignment (GHz), 3x3 mesh:");
+    for r in 0..3 {
+        let row: Vec<String> =
+            (0..3).map(|c| format!("{:5.3}", busiest.frequencies[r * 3 + c])).collect();
+        println!("  {}", row.join("  "));
+    }
+    println!("two-qubit gates this cycle:");
+    for g in &busiest.gates {
+        if let Some(f) = g.interaction_freq {
+            println!("  {} @ {:.3} GHz", g.instruction, f);
+        }
+    }
+    Ok(())
+}
