@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the rayon-parallel [`fastsc_core::batch`]
+//! front end: a 32-job mixed workload (XEB / QAOA / BV across strategies)
+//! compiled sequentially vs. in parallel on all available cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsc_core::batch::{BatchCompiler, CompileJob};
+use fastsc_core::{CompilerConfig, Strategy};
+use fastsc_device::Device;
+use fastsc_workloads::Benchmark;
+
+/// The acceptance-criteria batch: 32 jobs mixing XEB, QAOA, and BV
+/// programs across all five strategies.
+fn mixed_jobs() -> Vec<CompileJob> {
+    let strategies = Strategy::all();
+    (0..32)
+        .map(|i| {
+            let benchmark = match i % 3 {
+                0 => Benchmark::Xeb(9, 4),
+                1 => Benchmark::Qaoa(9),
+                _ => Benchmark::Bv(9),
+            };
+            let program = benchmark.build(i as u64);
+            CompileJob::new(program, strategies[i % strategies.len()])
+        })
+        .collect()
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_compile_32_jobs");
+    group.sample_size(10);
+    let device = Device::grid(3, 3, 7);
+    let jobs = mixed_jobs();
+
+    let sequential =
+        BatchCompiler::new(device.clone(), CompilerConfig::default()).num_threads(1);
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &jobs, |b, jobs| {
+        b.iter(|| {
+            let results = sequential.compile_batch(jobs.to_vec());
+            results.iter().filter(|r| r.is_ok()).count()
+        })
+    });
+
+    let threads = rayon::current_num_threads();
+    let parallel = BatchCompiler::new(device, CompilerConfig::default());
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("parallel_{threads}_threads")),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| {
+                let results = parallel.compile_batch(jobs.to_vec());
+                results.iter().filter(|r| r.is_ok()).count()
+            })
+        },
+    );
+    group.finish();
+
+    println!(
+        "note: parallel ran on {threads} worker thread(s); \
+         speedup over sequential appears with >= 4 cores"
+    );
+}
+
+criterion_group!(benches, bench_batch_vs_sequential);
+criterion_main!(benches);

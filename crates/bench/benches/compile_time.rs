@@ -42,7 +42,9 @@ fn bench_strategies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label().replace(' ', "_")),
             &strategy,
-            |b, &s| b.iter(|| compiler.compile(&program, s).expect("compiles").schedule.depth()),
+            |b, &s| {
+                b.iter(|| compiler.compile(&program, s).expect("compiles").schedule.depth())
+            },
         );
     }
     group.finish();
@@ -52,16 +54,12 @@ fn bench_crosstalk_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("crosstalk_graph_coloring");
     for side in [4usize, 6, 9] {
         let mesh = topology::grid(side, side);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &mesh,
-            |b, mesh| {
-                b.iter(|| {
-                    let x = CrosstalkGraph::build(mesh, 1);
-                    coloring::color_count(&coloring::welsh_powell(x.graph()))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &mesh, |b, mesh| {
+            b.iter(|| {
+                let x = CrosstalkGraph::build(mesh, 1);
+                coloring::color_count(&coloring::welsh_powell(x.graph()))
+            })
+        });
     }
     group.finish();
 }

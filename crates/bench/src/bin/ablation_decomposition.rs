@@ -18,12 +18,8 @@ use fastsc_workloads::Benchmark;
 fn main() {
     // bv(16) is SWAP-heavy after routing; ising(4)/qaoa(9) are CNOT-heavy;
     // xeb uses native iSWAPs and isolates the 1q/frequency path.
-    let benchmarks = [
-        Benchmark::Bv(16),
-        Benchmark::Qaoa(9),
-        Benchmark::Ising(4),
-        Benchmark::Xeb(16, 10),
-    ];
+    let benchmarks =
+        [Benchmark::Bv(16), Benchmark::Qaoa(9), Benchmark::Ising(4), Benchmark::Xeb(16, 10)];
     let lowerings = [
         ("cz-only", Lowering::CzOnly),
         ("iswap-only", Lowering::ISwapOnly),
@@ -53,11 +49,11 @@ fn main() {
         let mut best: Option<(&str, f64)> = None;
         for (name, lowering) in lowerings {
             let device = device_for(b.n_qubits(), SEED);
-            let config = CompilerConfig { decomposition: lowering, ..CompilerConfig::default() };
+            let config =
+                CompilerConfig { decomposition: lowering, ..CompilerConfig::default() };
             let compiler = Compiler::new(device, config);
-            let compiled = compiler
-                .compile(&b.build(SEED), Strategy::ColorDynamic)
-                .expect("compiles");
+            let compiled =
+                compiler.compile(&b.build(SEED), Strategy::ColorDynamic).expect("compiles");
             let report = estimate(compiler.device(), &compiled.schedule, &noise);
             if best.is_none() || report.p_success > best.expect("set").1 {
                 best = Some((name, report.p_success));

@@ -20,11 +20,9 @@ use fastsc_noise::{estimate, NoiseConfig};
 use fastsc_workloads::Benchmark;
 
 fn main() {
-    let benchmarks =
-        [Benchmark::Xeb(16, 5), Benchmark::Xeb(16, 10), Benchmark::Qgan(16)];
+    let benchmarks = [Benchmark::Xeb(16, 5), Benchmark::Xeb(16, 10), Benchmark::Qgan(16)];
     // A device with a real next-neighbor residual channel.
-    let mut params = DeviceParams::default();
-    params.distance2_coupling_factor = 0.05;
+    let params = DeviceParams { distance2_coupling_factor: 0.05, ..Default::default() };
     let noise = NoiseConfig { include_distance2: true, ..NoiseConfig::default() };
     let widths = [12usize, 6, 10, 8, 10, 10];
 
@@ -50,12 +48,10 @@ fn main() {
             let mut builder = DeviceBuilder::new(topology::grid(side, side));
             builder.seed(SEED).params(params);
             let device = builder.build();
-            let config =
-                CompilerConfig { crosstalk_distance: d, ..CompilerConfig::default() };
+            let config = CompilerConfig { crosstalk_distance: d, ..CompilerConfig::default() };
             let compiler = Compiler::new(device, config);
-            let compiled = compiler
-                .compile(&b.build(SEED), Strategy::ColorDynamic)
-                .expect("compiles");
+            let compiled =
+                compiler.compile(&b.build(SEED), Strategy::ColorDynamic).expect("compiles");
             let report = estimate(compiler.device(), &compiled.schedule, &noise);
             println!(
                 "{}",

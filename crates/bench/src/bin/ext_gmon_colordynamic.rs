@@ -20,8 +20,8 @@ use fastsc_workloads::Benchmark;
 fn main() {
     let benchmarks = [Benchmark::Xeb(16, 10), Benchmark::Xeb(16, 15)];
     let residuals = [0.0, 0.2, 0.4, 0.6, 0.8];
-    let mut params = DeviceParams::default();
-    params.distance2_coupling_factor = 0.1; // through-coupler leakage live
+    // Through-coupler leakage live.
+    let params = DeviceParams { distance2_coupling_factor: 0.1, ..Default::default() };
     let noise = NoiseConfig { include_distance2: true, ..NoiseConfig::default() };
     let widths = [12usize, 8, 12, 16, 10];
 
@@ -49,9 +49,7 @@ fn main() {
             let compiler = Compiler::new(device, CompilerConfig::default());
             let program = b.build(SEED);
             let g = compiler.compile(&program, Strategy::BaselineG).expect("compiles");
-            let cd = compiler
-                .compile(&program, Strategy::ColorDynamic)
-                .expect("compiles");
+            let cd = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
             let pg = estimate(compiler.device(), &g.schedule, &noise).p_success;
             let pcd = estimate(compiler.device(), &cd.schedule, &noise).p_success;
             println!(

@@ -26,10 +26,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        row(
-            &["benchmark".into(), "1".into(), "2".into(), "3".into(), "4".into()],
-            &widths
-        )
+        row(&["benchmark".into(), "1".into(), "2".into(), "3".into(), "4".into()], &widths)
     );
     for b in benchmarks {
         let mut cells = vec![b.label()];

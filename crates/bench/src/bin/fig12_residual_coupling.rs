@@ -27,8 +27,7 @@ fn main() {
     let config = CompilerConfig::default();
     // Through-coupler next-neighbor virtual coupling at ~10% of the direct
     // coupling (before coupler attenuation).
-    let mut params = DeviceParams::default();
-    params.distance2_coupling_factor = 0.1;
+    let params = DeviceParams { distance2_coupling_factor: 0.1, ..Default::default() };
     let noise = NoiseConfig { include_distance2: true, ..NoiseConfig::default() };
     let widths = [12usize, 10, 10, 10, 10, 10, 10];
 
@@ -47,9 +46,8 @@ fn main() {
             builder.seed(SEED).params(params).coupler(CouplerKind::tunable(r));
             let device = builder.build();
             let compiler = Compiler::new(device, config);
-            let compiled = compiler
-                .compile(&b.build(SEED), Strategy::BaselineG)
-                .expect("compiles");
+            let compiled =
+                compiler.compile(&b.build(SEED), Strategy::BaselineG).expect("compiles");
             let p = estimate(compiler.device(), &compiled.schedule, &noise).p_success;
             series.push(p);
             cells.push(fmt_p(p));

@@ -48,9 +48,7 @@ fn main() {
             let device = Device::from_topology(t, n, SEED);
             let compiler = Compiler::new(device, config);
             let program = b.build(SEED);
-            let cd = compiler
-                .compile(&program, Strategy::ColorDynamic)
-                .expect("compiles");
+            let cd = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
             let u = compiler.compile(&program, Strategy::BaselineU).expect("compiles");
             let p_cd = estimate(compiler.device(), &cd.schedule, &noise).p_success;
             let p_u = estimate(compiler.device(), &u.schedule, &noise).p_success;
@@ -70,10 +68,7 @@ fn main() {
                 )
             );
         }
-        println!(
-            "geomean CD/U across topologies: {:.2}x",
-            geomean(&ratios, 1e-6)
-        );
+        println!("geomean CD/U across topologies: {:.2}x", geomean(&ratios, 1e-6));
     }
     println!();
     println!("Paper: 3.97x geomean improvement across all benchmarks/topologies;");

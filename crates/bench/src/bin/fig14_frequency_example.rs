@@ -29,8 +29,8 @@ fn main() {
     println!();
 
     // Idle frequencies: checkerboard across the parking band.
-    let parking = frequency::parking_assignment(&device, config.smt_tolerance)
-        .expect("bipartite mesh");
+    let parking =
+        frequency::parking_assignment(&device, config.smt_tolerance).expect("bipartite mesh");
     print_grid("idle (parking) frequencies — checkerboard of low/high values", &parking, side);
     println!();
 
@@ -42,9 +42,7 @@ fn main() {
         .schedule
         .cycles()
         .iter()
-        .max_by_key(|c| {
-            c.gates.iter().filter(|g| g.instruction.gate.is_two_qubit()).count()
-        })
+        .max_by_key(|c| c.gates.iter().filter(|g| g.instruction.gate.is_two_qubit()).count())
         .expect("non-empty schedule");
     print_grid(
         "frequency map during the busiest two-qubit cycle (idle qubits parked)",

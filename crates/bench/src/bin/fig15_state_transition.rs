@@ -17,15 +17,22 @@ fn shade(p: f64) -> char {
 
 fn heatmap(title: &str, from: (usize, usize), to: (usize, usize), omega_b: f64, g: f64) {
     println!("{title}");
-    println!("  (rows: hold time 0..120 ns; cols: omega_A {:.2}..{:.2} GHz)", omega_b - 0.35, omega_b + 0.35);
+    println!(
+        "  (rows: hold time 0..120 ns; cols: omega_A {:.2}..{:.2} GHz)",
+        omega_b - 0.35,
+        omega_b + 0.35
+    );
     let times: Vec<f64> = (0..=12).map(|i| i as f64 * 10.0).collect();
     let omegas: Vec<f64> = (0..=34).map(|i| omega_b - 0.35 + i as f64 * 0.02).collect();
     for &t in times.iter().rev() {
         let mut line = String::new();
         for &omega_a in &omegas {
             let sys = TwoTransmon::new(omega_a, omega_b, g);
-            let p = sys
-                .transition_probability(basis_index(from.0, from.1), basis_index(to.0, to.1), t);
+            let p = sys.transition_probability(
+                basis_index(from.0, from.1),
+                basis_index(to.0, to.1),
+                t,
+            );
             line.push(shade(p));
         }
         println!("{t:>5.0}ns |{line}|");

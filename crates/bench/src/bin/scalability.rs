@@ -23,9 +23,7 @@ fn main() {
         let device = Device::grid(side, side, SEED);
         let compiler = Compiler::new(device, CompilerConfig::default());
         let program = Benchmark::Xeb(n, 5).build(SEED);
-        let compiled = compiler
-            .compile(&program, Strategy::ColorDynamic)
-            .expect("compiles");
+        let compiled = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
         println!(
             "{:>8} {:>8} {:>12.1} {:>10} {:>10} {:>12}",
             n,

@@ -56,8 +56,7 @@ fn main() {
             let compiled = compiler.compile(&b.build(SEED), s).expect("compiles");
             let heuristic =
                 estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
-            let sim =
-                simulate_success(compiler.device(), &compiled.schedule, trajectories, 99);
+            let sim = simulate_success(compiler.device(), &compiled.schedule, trajectories, 99);
             pairs.push((heuristic.p_success, sim.success));
             h_scores.push(heuristic.p_success);
             s_scores.push(sim.success);
@@ -87,10 +86,8 @@ fn main() {
     let logs: Vec<(f64, f64)> =
         pairs.iter().map(|&(h, s)| (h.max(1e-6).ln(), s.max(1e-6).ln())).collect();
     let n = logs.len() as f64;
-    let (mh, ms) = (
-        logs.iter().map(|p| p.0).sum::<f64>() / n,
-        logs.iter().map(|p| p.1).sum::<f64>() / n,
-    );
+    let (mh, ms) =
+        (logs.iter().map(|p| p.0).sum::<f64>() / n, logs.iter().map(|p| p.1).sum::<f64>() / n);
     let cov: f64 = logs.iter().map(|p| (p.0 - mh) * (p.1 - ms)).sum();
     let vh: f64 = logs.iter().map(|p| (p.0 - mh).powi(2)).sum();
     let vs: f64 = logs.iter().map(|p| (p.1 - ms).powi(2)).sum();

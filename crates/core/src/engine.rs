@@ -169,9 +169,7 @@ impl Compiler {
                         .collect(),
                 )
             }
-            Strategy::BaselineU => {
-                Some(vec![band.center(); xtalk.coupling_count()])
-            }
+            Strategy::BaselineU => Some(vec![band.center(); xtalk.coupling_count()]),
             Strategy::BaselineS | Strategy::BaselineG => {
                 let colors = coloring::welsh_powell(xtalk.graph());
                 smt_calls += 1;
@@ -204,10 +202,8 @@ impl Compiler {
         let dag = Dag::build(&lowered);
         let crit = criticality(&lowered);
         let n_inst = lowered.len();
-        let mut remaining_preds: Vec<usize> =
-            (0..n_inst).map(|i| dag.preds(i).len()).collect();
-        let mut ready: Vec<usize> =
-            (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
+        let mut remaining_preds: Vec<usize> = (0..n_inst).map(|i| dag.preds(i).len()).collect();
+        let mut ready: Vec<usize> = (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
         let mut scheduled = vec![false; n_inst];
         let mut n_scheduled = 0usize;
 
@@ -255,8 +251,7 @@ impl Compiler {
                         // gates tolerate up to `conflict_threshold`
                         // crowded neighbors before deferring.
                         Strategy::ColorDynamic | Strategy::BaselineS => {
-                            let cycle_crit =
-                                admitted.first().map_or(crit[i], |&j| crit[j]);
+                            let cycle_crit = admitted.first().map_or(crit[i], |&j| crit[j]);
                             (conflicts >= 1 && crit[i] < cycle_crit)
                                 || conflicts >= self.config.conflict_threshold
                         }
@@ -276,8 +271,7 @@ impl Compiler {
                         continue;
                     }
                     if strategy == Strategy::BaselineG && tile_color.is_none() {
-                        tile_color =
-                            Some(static_colors.as_ref().expect("gmon is static")[cpl]);
+                        tile_color = Some(static_colors.as_ref().expect("gmon is static")[cpl]);
                     }
                     admitted_couplings.push(cpl);
                     coupling_of.insert(i, cpl);
@@ -306,14 +300,11 @@ impl Compiler {
                         bounded.deferred.iter().map(|&v| map[v]).collect();
                     deferred_gates += deferred_couplings.len();
                     admitted.retain(|&i| {
-                        coupling_of
-                            .get(&i)
-                            .is_none_or(|c| !deferred_couplings.contains(c))
+                        coupling_of.get(&i).is_none_or(|c| !deferred_couplings.contains(c))
                     });
                 }
-                let colors: Vec<usize> = (0..sub.node_count())
-                    .filter_map(|v| bounded.colors[v])
-                    .collect();
+                let colors: Vec<usize> =
+                    (0..sub.node_count()).filter_map(|v| bounded.colors[v]).collect();
                 if !colors.is_empty() {
                     let k = coloring::color_count(&colors);
                     max_colors_used = max_colors_used.max(k);
@@ -334,12 +325,9 @@ impl Compiler {
                     for (rank, &color) in order.iter().enumerate() {
                         freq_of_color[color] = values[rank];
                     }
-                    let mut colored_idx = 0usize;
-                    for v in 0..sub.node_count() {
-                        if let Some(c) = bounded.colors[v] {
-                            let _ = colored_idx; // colors vec was filtered in order
-                            freq_of_coupling.insert(map[v], freq_of_color[c]);
-                            colored_idx += 1;
+                    for (&coupling, &color) in map.iter().zip(&bounded.colors) {
+                        if let Some(c) = color {
+                            freq_of_coupling.insert(coupling, freq_of_color[c]);
                         }
                     }
                 }
@@ -385,12 +373,7 @@ impl Compiler {
 
             let duration_ns =
                 max_gate_ns + if any_two_qubit { params.flux_settle_ns } else { 0.0 };
-            schedule.push_cycle(Cycle {
-                gates,
-                frequencies,
-                active_couplings,
-                duration_ns,
-            });
+            schedule.push_cycle(Cycle { gates, frequencies, active_couplings, duration_ns });
 
             // Retire admitted instructions and surface newly ready ones.
             for &i in &admitted {
@@ -454,7 +437,7 @@ mod tests {
 
     #[test]
     fn schedule_preserves_lowered_gates() {
-        let program = Benchmark::Qaoa(4, ).build(3);
+        let program = Benchmark::Qaoa(4).build(3);
         let compiler = grid_compiler(2);
         for s in Strategy::all() {
             let compiled = compiler.compile(&program, s).expect("compiles");
@@ -548,11 +531,8 @@ mod tests {
     fn baseline_u_is_serial() {
         let compiled = schedule_for(Benchmark::Xeb(16, 5), Strategy::BaselineU);
         for cycle in compiled.schedule.cycles() {
-            let two_q = cycle
-                .gates
-                .iter()
-                .filter(|g| g.instruction.gate.is_two_qubit())
-                .count();
+            let two_q =
+                cycle.gates.iter().filter(|g| g.instruction.gate.is_two_qubit()).count();
             assert!(two_q <= 1, "serial scheduler ran {two_q} two-qubit gates at once");
         }
     }
@@ -597,14 +577,9 @@ mod tests {
     fn max_colors_budget_increases_depth() {
         let compiler = grid_compiler(4);
         let program = Benchmark::Xeb(16, 10).build(2);
-        let one = Compiler::new(
-            compiler.device().clone(),
-            CompilerConfig::with_max_colors(1),
-        );
-        let three = Compiler::new(
-            compiler.device().clone(),
-            CompilerConfig::with_max_colors(3),
-        );
+        let one = Compiler::new(compiler.device().clone(), CompilerConfig::with_max_colors(1));
+        let three =
+            Compiler::new(compiler.device().clone(), CompilerConfig::with_max_colors(3));
         let d1 = one.compile(&program, Strategy::ColorDynamic).expect("compiles");
         let d3 = three.compile(&program, Strategy::ColorDynamic).expect("compiles");
         assert!(d1.stats.max_colors_used <= 1);
@@ -639,10 +614,7 @@ mod tests {
         let cd = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
         let pn = estimate(compiler.device(), &n.schedule, &cfg).p_success;
         let pcd = estimate(compiler.device(), &cd.schedule, &cfg).p_success;
-        assert!(
-            pcd > 2.0 * pn,
-            "ColorDynamic {pcd} must decisively beat naive {pn}"
-        );
+        assert!(pcd > 2.0 * pn, "ColorDynamic {pcd} must decisively beat naive {pn}");
     }
 
     #[test]

@@ -26,23 +26,31 @@ pub enum CompileError {
         /// Number of frequencies requested.
         colors: usize,
     },
+    /// A compilation stage panicked. Only surfaced by the batch front end
+    /// ([`crate::batch::BatchCompiler`]), which converts per-job panics
+    /// into errors so one bad job cannot poison its batch.
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            CompileError::ProgramTooWide { program, device } => write!(
-                f,
-                "program uses {program} qubits but the device has only {device}"
-            ),
-            CompileError::Unroutable { a, b } => write!(
-                f,
-                "no path between physical qubits {a} and {b}; device is disconnected"
-            ),
+            CompileError::ProgramTooWide { program, device } => {
+                write!(f, "program uses {program} qubits but the device has only {device}")
+            }
+            CompileError::Unroutable { a, b } => {
+                write!(f, "no path between physical qubits {a} and {b}; device is disconnected")
+            }
             CompileError::FrequencyBandExhausted { colors } => write!(
                 f,
                 "cannot place {colors} interaction frequencies in the configured band"
             ),
+            CompileError::Internal { ref message } => {
+                write!(f, "compilation stage panicked: {message}")
+            }
         }
     }
 }

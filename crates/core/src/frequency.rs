@@ -53,11 +53,10 @@ pub fn smt_find(
     };
     // Phase 1: maximize the separation threshold delta (the paper's
     // binary search).
-    let best_delta = maximize(0.0, band.width().max(tolerance), tolerance, |delta| {
-        build(delta, band.lo)
-    })
-    .ok_or(CompileError::FrequencyBandExhausted { colors: k })?
-    .best;
+    let best_delta =
+        maximize(0.0, band.width().max(tolerance), tolerance, |delta| build(delta, band.lo))
+            .ok_or(CompileError::FrequencyBandExhausted { colors: k })?
+            .best;
     // Phase 2: at (just under) the optimal separation, push the whole
     // assignment as high in the band as possible — higher interaction
     // frequency means faster gates (t_gate ~ 1/omega, §V-B3), and keeps
@@ -132,11 +131,7 @@ pub fn parking_assignment(device: &Device, tolerance: f64) -> Result<Vec<f64>, C
 /// is empty (a qubit's maximum sits below the band floor).
 pub fn reachable_interaction_band(device: &Device) -> Result<Band, CompileError> {
     let band = device.partition().interaction;
-    let min_max = device
-        .qubits()
-        .iter()
-        .map(|q| q.omega_max)
-        .fold(f64::INFINITY, f64::min);
+    let min_max = device.qubits().iter().map(|q| q.omega_max).fold(f64::INFINITY, f64::min);
     let hi = band.hi.min(min_max);
     if hi <= band.lo {
         return Err(CompileError::FrequencyBandExhausted { colors: 1 });
@@ -211,8 +206,8 @@ mod tests {
         // Color 1 used 3 times, color 0 once: color 1 must get the higher
         // frequency.
         let colors = [1, 1, 0, 1];
-        let f = frequencies_for_coloring(&colors, Band::new(6.0, 7.0), ALPHA, TOL)
-            .expect("fits");
+        let f =
+            frequencies_for_coloring(&colors, Band::new(6.0, 7.0), ALPHA, TOL).expect("fits");
         assert!(f[1] > f[0], "popular color must be faster: {f:?}");
     }
 

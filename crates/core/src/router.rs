@@ -42,7 +42,8 @@ pub fn route(program: &Circuit, device: &Device) -> Result<Routed, CompileError>
 
     // phys_of[logical] = physical; log_at[physical] = logical (or MAX).
     let mut phys_of: Vec<usize> = (0..n_prog).collect();
-    let mut log_at: Vec<usize> = (0..n_dev).map(|p| if p < n_prog { p } else { usize::MAX }).collect();
+    let mut log_at: Vec<usize> =
+        (0..n_dev).map(|p| if p < n_prog { p } else { usize::MAX }).collect();
 
     let mut out = Circuit::new(n_dev);
     let mut swaps = 0usize;
@@ -153,11 +154,7 @@ mod tests {
                 assert!(d.are_coupled(a, b), "gate on uncoupled pair ({a},{b})");
             }
         }
-        assert_eq!(
-            r.circuit.len(),
-            program.len() + r.swaps_inserted,
-            "only SWAPs are added"
-        );
+        assert_eq!(r.circuit.len(), program.len() + r.swaps_inserted, "only SWAPs are added");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Integration tests for the rayon-parallel batch front end
+//! ([`fastsc_core::batch`]): job-order preservation, per-job failure
+//! isolation, and bit-identical parallel vs. sequential output.
+
+use fastsc_core::batch::{BatchCompiler, CompileJob};
+use fastsc_core::{CompileError, CompilerConfig, Strategy};
+use fastsc_device::Device;
+use fastsc_workloads::Benchmark;
+
+/// A mixed workload whose slots are mutually distinguishable (different
+/// benchmarks, sizes, and strategies), so order mix-ups cannot cancel out.
+fn mixed_jobs() -> Vec<CompileJob> {
+    let strategies = Strategy::all();
+    let benchmarks = [
+        Benchmark::Xeb(9, 3),
+        Benchmark::Qaoa(7),
+        Benchmark::Bv(6),
+        Benchmark::Ising(8),
+        Benchmark::Qgan(5),
+    ];
+    let mut jobs = Vec::new();
+    for (i, &b) in benchmarks.iter().enumerate() {
+        for (j, &s) in strategies.iter().enumerate() {
+            jobs.push(CompileJob::new(b.build((i * 7 + j) as u64), s));
+        }
+    }
+    jobs
+}
+
+#[test]
+fn result_order_matches_job_order() {
+    let batch = BatchCompiler::new(Device::grid(3, 3, 11), CompilerConfig::default());
+    let jobs = mixed_jobs();
+    let expected: Vec<usize> = jobs.iter().map(|j| j.program.len()).collect();
+    let results = batch.compile_batch(jobs);
+    assert_eq!(results.len(), expected.len());
+    for (i, (result, &program_len)) in results.iter().zip(&expected).enumerate() {
+        let compiled = result.as_ref().unwrap_or_else(|e| panic!("job {i} failed: {e}"));
+        // The schedule preserves every lowered gate, and lowering never
+        // shrinks the two-qubit structure to another slot's: re-compile
+        // the same slot individually and demand the exact same schedule.
+        assert!(compiled.schedule.gate_count() >= 1 || program_len == 0);
+        assert_eq!(compiled.stats.lowered_gate_count, compiled.schedule.gate_count());
+    }
+    // Spot-check a permutation-sensitive pairing: slot k was built from
+    // benchmark k / 5 and strategy k % 5.
+    let strategies = Strategy::all();
+    let jobs = mixed_jobs();
+    for (k, result) in batch.compile_batch(jobs.clone()).iter().enumerate() {
+        let solo = batch
+            .compiler()
+            .compile(&jobs[k].program, strategies[k % 5])
+            .expect("compiles solo");
+        assert_eq!(
+            result.as_ref().expect("compiles in batch").schedule,
+            solo.schedule,
+            "slot {k} does not match its own job"
+        );
+    }
+}
+
+#[test]
+fn failing_job_does_not_poison_the_batch() {
+    // A 2x2 device: BV(9) is too wide and must fail alone.
+    let batch = BatchCompiler::new(Device::grid(2, 2, 5), CompilerConfig::default());
+    let jobs = vec![
+        CompileJob::new(Benchmark::Bv(4).build(1), Strategy::ColorDynamic),
+        CompileJob::new(Benchmark::Bv(9).build(1), Strategy::ColorDynamic),
+        CompileJob::new(Benchmark::Xeb(4, 2).build(1), Strategy::BaselineS),
+        CompileJob::new(Benchmark::Qaoa(9).build(1), Strategy::BaselineU),
+        CompileJob::new(Benchmark::Ising(4).build(1), Strategy::BaselineN),
+    ];
+    let results = batch.compile_batch(jobs);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(CompileError::ProgramTooWide { program: 9, device: 4 })));
+    assert!(results[2].is_ok());
+    assert!(matches!(results[3], Err(CompileError::ProgramTooWide { program: 9, device: 4 })));
+    assert!(results[4].is_ok());
+}
+
+#[test]
+fn parallel_output_is_bit_identical_to_sequential() {
+    // Force real worker threads even on single-core CI machines.
+    let batch =
+        BatchCompiler::new(Device::grid(3, 3, 42), CompilerConfig::default()).num_threads(4);
+    let jobs = mixed_jobs();
+    let sequential = batch.compile_batch_sequential(jobs.clone());
+    let parallel = batch.compile_batch(jobs);
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        match (s, p) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(s.schedule, p.schedule, "slot {i} diverged");
+                assert_eq!(s.stats.swaps_inserted, p.stats.swaps_inserted);
+                assert_eq!(s.stats.lowered_gate_count, p.stats.lowered_gate_count);
+                assert_eq!(s.stats.max_colors_used, p.stats.max_colors_used);
+                assert_eq!(s.stats.deferred_gates, p.stats.deferred_gates);
+            }
+            (Err(se), Err(pe)) => assert_eq!(se, pe, "slot {i} errors diverged"),
+            _ => panic!("slot {i}: sequential and parallel disagree on success"),
+        }
+    }
+}
+
+#[test]
+fn num_threads_one_is_sequential_and_identical() {
+    let device = Device::grid(3, 3, 9);
+    let jobs = mixed_jobs();
+    let one = BatchCompiler::new(device.clone(), CompilerConfig::default()).num_threads(1);
+    let many = BatchCompiler::new(device, CompilerConfig::default());
+    let a = one.compile_batch(jobs.clone());
+    let b = many.compile_batch(jobs);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.as_ref().expect("compiles").schedule,
+            y.as_ref().expect("compiles").schedule
+        );
+    }
+}
+
+#[test]
+fn shared_device_is_reused_not_rebuilt() {
+    // The batch front end exposes the one compiler every job ran against;
+    // its device must be the exact configuration handed in.
+    let device = Device::grid(3, 3, 7);
+    let batch = BatchCompiler::new(device.clone(), CompilerConfig::default());
+    assert_eq!(batch.compiler().device().n_qubits(), 9);
+    let jobs = vec![CompileJob::new(Benchmark::Xeb(9, 2).build(3), Strategy::ColorDynamic)];
+    let results = batch.compile_batch(jobs);
+    assert!(results[0].is_ok());
+    // Frequencies in the schedule stay inside the shared device's bands.
+    let partition = batch.compiler().device().partition();
+    let compiled = results[0].as_ref().expect("compiles");
+    for cycle in compiled.schedule.cycles() {
+        for g in &cycle.gates {
+            if let Some(f) = g.interaction_freq {
+                assert!(partition.interaction.contains(f));
+            }
+        }
+    }
+}

@@ -116,10 +116,7 @@ mod tests {
     #[test]
     fn sqrt_iswap_is_half_iswap() {
         let p = DeviceParams::default();
-        assert!(
-            (p.sqrt_iswap_duration_ns(6.2) - 0.5 * p.iswap_duration_ns(6.2)).abs()
-                < 1e-12
-        );
+        assert!((p.sqrt_iswap_duration_ns(6.2) - 0.5 * p.iswap_duration_ns(6.2)).abs() < 1e-12);
     }
 
     #[test]

@@ -47,8 +47,7 @@ mod tests {
         let n = 20_000;
         let samples = gaussian_vec(&mut rng, 5.0, 0.1, n);
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 5.0).abs() < 0.01, "mean = {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "std = {}", var.sqrt());
     }

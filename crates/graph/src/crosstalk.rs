@@ -65,8 +65,8 @@ impl CrosstalkGraph {
             let d = d as u32;
             for e1 in 0..couplings.len() {
                 let (u1, v1) = couplings[e1];
-                for e2 in e1 + 1..couplings.len() {
-                    let (u2, v2) = couplings[e2];
+                for (offset, &(u2, v2)) in couplings[e1 + 1..].iter().enumerate() {
+                    let e2 = e1 + 1 + offset;
                     let near = balls[u1][u2] <= d
                         || balls[u1][v2] <= d
                         || balls[v1][u2] <= d
@@ -274,8 +274,7 @@ mod tests {
         // Fig. 14 bottom: the mesh crosstalk graph is "quite dense".
         let g = topology::grid(4, 4);
         let x = CrosstalkGraph::build(&g, 1);
-        let avg_deg =
-            2.0 * x.graph().edge_count() as f64 / x.graph().node_count() as f64;
+        let avg_deg = 2.0 * x.graph().edge_count() as f64 / x.graph().node_count() as f64;
         assert!(avg_deg > 6.0, "average crosstalk degree {avg_deg} too low");
     }
 

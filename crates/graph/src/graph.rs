@@ -309,8 +309,8 @@ impl Graph {
         let mut to_old = Vec::new();
         for &u in nodes {
             assert!(u < self.node_count(), "node {u} out of range");
-            if !to_new.contains_key(&u) {
-                to_new.insert(u, to_old.len());
+            if let std::collections::hash_map::Entry::Vacant(slot) = to_new.entry(u) {
+                slot.insert(to_old.len());
                 to_old.push(u);
             }
         }
@@ -389,8 +389,14 @@ mod tests {
     #[test]
     fn add_edge_rejects_out_of_range() {
         let mut g = Graph::new(2);
-        assert_eq!(g.add_edge(0, 5), Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 }));
-        assert_eq!(g.add_edge(7, 0), Err(GraphError::NodeOutOfRange { node: 7, node_count: 2 }));
+        assert_eq!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+        );
+        assert_eq!(
+            g.add_edge(7, 0),
+            Err(GraphError::NodeOutOfRange { node: 7, node_count: 2 })
+        );
     }
 
     #[test]

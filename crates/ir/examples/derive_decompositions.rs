@@ -31,10 +31,7 @@ fn locals() -> Vec<(String, Mat2)> {
         ("Rz(+)", Gate::Rz(FRAC_PI_2)),
         ("Rz(-)", Gate::Rz(-FRAC_PI_2)),
     ];
-    named
-        .into_iter()
-        .map(|(n, g)| (n.to_owned(), g.matrix1().expect("1q gate")))
-        .collect()
+    named.into_iter().map(|(n, g)| (n.to_owned(), g.matrix1().expect("1q gate"))).collect()
 }
 
 fn search(target_name: &str, target: &Mat4, m: &Mat4) {

@@ -235,8 +235,7 @@ impl Circuit {
         let mut busy_until = vec![0usize; self.n_qubits];
         let mut depth = 0;
         for inst in &self.instructions {
-            let start =
-                inst.qubits().into_iter().map(|q| busy_until[q]).max().unwrap_or(0);
+            let start = inst.qubits().into_iter().map(|q| busy_until[q]).max().unwrap_or(0);
             for q in inst.qubits() {
                 busy_until[q] = start + 1;
             }

@@ -45,9 +45,7 @@ impl Strategy {
     pub fn native_set(self) -> NativeGateSet {
         match self {
             Strategy::CzOnly => NativeGateSet { cz: true, iswap: false, sqrt_iswap: false },
-            Strategy::ISwapOnly => {
-                NativeGateSet { cz: false, iswap: true, sqrt_iswap: false }
-            }
+            Strategy::ISwapOnly => NativeGateSet { cz: false, iswap: true, sqrt_iswap: false },
             Strategy::SqrtISwapOnly => {
                 NativeGateSet { cz: false, iswap: false, sqrt_iswap: true }
             }
@@ -389,12 +387,9 @@ mod tests {
         c.push2(Gate::Swap, 1, 2).expect("valid");
         c.push1(Gate::T, 2).expect("valid");
         c.push2(Gate::Cnot, 2, 0).expect("valid");
-        for s in [
-            Strategy::CzOnly,
-            Strategy::ISwapOnly,
-            Strategy::SqrtISwapOnly,
-            Strategy::Hybrid,
-        ] {
+        for s in
+            [Strategy::CzOnly, Strategy::ISwapOnly, Strategy::SqrtISwapOnly, Strategy::Hybrid]
+        {
             let lowered = decompose(&c, s);
             assert!(
                 matrices_equal_up_to_phase(

@@ -10,7 +10,7 @@
 //! significant bit of the 4-dimensional basis `|q0 q1> in {00, 01, 10, 11}`.
 //! The `iSWAP` matrix follows the paper (`-i` off-diagonal entries).
 
-use crate::math::{self, C64, Mat2, Mat4, I, ONE, ZERO};
+use crate::math::{self, Mat2, Mat4, C64, I, ONE, ZERO};
 use std::fmt;
 
 /// A quantum gate.
@@ -99,9 +99,7 @@ impl Gate {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
                 [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
             }
-            Gate::Rz(theta) => {
-                [[C64::cis(-theta / 2.0), ZERO], [ZERO, C64::cis(theta / 2.0)]]
-            }
+            Gate::Rz(theta) => [[C64::cis(-theta / 2.0), ZERO], [ZERO, C64::cis(theta / 2.0)]],
             _ => return None,
         };
         Some(m)

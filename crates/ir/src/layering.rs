@@ -79,8 +79,7 @@ pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
     let mut layer_of = vec![0usize; circuit.len()];
     let mut layers: Vec<Vec<usize>> = Vec::new();
     for i in 0..circuit.len() {
-        let layer =
-            dag.preds(i).iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        let layer = dag.preds(i).iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
         layer_of[i] = layer;
         if layers.len() <= layer {
             layers.resize_with(layer + 1, Vec::new);

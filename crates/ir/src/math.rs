@@ -89,10 +89,7 @@ impl Sub for C64 {
 impl Mul for C64 {
     type Output = C64;
     fn mul(self, rhs: C64) -> C64 {
-        C64 {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        C64 { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -275,7 +272,7 @@ pub fn mat4_eq_up_to_phase(a: &Mat4, b: &Mat4, tol: f64) -> bool {
     let mut scaled = *b;
     for row in &mut scaled {
         for v in row.iter_mut() {
-            *v = *v * phase;
+            *v *= phase;
         }
     }
     mat4_approx_eq(a, &scaled, tol)
@@ -349,7 +346,7 @@ mod tests {
         let mut a = identity4();
         for row in &mut a {
             for v in row.iter_mut() {
-                *v = *v * C64::cis(0.7);
+                *v *= C64::cis(0.7);
             }
         }
         assert!(mat4_eq_up_to_phase(&a, &identity4(), 1e-12));

@@ -111,8 +111,7 @@ fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) 
         }
     }
 
-    let cleaned: Vec<Instruction> =
-        out.into_iter().filter(|i| !is_trivial(i.gate)).collect();
+    let cleaned: Vec<Instruction> = out.into_iter().filter(|i| !is_trivial(i.gate)).collect();
     (cleaned, changed)
 }
 
@@ -221,11 +220,7 @@ mod tests {
         c.push2(Gate::Cnot, 0, 1).expect("valid");
         let opt = peephole(&c);
         assert!(opt.len() < c.len());
-        assert!(matrices_equal_up_to_phase(
-            &circuit_unitary(&c),
-            &circuit_unitary(&opt),
-            1e-9
-        ));
+        assert!(matrices_equal_up_to_phase(&circuit_unitary(&c), &circuit_unitary(&opt), 1e-9));
     }
 
     #[test]

@@ -119,10 +119,8 @@ pub fn from_qasm(source: &str) -> Result<Circuit, QasmError> {
             continue;
         }
         let circuit = circuit.as_mut().ok_or(QasmError::MissingRegister)?;
-        parse_gate_statement(stmt, circuit).map_err(|message| QasmError::Syntax {
-            line: line_no,
-            message,
-        })?;
+        parse_gate_statement(stmt, circuit)
+            .map_err(|message| QasmError::Syntax { line: line_no, message })?;
     }
     circuit.ok_or(QasmError::MissingRegister)
 }
@@ -144,9 +142,8 @@ fn parse_qubit(token: &str) -> Option<usize> {
 }
 
 fn parse_gate_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), String> {
-    let (head, args) = stmt
-        .split_once(' ')
-        .ok_or_else(|| format!("cannot split gate statement '{stmt}'"))?;
+    let (head, args) =
+        stmt.split_once(' ').ok_or_else(|| format!("cannot split gate statement '{stmt}'"))?;
     let operands: Vec<usize> = args
         .split(',')
         .map(parse_qubit)
@@ -247,7 +244,8 @@ mod tests {
 
     #[test]
     fn parses_comments_and_blanks() {
-        let src = "OPENQASM 2.0;\n// a comment\n\nqreg q[2];\nh q[0]; // trailing\ncx q[0], q[1];\n";
+        let src =
+            "OPENQASM 2.0;\n// a comment\n\nqreg q[2];\nh q[0]; // trailing\ncx q[0], q[1];\n";
         let c = from_qasm(src).expect("parses");
         assert_eq!(c.len(), 2);
     }
@@ -260,8 +258,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_gate() {
-        let err =
-            from_qasm("qreg q[2];\nccx q[0], q[1];\n").expect_err("ccx unsupported");
+        let err = from_qasm("qreg q[2];\nccx q[0], q[1];\n").expect_err("ccx unsupported");
         assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
     }
 

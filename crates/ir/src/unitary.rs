@@ -6,7 +6,7 @@
 //! [`Gate::matrix2`](crate::Gate::matrix2).
 
 use crate::circuit::{Circuit, Operands};
-use crate::math::{C64, Mat2, Mat4, ZERO};
+use crate::math::{Mat2, Mat4, C64, ZERO};
 
 /// Applies a single-qubit unitary to qubit `q` of an `n`-qubit state.
 ///
@@ -131,9 +131,7 @@ pub fn matrices_equal_up_to_phase(a: &[Vec<C64>], b: &[Vec<C64>], tol: f64) -> b
     if (phase.abs() - 1.0).abs() > tol {
         return false;
     }
-    a.iter().zip(b).all(|(ra, rb)| {
-        ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y * phase, tol))
-    })
+    a.iter().zip(b).all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y * phase, tol)))
 }
 
 /// The probability of measuring basis state `idx`.
@@ -217,9 +215,8 @@ mod tests {
         // Columns are orthonormal.
         for j in 0..8 {
             for k in 0..8 {
-                let dot: C64 = (0..8)
-                    .map(|i| u[i][j].conj() * u[i][k])
-                    .fold(ZERO, |acc, v| acc + v);
+                let dot: C64 =
+                    (0..8).map(|i| u[i][j].conj() * u[i][k]).fold(ZERO, |acc, v| acc + v);
                 let expect = if j == k { 1.0 } else { 0.0 };
                 assert!(
                     (dot.re - expect).abs() < 1e-10 && dot.im.abs() < 1e-10,

@@ -17,9 +17,7 @@ impl DecoherenceModel {
     /// `x2 = sum t_i/T2_eff(i)`.
     pub fn error_from_exponents(self, x1: f64, x2: f64) -> f64 {
         match self {
-            DecoherenceModel::PaperProduct => {
-                (1.0 - (-x1).exp()) * (1.0 - (-x2).exp())
-            }
+            DecoherenceModel::PaperProduct => (1.0 - (-x1).exp()) * (1.0 - (-x2).exp()),
             DecoherenceModel::SurvivalProduct => 1.0 - (-(x1 + x2)).exp(),
         }
     }

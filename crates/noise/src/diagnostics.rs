@@ -58,11 +58,7 @@ impl ErrorBudget {
 
     /// The qubit with the largest decoherence error, if any.
     pub fn worst_qubit(&self) -> Option<(usize, f64)> {
-        self.decoherence
-            .iter()
-            .copied()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+        self.decoherence.iter().copied().enumerate().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Sum of all attributed crosstalk errors (an upper bound on
@@ -90,8 +86,7 @@ pub fn error_budget(device: &Device, schedule: &Schedule) -> ErrorBudget {
     );
     let params = *device.params();
     let n = device.n_qubits();
-    let edges: Vec<(usize, usize)> =
-        device.connectivity().edges().map(|(_, e)| e).collect();
+    let edges: Vec<(usize, usize)> = device.connectivity().edges().map(|(_, e)| e).collect();
 
     #[derive(Clone, Copy, Default)]
     struct Ep {
@@ -102,21 +97,18 @@ pub fn error_budget(device: &Device, schedule: &Schedule) -> ErrorBudget {
         t_ns: f64,
     }
     let mut eps = vec![Ep::default(); edges.len()];
-    let mut budget = ErrorBudget {
-        crosstalk: Vec::new(),
-        decoherence: vec![0.0; n],
-        gate_error: 0.0,
-    };
+    let mut budget =
+        ErrorBudget { crosstalk: Vec::new(), decoherence: vec![0.0; n], gate_error: 0.0 };
     let mut gate_survival = 1.0f64;
     let mut x1 = vec![0.0f64; n];
     let mut x2 = vec![0.0f64; n];
 
     let close = |ep: &mut Ep,
-                     pair: (usize, usize),
-                     cycle: usize,
-                     alpha_u: f64,
-                     alpha_v: f64,
-                     out: &mut Vec<ChannelContribution>| {
+                 pair: (usize, usize),
+                 cycle: usize,
+                 alpha_u: f64,
+                 alpha_v: f64,
+                 out: &mut Vec<ChannelContribution>| {
         if !ep.active {
             return;
         }

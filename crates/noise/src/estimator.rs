@@ -90,13 +90,7 @@ struct ChannelLedger {
 }
 
 impl ChannelLedger {
-    fn close(
-        &mut self,
-        ep: &mut Episode,
-        alpha_u: f64,
-        alpha_v: f64,
-        include_leakage: bool,
-    ) {
+    fn close(&mut self, ep: &mut Episode, alpha_u: f64, alpha_v: f64, include_leakage: bool) {
         if !ep.active {
             return;
         }
@@ -143,8 +137,7 @@ pub fn estimate(device: &Device, schedule: &Schedule, config: &NoiseConfig) -> S
 
     // Channel pair lists: nearest-neighbor couplings, plus distance-2
     // pairs when that channel is enabled.
-    let edges: Vec<(usize, usize)> =
-        device.connectivity().edges().map(|(_, e)| e).collect();
+    let edges: Vec<(usize, usize)> = device.connectivity().edges().map(|(_, e)| e).collect();
     let distance2_pairs: Vec<(usize, usize)> =
         if config.include_distance2 && params.distance2_coupling_factor > 0.0 {
             let g = device.connectivity();
@@ -163,8 +156,7 @@ pub fn estimate(device: &Device, schedule: &Schedule, config: &NoiseConfig) -> S
         };
 
     let mut gate_survival = 1.0f64;
-    let mut ledger =
-        ChannelLedger { survival: 1.0, max_error: 0.0, episodes_closed: 0 };
+    let mut ledger = ChannelLedger { survival: 1.0, max_error: 0.0, episodes_closed: 0 };
     let mut edge_eps = vec![Episode::default(); edges.len()];
     let mut d2_eps = vec![Episode::default(); distance2_pairs.len()];
     let mut x1 = vec![0.0f64; n]; // accumulated t/T1
@@ -496,11 +488,8 @@ mod tests {
             duration_ns: 100.0,
         });
         let with = estimate(&d, &s, &NoiseConfig::default());
-        let without = estimate(
-            &d,
-            &s,
-            &NoiseConfig { include_leakage: false, ..NoiseConfig::default() },
-        );
+        let without =
+            estimate(&d, &s, &NoiseConfig { include_leakage: false, ..NoiseConfig::default() });
         assert!(
             with.crosstalk_error() > without.crosstalk_error() + 0.1,
             "with = {}, without = {}",
@@ -532,8 +521,10 @@ mod tests {
     #[test]
     fn distance2_channels_add_error_when_enabled() {
         let mut builder = fastsc_device::DeviceBuilder::new(fastsc_graph::topology::linear(3));
-        let mut params = fastsc_device::DeviceParams::default();
-        params.distance2_coupling_factor = 0.3;
+        let params = fastsc_device::DeviceParams {
+            distance2_coupling_factor: 0.3,
+            ..Default::default()
+        };
         builder.params(params).seed(3);
         let d = builder.build();
         let mut s = Schedule::new(3);

@@ -2,7 +2,9 @@
 
 use fastsc_device::Device;
 use fastsc_ir::{Gate, Instruction, Operands};
-use fastsc_noise::{coupling, decoherence, estimate, Cycle, NoiseConfig, Schedule, ScheduledGate};
+use fastsc_noise::{
+    coupling, decoherence, estimate, Cycle, NoiseConfig, Schedule, ScheduledGate,
+};
 use proptest::prelude::*;
 
 proptest! {

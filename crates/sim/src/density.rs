@@ -14,7 +14,7 @@
 
 use crate::statevector::StateVector;
 use fastsc_device::Device;
-use fastsc_ir::math::{C64, Mat2, Mat4, ZERO};
+use fastsc_ir::math::{Mat2, Mat4, C64, ZERO};
 use fastsc_ir::{Instruction, Operands};
 use fastsc_noise::Schedule;
 
@@ -138,14 +138,10 @@ impl DensityMatrix {
             }
         }
         // Right-multiply by M^dag = conjugate the rows with M (conjugated).
-        let m_conj: Mat2 = [
-            [m[0][0].conj(), m[0][1].conj()],
-            [m[1][0].conj(), m[1][1].conj()],
-        ];
+        let m_conj: Mat2 = [[m[0][0].conj(), m[0][1].conj()], [m[1][0].conj(), m[1][1].conj()]];
         let mut out = left.clone();
         for rrow in 0..dim {
-            let mut row: Vec<C64> =
-                (0..dim).map(|c| left.elements[rrow * dim + c]).collect();
+            let mut row: Vec<C64> = (0..dim).map(|c| left.elements[rrow * dim + c]).collect();
             fastsc_ir::unitary::apply1(&mut row, self.n_qubits, q, &m_conj);
             for (c, v) in row.into_iter().enumerate() {
                 out.elements[rrow * dim + c] = v;
@@ -172,8 +168,7 @@ impl DensityMatrix {
         }
         let mut out = left.clone();
         for rrow in 0..dim {
-            let mut row: Vec<C64> =
-                (0..dim).map(|c| left.elements[rrow * dim + c]).collect();
+            let mut row: Vec<C64> = (0..dim).map(|c| left.elements[rrow * dim + c]).collect();
             fastsc_ir::unitary::apply2(&mut row, self.n_qubits, a, b, &m_conj);
             for (c, v) in row.into_iter().enumerate() {
                 out.elements[rrow * dim + c] = v;
@@ -207,17 +202,12 @@ impl DensityMatrix {
     /// Panics unless `gamma` is in `[0, 1]`.
     pub fn amplitude_damp(&mut self, q: usize, gamma: f64) {
         assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
-        let k0: Mat2 = [
-            [C64::real(1.0), ZERO],
-            [ZERO, C64::real((1.0 - gamma).sqrt())],
-        ];
+        let k0: Mat2 = [[C64::real(1.0), ZERO], [ZERO, C64::real((1.0 - gamma).sqrt())]];
         let k1: Mat2 = [[ZERO, C64::real(gamma.sqrt())], [ZERO, ZERO]];
         let branch0 = self.conjugate1(q, &k0);
         let branch1 = self.conjugate1(q, &k1);
-        for (o, (b0, b1)) in self
-            .elements
-            .iter_mut()
-            .zip(branch0.elements.iter().zip(&branch1.elements))
+        for (o, (b0, b1)) in
+            self.elements.iter_mut().zip(branch0.elements.iter().zip(&branch1.elements))
         {
             *o = *b0 + *b1;
         }
@@ -307,7 +297,7 @@ fn depolarize1(rho: &mut DensityMatrix, q: usize, eps: f64) {
     for g in branches {
         let b = originals.conjugate1(q, &g.matrix1().expect("1q"));
         for (o, bv) in rho.elements.iter_mut().zip(&b.elements) {
-            *o = *o + bv.scale(eps / 3.0);
+            *o += bv.scale(eps / 3.0);
         }
     }
 }
@@ -396,16 +386,10 @@ mod tests {
         let device = Device::grid(2, 2, 7);
         let compiler = Compiler::new(device, CompilerConfig::default());
         let program = fastsc_workloads::Benchmark::Xeb(4, 4).build(5);
-        let compiled = compiler
-            .compile(&program, Strategy::ColorDynamic)
-            .expect("compiles");
+        let compiled = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
         let exact = exact_success(compiler.device(), &compiled.schedule);
-        let sampled = crate::trajectory::simulate_success(
-            compiler.device(),
-            &compiled.schedule,
-            400,
-            13,
-        );
+        let sampled =
+            crate::trajectory::simulate_success(compiler.device(), &compiled.schedule, 400, 13);
         assert!(
             (exact - sampled.success).abs() < 4.0 * sampled.std_error + 0.02,
             "exact {exact} vs sampled {} (+/- {})",
@@ -426,9 +410,8 @@ mod tests {
         let mut scores = Vec::new();
         for device in [good.build(), bad.build()] {
             let compiler = Compiler::new(device, CompilerConfig::default());
-            let compiled = compiler
-                .compile(&program, Strategy::ColorDynamic)
-                .expect("compiles");
+            let compiled =
+                compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
             scores.push(exact_success(compiler.device(), &compiled.schedule));
         }
         assert!(scores[0] > scores[1] + 0.05, "good {} vs bad {}", scores[0], scores[1]);

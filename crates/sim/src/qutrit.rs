@@ -114,6 +114,7 @@ impl TwoTransmon {
 /// Jacobi eigendecomposition of a real symmetric matrix: returns
 /// `(eigenvalues, V)` with columns of `V` the eigenvectors
 /// (`A = V diag(lambda) V^T`).
+#[allow(clippy::needless_range_loop)] // index-symmetric Givens rotations read clearer indexed
 fn jacobi_eigen(mut a: [[f64; DIM]; DIM]) -> ([f64; DIM], [[f64; DIM]; DIM]) {
     let mut v = [[0.0f64; DIM]; DIM];
     for (i, row) in v.iter_mut().enumerate() {
@@ -189,8 +190,7 @@ mod tests {
         let p = sys.transition_probability(basis_index(0, 1), basis_index(1, 0), t);
         assert!(p > 0.999, "transfer probability {p}");
         // And returns at the half period.
-        let p_back =
-            sys.transition_probability(basis_index(0, 1), basis_index(0, 1), 2.0 * t);
+        let p_back = sys.transition_probability(basis_index(0, 1), basis_index(0, 1), 2.0 * t);
         assert!(p_back > 0.99, "return probability {p_back}");
     }
 
@@ -235,8 +235,11 @@ mod tests {
         // omega_a = omega_b - alpha.
         let omega_b = 5.44;
         let probe = |omega_a: f64, from: (usize, usize), to: (usize, usize), t: f64| {
-            TwoTransmon::new(omega_a, omega_b, G)
-                .transition_probability(basis_index(from.0, from.1), basis_index(to.0, to.1), t)
+            TwoTransmon::new(omega_a, omega_b, G).transition_probability(
+                basis_index(from.0, from.1),
+                basis_index(to.0, to.1),
+                t,
+            )
         };
         let t_iswap = 1.0 / (4.0 * G);
         let sweep: Vec<f64> = (0..=40).map(|i| 5.34 + 0.005 * i as f64).collect();
@@ -264,9 +267,9 @@ mod tests {
     #[test]
     fn hamiltonian_is_symmetric() {
         let h = TwoTransmon::new(5.5, 5.4, G).hamiltonian();
-        for i in 0..DIM {
-            for j in 0..DIM {
-                assert!((h[i][j] - h[j][i]).abs() < 1e-15);
+        for (i, row) in h.iter().enumerate() {
+            for (j, &entry) in row.iter().enumerate() {
+                assert!((entry - h[j][i]).abs() < 1e-15);
             }
         }
     }

@@ -1,6 +1,6 @@
 //! An ideal state-vector simulator over the IR gate set.
 
-use fastsc_ir::math::{C64, Mat2, Mat4, ZERO};
+use fastsc_ir::math::{Mat2, Mat4, C64, ZERO};
 use fastsc_ir::unitary;
 use fastsc_ir::{Circuit, Instruction, Operands};
 

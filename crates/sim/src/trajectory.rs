@@ -19,7 +19,7 @@
 
 use crate::statevector::StateVector;
 use fastsc_device::Device;
-use fastsc_ir::math::{C64, Mat4, ONE, ZERO};
+use fastsc_ir::math::{Mat4, C64, ONE, ZERO};
 use fastsc_noise::Schedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,11 +40,7 @@ fn exchange_block(g: f64, delta: f64, t_ns: f64) -> [[C64; 2]; 2] {
     let omega = (g * g + 0.25 * delta * delta).sqrt();
     let theta = 2.0 * std::f64::consts::PI * omega * t_ns;
     let (cos_t, sin_t) = (theta.cos(), theta.sin());
-    let (nx, nz) = if omega > 0.0 {
-        (g / omega, -0.5 * delta / omega)
-    } else {
-        (0.0, 0.0)
-    };
+    let (nx, nz) = if omega > 0.0 { (g / omega, -0.5 * delta / omega) } else { (0.0, 0.0) };
     // U = cos(theta) I - i sin(theta) (nx sx + nz sz).
     [
         [C64::new(cos_t, -sin_t * nz), C64::new(0.0, -sin_t * nx)],
@@ -167,20 +163,23 @@ fn damp_no_jump(state: &mut StateVector, q: usize, gamma: f64) {
 
 /// Applies a uniformly random non-identity Pauli to the gate's qubits
 /// (the trajectory-level analogue of the estimator's base gate error).
-fn inject_pauli_error<R: Rng + ?Sized>(
-    state: &mut StateVector,
-    qubits: &[usize],
-    rng: &mut R,
-) {
+fn inject_pauli_error<R: Rng + ?Sized>(state: &mut StateVector, qubits: &[usize], rng: &mut R) {
     use fastsc_ir::Gate;
     let paulis = [Gate::X, Gate::Y, Gate::Z];
     loop {
         let mut any = false;
-        let picks: Vec<Option<usize>> =
-            qubits.iter().map(|_| {
+        let picks: Vec<Option<usize>> = qubits
+            .iter()
+            .map(|_| {
                 let k = rng.gen_range(0..4);
-                if k == 3 { None } else { any = true; Some(k) }
-            }).collect();
+                if k == 3 {
+                    None
+                } else {
+                    any = true;
+                    Some(k)
+                }
+            })
+            .collect();
         if !any {
             continue; // all-identity excluded
         }
@@ -324,9 +323,11 @@ mod tests {
         // Very long coherence, no calibration error, ColorDynamic keeping
         // residual couplings far detuned => fidelity ~ 1.
         let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(2, 2));
-        let mut params = fastsc_device::DeviceParams::default();
-        params.base_two_qubit_error = 0.0;
-        params.base_single_qubit_error = 0.0;
+        let params = fastsc_device::DeviceParams {
+            base_two_qubit_error: 0.0,
+            base_single_qubit_error: 0.0,
+            ..Default::default()
+        };
         b.seed(1).coherence(1e9, 1e9).params(params);
         let device = b.build();
         let compiler = Compiler::new(device, CompilerConfig::default());

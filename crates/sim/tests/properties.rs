@@ -64,7 +64,7 @@ proptest! {
         rho.phase_damp(q, p_phi);
         prop_assert!((rho.trace() - 1.0).abs() < 1e-9, "trace {}", rho.trace());
         let purity = rho.purity();
-        prop_assert!(purity <= 1.0 + 1e-9 && purity >= 1.0 / 8.0 - 1e-9);
+        prop_assert!((1.0 / 8.0 - 1e-9..=1.0 + 1e-9).contains(&purity));
     }
 
     #[test]

@@ -164,8 +164,8 @@ mod tests {
 
     #[test]
     fn solver_call_count_is_logarithmic() {
-        let r = maximize(0.0, 1.0, 1e-6, |d| separation_problem(2, d, 0.0, 1.0))
-            .expect("feasible");
+        let r =
+            maximize(0.0, 1.0, 1e-6, |d| separation_problem(2, d, 0.0, 1.0)).expect("feasible");
         // ~log2(1 / 1e-6) + 2 = ~22 calls.
         assert!(r.solver_calls < 30, "calls = {}", r.solver_calls);
     }

@@ -13,20 +13,17 @@ fn consistent_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>
                 .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
                 .collect();
             let vals2 = vals.clone();
-            proptest::collection::vec(
-                (proptest::sample::select(pairs), 0.0f64..3.0),
-                0..12,
-            )
-            .prop_map(move |picks| {
-                let constraints: Vec<(usize, usize, f64)> = picks
-                    .into_iter()
-                    .map(|((i, j), slack)| {
-                        // x_i - x_j <= (v_i - v_j) + slack: satisfied by vals.
-                        (i, j, vals2[i] - vals2[j] + slack)
-                    })
-                    .collect();
-                (n, constraints, vals2.clone())
-            })
+            proptest::collection::vec((proptest::sample::select(pairs), 0.0f64..3.0), 0..12)
+                .prop_map(move |picks| {
+                    let constraints: Vec<(usize, usize, f64)> = picks
+                        .into_iter()
+                        .map(|((i, j), slack)| {
+                            // x_i - x_j <= (v_i - v_j) + slack: satisfied by vals.
+                            (i, j, vals2[i] - vals2[j] + slack)
+                        })
+                        .collect();
+                    (n, constraints, vals2.clone())
+                })
         })
     })
 }

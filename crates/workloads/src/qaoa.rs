@@ -50,8 +50,7 @@ pub fn qaoa_with_rounds(n: usize, rounds: usize, seed: u64) -> Circuit {
             c.push2(Gate::Cnot, u, v).expect("in range");
         }
         for q in 0..n {
-            c.push1(Gate::Rx(2.0 * BETA * (1.0 - round_scale * 0.5)), q)
-                .expect("in range");
+            c.push1(Gate::Rx(2.0 * BETA * (1.0 - round_scale * 0.5)), q).expect("in range");
         }
     }
     c

@@ -2,8 +2,7 @@
 
 use fastsc_ir::layering;
 use fastsc_workloads::{
-    bv_with_hidden_string, ising_with_steps, qaoa_with_rounds, qgan_with_layers, xeb,
-    Benchmark,
+    bv_with_hidden_string, ising_with_steps, qaoa_with_rounds, qgan_with_layers, xeb, Benchmark,
 };
 use proptest::prelude::*;
 

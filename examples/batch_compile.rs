@@ -1,0 +1,56 @@
+//! Batch compilation demo: compile a mixed XEB/QAOA/BV workload across
+//! all five strategies in parallel against one shared 3x3 device, with
+//! one deliberately oversized job showing per-slot error isolation.
+//!
+//! ```console
+//! $ cargo run --release --example batch_compile
+//! ```
+
+use fastsc::compiler::batch::{BatchCompiler, CompileJob};
+use fastsc::compiler::{CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::noise::{estimate, NoiseConfig};
+use fastsc::workloads::Benchmark;
+
+fn main() {
+    let device = Device::grid(3, 3, 42);
+    let batch = BatchCompiler::new(device, CompilerConfig::default());
+
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
+    for (i, benchmark) in
+        [Benchmark::Xeb(9, 5), Benchmark::Qaoa(8), Benchmark::Bv(9)].into_iter().enumerate()
+    {
+        for strategy in Strategy::all() {
+            jobs.push(CompileJob::new(benchmark.build(i as u64), strategy));
+            labels.push(format!("{benchmark} / {strategy}"));
+        }
+    }
+    // One job that cannot fit the 9-qubit device: its slot fails alone.
+    jobs.push(CompileJob::new(Benchmark::Bv(16).build(0), Strategy::ColorDynamic));
+    labels.push("bv(16) / ColorDynamic (too wide on purpose)".to_string());
+
+    println!("compiling {} jobs on one shared 3x3 device...\n", jobs.len());
+    let results = batch.compile_batch(jobs);
+
+    println!("{:<42} {:>6} {:>7} {:>10}", "job", "depth", "swaps", "p_success");
+    for (label, result) in labels.iter().zip(&results) {
+        match result {
+            Ok(compiled) => {
+                let report = estimate(
+                    batch.compiler().device(),
+                    &compiled.schedule,
+                    &NoiseConfig::default(),
+                );
+                println!(
+                    "{:<42} {:>6} {:>7} {:>10.4}",
+                    label,
+                    compiled.schedule.depth(),
+                    compiled.stats.swaps_inserted,
+                    report.p_success
+                );
+            }
+            Err(e) => println!("{label:<42} error: {e}"),
+        }
+    }
+}

@@ -30,7 +30,10 @@ fn main() {
         coloring::is_proper(xtalk.graph(), &eight)
     );
     let greedy = coloring::welsh_powell(xtalk.graph());
-    println!("  Welsh-Powell greedy on the same graph: {} colors", coloring::color_count(&greedy));
+    println!(
+        "  Welsh-Powell greedy on the same graph: {} colors",
+        coloring::color_count(&greedy)
+    );
     println!();
 
     // Crosstalk locality: the color count does not grow with mesh size.
@@ -46,8 +49,10 @@ fn main() {
     println!();
 
     // Fig. 13 x-axis: connectivity families from sparse to dense.
-    println!("{:<8} {:>9} {:>10} {:>16} {:>14}",
-        "family", "couplings", "max deg", "xtalk edges d=1", "greedy colors");
+    println!(
+        "{:<8} {:>9} {:>10} {:>16} {:>14}",
+        "family", "couplings", "max deg", "xtalk edges d=1", "greedy colors"
+    );
     for t in Topology::fig13_sweep() {
         let g = t.build(16);
         let x = CrosstalkGraph::build(&g, 1);

@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for strategy in [Strategy::BaselineN, Strategy::ColorDynamic] {
         let compiled = compiler.compile(&program, strategy)?;
-        let report =
-            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
+        let report = estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
         let budget = error_budget(compiler.device(), &compiled.schedule);
 
         println!("== {} ==", strategy.label());

@@ -31,8 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep the interaction-frequency color budget (paper Fig. 11): more
     // colors = more parallelism but tighter spectral packing.
-    println!("{:<12} {:>10} {:>8} {:>12} {:>12}",
-        "max colors", "P_success", "depth", "xtalk err", "decoh err");
+    println!(
+        "{:<12} {:>10} {:>8} {:>12} {:>12}",
+        "max colors", "P_success", "depth", "xtalk err", "decoh err"
+    );
     let noise_config = NoiseConfig::default();
     for budget in 1..=4 {
         let c = Compiler::new(device.clone(), CompilerConfig::with_max_colors(budget));

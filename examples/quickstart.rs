@@ -22,8 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = benchmark.build(7);
     println!("benchmark {benchmark}: {} gates before lowering", program.len());
     println!();
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "strategy", "P_success", "xtalk err", "decoh err", "duration", "depth");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "strategy", "P_success", "xtalk err", "decoh err", "duration", "depth"
+    );
 
     let noise_config = NoiseConfig::default();
     for strategy in Strategy::all() {

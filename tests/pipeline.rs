@@ -84,8 +84,8 @@ fn gmon_with_residual_coupling_degrades_monotonically() {
             CompilerConfig::default(),
         );
         let compiled = compiler.compile(&program, Strategy::BaselineG).expect("compiles");
-        let p = estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default())
-            .p_success;
+        let p =
+            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default()).p_success;
         assert!(p <= last + 1e-9, "residual {r}: p rose to {p}");
         last = p;
     }
@@ -117,9 +117,7 @@ fn heuristic_tracks_simulation() {
             let heuristic =
                 estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
             let sim = simulate_success(compiler.device(), &compiled.schedule, 50, 17);
-            let gap = (heuristic.p_success.max(1e-6) / sim.success.max(1e-6))
-                .log10()
-                .abs();
+            let gap = (heuristic.p_success.max(1e-6) / sim.success.max(1e-6)).log10().abs();
             assert!(
                 gap < 0.5,
                 "{b}/{s}: heuristic {} vs simulation {} ({}+/-{}) differs by {gap:.2} decades",
@@ -142,18 +140,13 @@ fn color_budget_sweep_has_interior_optimum_or_plateau() {
     let mut successes = Vec::new();
     for k in 1..=4 {
         let compiler = Compiler::new(device.clone(), CompilerConfig::with_max_colors(k));
-        let compiled =
-            compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
+        let compiled = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
         successes.push(
-            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default())
-                .p_success,
+            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default()).p_success,
         );
     }
     let best = successes.iter().copied().fold(f64::MIN, f64::max);
-    assert!(
-        best >= successes[0],
-        "budget sweep {successes:?} should not peak at 1 color only"
-    );
+    assert!(best >= successes[0], "budget sweep {successes:?} should not peak at 1 color only");
 }
 
 #[test]
@@ -171,14 +164,11 @@ fn compilation_works_on_heavy_hex() {
     let program = fastsc::workloads::qgan(n, 3);
     for s in [Strategy::ColorDynamic, Strategy::BaselineU] {
         let compiled = compiler.compile(&program, s).expect("compiles on heavy-hex");
-        let report =
-            estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
+        let report = estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
         assert!(report.p_success > 0.0, "{s}");
     }
     // Sparse connectivity => small crosstalk graph => few colors.
-    let compiled = compiler
-        .compile(&program, Strategy::ColorDynamic)
-        .expect("compiles");
+    let compiled = compiler.compile(&program, Strategy::ColorDynamic).expect("compiles");
     assert!(compiled.stats.max_colors_used <= 4);
 }
 
@@ -219,17 +209,15 @@ fn bv_pipeline_preserves_algorithm_semantics() {
     }
     // Routing may permute logical qubits; recover the permutation from the
     // router and check the mapped data bits.
-    let routed = fastsc::compiler::router::route(&program, compiler.device())
-        .expect("routable");
+    let routed =
+        fastsc::compiler::router::route(&program, compiler.device()).expect("routable");
     let mapping = routed.final_mapping;
     let mut probability_correct = 0.0;
     let dim = state.amplitudes().len();
     for idx in 0..dim {
         let bit = |phys: usize| (idx >> (4 - 1 - phys)) & 1 == 1;
-        let matches = hidden
-            .iter()
-            .enumerate()
-            .all(|(logical, &expect)| bit(mapping[logical]) == expect);
+        let matches =
+            hidden.iter().enumerate().all(|(logical, &expect)| bit(mapping[logical]) == expect);
         if matches {
             probability_correct += state.amplitudes()[idx].norm_sqr();
         }

@@ -1,0 +1,590 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored because
+//! this workspace builds without network access to a registry.
+//!
+//! Implemented surface (what the FastSC test suites use):
+//!
+//! * the [`proptest!`] macro, including `#![proptest_config(..)]`,
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0..n`, `-3.0f64..3.0`), tuple strategies,
+//! * [`prelude::any`] for primitives, [`collection::vec`],
+//!   [`sample::select`] and [`sample::subsequence`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: generation is deterministic (a fixed base
+//! seed mixed with the case index — failures reproduce exactly on rerun)
+//! and there is **no shrinking**; a failing case reports the generated
+//! inputs via `Debug` instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case driving: configuration, RNG, and failure type.
+
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Subset of upstream's `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the cases of one property.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic per-case RNG: fixed base seed mixed with the
+        /// case index, so failures reproduce exactly.
+        pub fn rng_for_case(&self, case: u32) -> TestRng {
+            TestRng::seed_from_u64(0xFA57_5C00 ^ ((case as u64) << 32 | case as u64))
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream there is no value tree / shrinking: a strategy is
+    /// simply a deterministic function of the case RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (upstream's `BoxedStrategy`).
+    pub struct BoxedStrategy<V> {
+        inner: std::rc::Rc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: self.inner.clone() }
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Marker for types with a canonical [`any`](crate::arbitrary::any)
+    /// strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_prim!(bool, u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    /// Strategy generating unconstrained values of `T` — see
+    /// [`any`](crate::arbitrary::any).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub(crate) fn any_strategy<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point.
+
+    use crate::strategy::{Any, Arbitrary};
+
+    /// Strategy generating any value of `T` (primitives only here).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        crate::strategy::any_strategy::<T>()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A number-of-elements range (upstream's `SizeRange`).
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, 0..16)` — a `Vec` with a random length in the range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit collections.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy choosing one element of a fixed vector.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+
+    /// Picks one element of `options` uniformly.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty vector");
+        Select { options }
+    }
+
+    /// Strategy choosing an order-preserving subsequence of a fixed vector.
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        options: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone + Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.pick(rng).min(self.options.len());
+            // Floyd-style distinct index sampling, then order restore.
+            let n = self.options.len();
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = rng.gen_range(0..=j);
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.options[i].clone()).collect()
+        }
+    }
+
+    /// Picks a uniform-length, order-preserving subsequence of `options`.
+    pub fn subsequence<T: Clone + Debug>(
+        options: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence { options, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` suites import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let runner = $crate::test_runner::TestRunner::new(config);
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest property '{}' failed at case {}: {}",
+                        stringify!($name), case, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} != {} (both: {:?})",
+                    stringify!($left), stringify!($right), l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} != {} (both: {:?}): {}",
+                    stringify!($left), stringify!($right), l, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.5f64..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u8..4, 0usize..5), 0..8)) {
+            prop_assert!(v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 5);
+            }
+        }
+
+        #[test]
+        fn flat_map_scales(n in 2usize..6, pair in (2usize..6).prop_flat_map(|n| (0..n, Just(n)))) {
+            prop_assert!(n >= 2);
+            let (k, m) = pair;
+            prop_assert!(k < m);
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            sub in crate::sample::subsequence((0..20usize).collect::<Vec<_>>(), 0..=20usize)
+        ) {
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn select_picks_member(x in crate::sample::select(vec![2usize, 3, 5, 7])) {
+            prop_assert!([2usize, 3, 5, 7].contains(&x));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline, API-compatible subset of [`rayon`](https://crates.io/crates/rayon),
+//! vendored because this workspace builds without network access to a
+//! registry.
+//!
+//! Implemented surface — what `fastsc_core::batch` uses:
+//!
+//! * `vec.into_par_iter()` / `slice.par_iter()`,
+//! * [`iter::ParallelIterator::map`] and `collect::<Vec<_>>()`,
+//! * [`current_num_threads`] and the `RAYON_NUM_THREADS` override.
+//!
+//! Execution model: the terminal operation materializes the source items,
+//! splits them into contiguous index chunks, and runs each chunk on a
+//! `std::thread::scope` thread. Ordering is preserved exactly (chunk `i`
+//! lands before chunk `i + 1`), so for pure closures the output is
+//! bit-identical to a sequential run — a property the batch-compiler
+//! tests assert.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread cap installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads terminal operations will use.
+///
+/// An installed [`ThreadPool`] cap wins, then `RAYON_NUM_THREADS` (like
+/// upstream), then [`std::thread::available_parallelism`]; never less
+/// than 1.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_CAP.with(Cell::get) {
+        return n;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` — only the thread count
+/// is configurable.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count for pools built from this builder.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "thread pool needs at least one thread");
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Infallible here; `Result` mirrors upstream.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped thread-count cap mirroring `rayon::ThreadPool`.
+///
+/// Unlike upstream there are no persistent workers; [`install`]
+/// (ThreadPool::install) caps how many scoped threads terminal
+/// operations spawn while the closure runs on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread cap in effect (on the calling
+    /// thread; the cap is restored afterwards, even on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_CAP.with(|cap| cap.set(self.0));
+            }
+        }
+        let previous = INSTALLED_CAP.with(|cap| cap.replace(self.num_threads));
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The cap this pool installs, resolving defaults the same way as
+    /// [`current_num_threads`].
+    pub fn current_num_threads(&self) -> usize {
+        match self.num_threads {
+            Some(n) => n,
+            None => current_num_threads(),
+        }
+    }
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving input order in the output.
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mapped) => out.push(mapped),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+pub mod iter {
+    //! Parallel iterator traits and adapters.
+
+    use super::parallel_map;
+
+    /// A data-parallel computation producing ordered items.
+    pub trait ParallelIterator: Sized + Send {
+        /// The element type.
+        type Item: Send;
+
+        /// Materializes all items **in order** (terminal, runs the
+        /// parallel stages accumulated so far).
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps each item through `f` in parallel.
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collects the items, preserving input order.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.drive())
+        }
+
+        /// Number of items, when cheaply known (sources report it).
+        fn opt_len(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The produced iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Types whose references iterate in parallel (`slice.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type (a reference).
+        type Item: Send + 'a;
+        /// The produced iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Iterates over `&self` in parallel.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Source: an owned `Vec`.
+    pub struct VecIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+        fn opt_len(&self) -> Option<usize> {
+            Some(self.items.len())
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    /// Source: a borrowed slice.
+    pub struct SliceIter<'a, T: Sync> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+        fn drive(self) -> Vec<&'a T> {
+            self.items.iter().collect()
+        }
+        fn opt_len(&self) -> Option<usize> {
+            Some(self.items.len())
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { items: self.as_slice() }
+        }
+    }
+
+    /// Range source (`(0..n).into_par_iter()`).
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = VecIter<usize>;
+        fn into_par_iter(self) -> VecIter<usize> {
+            VecIter { items: self.collect() }
+        }
+    }
+
+    /// Adapter produced by [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, U, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        U: Send,
+        F: Fn(I::Item) -> U + Sync + Send,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            parallel_map(self.base.drive(), self.f)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1u64, 2, 3, 4, 5];
+        let sq: Vec<u64> = v.par_iter().map(|&x| x * x).collect();
+        assert_eq!(sq, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn matches_sequential_for_pure_functions() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(0x9E3779B9)).collect();
+        let par: Vec<u64> =
+            inputs.into_par_iter().map(|x| x.wrapping_mul(0x9E3779B9)).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn installed_pool_caps_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let (inside, result) = pool.install(|| {
+            let inside = crate::current_num_threads();
+            let v: Vec<usize> = (0..100).into_par_iter().map(|x| x + 1).collect();
+            (inside, v)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(result, (1..101).collect::<Vec<_>>());
+        // The cap is restored after install returns.
+        let _ = crate::current_num_threads();
+        assert!(crate::INSTALLED_CAP.with(std::cell::Cell::get).is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+}
