@@ -2,7 +2,8 @@
 //! front end: a 32-job mixed workload (XEB / QAOA / BV across strategies)
 //! compiled sequentially vs. in parallel on all available cores.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use fastsc_bench::record::{self, BenchRecord};
 use fastsc_core::batch::{BatchCompiler, CompileJob};
 use fastsc_core::{CompilerConfig, Strategy};
 use fastsc_device::Device;
@@ -60,5 +61,35 @@ fn bench_batch_vs_sequential(c: &mut Criterion) {
     );
 }
 
+/// Records the acceptance-criteria measurement — median wall time of the
+/// 32-job mixed batch, sequential and parallel — into `BENCH_compile.json`
+/// so the perf trajectory is machine-readable across PRs.
+fn emit_bench_json() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let samples = if test_mode { 1 } else { 7 };
+    let device = Device::grid(3, 3, 7);
+    let jobs = mixed_jobs();
+
+    let sequential =
+        BatchCompiler::new(device.clone(), CompilerConfig::default()).num_threads(1);
+    let seq_ns = record::median_ns(samples, || {
+        criterion::black_box(sequential.compile_batch(jobs.clone()));
+    });
+    let parallel = BatchCompiler::new(device, CompilerConfig::default());
+    let par_ns = record::median_ns(samples, || {
+        criterion::black_box(parallel.compile_batch(jobs.clone()));
+    });
+
+    let path = record::record(&[
+        BenchRecord::new("batch32_mixed", "sequential", seq_ns),
+        BenchRecord::new("batch32_mixed", "parallel", par_ns),
+    ]);
+    println!("recorded batch32_mixed medians to {}", path.display());
+}
+
 criterion_group!(benches, bench_batch_vs_sequential);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_bench_json();
+}

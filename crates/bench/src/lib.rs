@@ -8,10 +8,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fastsc_core::{CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy};
+pub mod record;
+
+use fastsc_core::{
+    CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,
+};
 use fastsc_device::{CouplerKind, Device};
 use fastsc_noise::{estimate, NoiseConfig, SuccessReport};
 use fastsc_workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// The seed used across all reproduction binaries (fabrication variation,
 /// random workloads). Change it to check robustness of the shapes.
@@ -34,11 +40,39 @@ pub struct CellResult {
     pub report: SuccessReport,
 }
 
+/// Process-wide [`CompileContext`] cache: the figure binaries sweep many
+/// `(benchmark, strategy)` cells over a handful of `(device, config)`
+/// pairs, and without sharing they would rebuild the parking assignment
+/// and static colorings (the dominant cost) for every cell.
+///
+/// The key is the `Debug` rendering of the device and configuration —
+/// verbose, but complete (it covers every sampled qubit parameter), so
+/// two cells share a context only when a fresh build would be
+/// bit-identical anyway.
+fn shared_context(
+    device: &Device,
+    config: &CompilerConfig,
+) -> Result<Arc<CompileContext>, CompileError> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CompileContext>>>> = OnceLock::new();
+    let key = format!("{device:?}/{config:?}");
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+    }
+    let built = Arc::new(CompileContext::new(device.clone(), *config)?);
+    let mut cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    Ok(Arc::clone(cache.entry(key).or_insert(built)))
+}
+
 /// Compiles `benchmark` under `strategy` on the right-sized device and
 /// estimates its success.
 ///
 /// Baseline G runs on a tunable-coupler copy of the chip with the given
-/// residual factor; all other strategies use fixed couplers.
+/// residual factor; all other strategies use fixed couplers. Device-wide
+/// precomputation is reused across cells via a shared [`CompileContext`].
 ///
 /// # Errors
 ///
@@ -55,7 +89,7 @@ pub fn run_cell(
     } else {
         base
     };
-    let compiler = Compiler::new(device, *config);
+    let compiler = Compiler::with_context(shared_context(&device, config)?);
     let compiled = compiler.compile(&benchmark.build(SEED), strategy)?;
     let report = estimate(compiler.device(), &compiled.schedule, &NoiseConfig::default());
     Ok(CellResult { strategy, compiled, report })

@@ -1,0 +1,300 @@
+//! Machine-readable benchmark records (`BENCH_compile.json`).
+//!
+//! The criterion benches print human-readable timings; this module gives
+//! them a stable, machine-readable side channel so the compile-time
+//! trajectory can be tracked across PRs. Each record is one
+//! `(workload, strategy, median_ns)` measurement plus a free-form `label`
+//! (`BENCH_LABEL` env var, default `current`) distinguishing e.g. the
+//! `pre`/`post` halves of an optimization PR.
+//!
+//! The file format is a JSON array with exactly one record object per
+//! line — machine-readable by any JSON parser, and re-readable by
+//! [`read_records`] (which only understands this module's own output; it
+//! is not a general JSON parser). Re-recording a `(workload, strategy,
+//! label)` key replaces the old record in place, so repeated bench runs
+//! converge instead of growing the file.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One benchmark measurement destined for `BENCH_compile.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Workload identifier, e.g. `xeb16` or `batch32_mixed`.
+    pub workload: String,
+    /// Strategy identifier, e.g. `ColorDynamic` or `sequential`.
+    pub strategy: String,
+    /// Median wall-clock nanoseconds per run.
+    pub median_ns: u128,
+    /// Run label (`BENCH_LABEL` env var), e.g. `pre` / `post`.
+    pub label: String,
+}
+
+impl BenchRecord {
+    /// Creates a record carrying the ambient [`bench_label`].
+    pub fn new(workload: &str, strategy: &str, median_ns: u128) -> Self {
+        BenchRecord {
+            workload: workload.to_owned(),
+            strategy: strategy.to_owned(),
+            median_ns,
+            label: bench_label(),
+        }
+    }
+
+    fn key(&self) -> (&str, &str, &str) {
+        (&self.workload, &self.strategy, &self.label)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "  {{\"workload\": \"{}\", \"strategy\": \"{}\", \"median_ns\": {}, \"label\": \"{}\"}}",
+            escape(&self.workload),
+            escape(&self.strategy),
+            self.median_ns,
+            escape(&self.label)
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(next) = chars.next() {
+                out.push(next);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The label stamped on new records: `BENCH_LABEL`, default `current`.
+pub fn bench_label() -> String {
+    std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_owned())
+}
+
+/// Where records land: `BENCH_COMPILE_JSON`, default `BENCH_compile.json`
+/// at the workspace root.
+pub fn default_path() -> PathBuf {
+    match std::env::var("BENCH_COMPILE_JSON") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("BENCH_compile.json"),
+    }
+}
+
+/// Runs `routine` `samples` times and returns the median wall-clock
+/// nanoseconds of one run.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn median_ns<F: FnMut()>(samples: usize, mut routine: F) -> u128 {
+    assert!(samples > 0, "at least one sample is required");
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Merges `records` into the file at [`default_path`] and returns the path.
+pub fn record(records: &[BenchRecord]) -> PathBuf {
+    let path = default_path();
+    record_at(&path, records);
+    path
+}
+
+/// Merges `records` into `path`: existing records with the same
+/// `(workload, strategy, label)` key are replaced, others are kept, and
+/// the result is written sorted by key.
+pub fn record_at(path: &Path, records: &[BenchRecord]) {
+    let mut all = read_records(path);
+    for r in records {
+        match all.iter_mut().find(|existing| existing.key() == r.key()) {
+            Some(slot) => *slot = r.clone(),
+            None => all.push(r.clone()),
+        }
+    }
+    all.sort_by(|a, b| a.key().cmp(&b.key()));
+    let body: Vec<String> = all.iter().map(BenchRecord::to_json_line).collect();
+    let text = format!("[\n{}\n]\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Reads records previously written by [`record_at`]. Returns an empty
+/// vector for a missing or unreadable file.
+pub fn read_records(path: &Path) -> Vec<BenchRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(parse_record_line).collect()
+}
+
+fn parse_record_line(line: &str) -> Option<BenchRecord> {
+    Some(BenchRecord {
+        workload: str_field(line, "workload")?,
+        strategy: str_field(line, "strategy")?,
+        median_ns: num_field(line, "median_ns")?,
+        label: str_field(line, "label")?,
+    })
+}
+
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let rest = field_rest(line, name)?;
+    let rest = rest.strip_prefix('"')?;
+    // First unescaped quote ends the value.
+    let mut escaped = false;
+    for (at, c) in rest.char_indices() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => return Some(unescape(&rest[..at])),
+            _ => escaped = false,
+        }
+    }
+    None
+}
+
+fn num_field(line: &str, name: &str) -> Option<u128> {
+    let rest = field_rest(line, name)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn field_rest<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{name}\": ");
+    let at = line.find(&marker)?;
+    Some(&line[at + marker.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fastsc_record_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let path = tmp_file("roundtrip");
+        let records = vec![
+            BenchRecord {
+                workload: "xeb16".into(),
+                strategy: "ColorDynamic".into(),
+                median_ns: 123_456,
+                label: "pre".into(),
+            },
+            BenchRecord {
+                workload: "batch32_mixed".into(),
+                strategy: "sequential".into(),
+                median_ns: 9_999_999_999,
+                label: "post".into(),
+            },
+        ];
+        record_at(&path, &records);
+        let mut read = read_records(&path);
+        read.sort_by(|a, b| a.workload.cmp(&b.workload));
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].workload, "batch32_mixed");
+        assert_eq!(read[1].median_ns, 123_456);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rerecord_replaces_same_key() {
+        let path = tmp_file("replace");
+        let mk = |ns| BenchRecord {
+            workload: "w".into(),
+            strategy: "s".into(),
+            median_ns: ns,
+            label: "l".into(),
+        };
+        record_at(&path, &[mk(1)]);
+        record_at(&path, &[mk(2)]);
+        let read = read_records(&path);
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].median_ns, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_keeps_other_keys() {
+        let path = tmp_file("merge");
+        let a = BenchRecord {
+            workload: "a".into(),
+            strategy: "s".into(),
+            median_ns: 1,
+            label: "pre".into(),
+        };
+        let b = BenchRecord { workload: "b".into(), ..a.clone() };
+        record_at(&path, &[a]);
+        record_at(&path, &[b]);
+        assert_eq!(read_records(&path).len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_is_valid_json_array_shape() {
+        let path = tmp_file("shape");
+        record_at(
+            &path,
+            &[BenchRecord {
+                workload: "w".into(),
+                strategy: "s".into(),
+                median_ns: 7,
+                label: "l".into(),
+            }],
+        );
+        let text = std::fs::read_to_string(&path).expect("written");
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("\n]\n"));
+        assert!(text.contains("\"median_ns\": 7"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quotes_and_backslashes_roundtrip() {
+        let path = tmp_file("escape");
+        let tricky = BenchRecord {
+            workload: "say \"hi\"\\now".into(),
+            strategy: "s".into(),
+            median_ns: 5,
+            label: "pre\"post".into(),
+        };
+        record_at(&path, std::slice::from_ref(&tricky));
+        // Re-recording the same key replaces, never duplicates.
+        record_at(&path, std::slice::from_ref(&tricky));
+        let read = read_records(&path);
+        assert_eq!(read, vec![tricky]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn median_of_odd_samples() {
+        let mut n = 0u64;
+        let m = median_ns(5, || n += 1);
+        assert_eq!(n, 5);
+        assert!(m > 0);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        assert!(read_records(Path::new("/nonexistent/fastsc.json")).is_empty());
+    }
+}

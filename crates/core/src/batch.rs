@@ -35,12 +35,14 @@
 //! ```
 
 use crate::config::CompilerConfig;
+use crate::context::CompileContext;
 use crate::engine::{CompiledProgram, Compiler, Strategy};
 use crate::error::CompileError;
 use fastsc_device::Device;
 use fastsc_ir::Circuit;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// One unit of batch work: a program plus the strategy to compile it under.
 #[derive(Debug, Clone)]
@@ -80,6 +82,13 @@ impl BatchCompiler {
         BatchCompiler { compiler, num_threads: None }
     }
 
+    /// Wraps an existing shared [`CompileContext`] — the crosstalk graph,
+    /// parking assignment, static colorings, and SMT memo are reused, not
+    /// rebuilt, even across multiple `BatchCompiler`s.
+    pub fn from_context(context: Arc<CompileContext>) -> Self {
+        BatchCompiler::from_compiler(Compiler::with_context(context))
+    }
+
     /// Caps the worker-thread count: jobs run inside a rayon pool of at
     /// most `n` threads. `num_threads(1)` forces a fully sequential run —
     /// the baseline the throughput benchmark measures the rayon path
@@ -106,6 +115,11 @@ impl BatchCompiler {
         &self,
         jobs: Vec<CompileJob>,
     ) -> Vec<Result<CompiledProgram, CompileError>> {
+        // Warm the shared context on the calling thread so concurrent
+        // workers don't race to build it redundantly. A build failure is
+        // deliberately ignored here: each job surfaces it (after its own
+        // routing checks) exactly like a sequential run would.
+        let _ = self.compiler.context();
         match self.num_threads {
             Some(1) => self.compile_batch_sequential(jobs),
             Some(n) => rayon::ThreadPoolBuilder::new()

@@ -1,0 +1,323 @@
+//! Shared per-device compile-time precomputation.
+//!
+//! Every [`Compiler::compile`](crate::Compiler::compile) call needs the
+//! same device-wide structures: the crosstalk graph, the parking
+//! assignment, the reachable interaction band, the mean anharmonicity,
+//! the per-strategy static colorings/frequencies, and the results of
+//! `smt_find` for each color count. None of them depend on the program
+//! being compiled, so a compilation service rebuilding them per job wastes
+//! almost all of its time — the static Baseline S/G solve alone costs
+//! hundreds of milliseconds on a 16-qubit mesh.
+//!
+//! [`CompileContext`] computes them once per `(device, config)` pair and
+//! is shared via [`Arc`] by [`Compiler`](crate::Compiler),
+//! [`BatchCompiler`](crate::batch::BatchCompiler), and the bench
+//! binaries. All caching is either immutable-after-construction or behind
+//! interior locks, so a context can serve many compilation threads at
+//! once; and because every cached value is a pure function of its key,
+//! schedules compiled through a warm context are bit-identical to
+//! schedules compiled from scratch (the determinism suite asserts this).
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::frequency;
+use fastsc_device::{Band, Device};
+use fastsc_graph::coloring;
+use fastsc_graph::crosstalk::CrosstalkGraph;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The program-independent static frequency assignment shared by
+/// Baseline S and Baseline G: one Welsh–Powell coloring of the full
+/// crosstalk graph, solved once, serving both as the per-coupling
+/// frequency table and as Baseline G's tiling pattern.
+#[derive(Debug, Clone)]
+pub struct StaticAssignment {
+    /// `colors[coupling]` — the crosstalk-graph coloring.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors in `colors`.
+    pub color_count: usize,
+    /// `freqs[coupling]` — the interaction frequency of each coupling.
+    pub freqs: Vec<f64>,
+}
+
+/// Memo key for `smt_find` results: the full argument tuple, with floats
+/// compared bit-exactly so a hit can only ever return the value the same
+/// call would have computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SmtKey {
+    k: usize,
+    band_lo: u64,
+    band_hi: u64,
+    alpha: u64,
+    tol: u64,
+}
+
+impl SmtKey {
+    fn new(k: usize, band: Band, alpha: f64, tol: f64) -> Self {
+        SmtKey {
+            k,
+            band_lo: band.lo.to_bits(),
+            band_hi: band.hi.to_bits(),
+            alpha: alpha.to_bits(),
+            tol: tol.to_bits(),
+        }
+    }
+}
+
+/// Per-device precomputation shared across compiles (see the
+/// [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use fastsc_core::{CompileContext, Compiler, CompilerConfig, Strategy};
+/// use fastsc_device::Device;
+/// use fastsc_workloads::Benchmark;
+/// use std::sync::Arc;
+///
+/// let context = Arc::new(
+///     CompileContext::new(Device::grid(3, 3, 7), CompilerConfig::default())?,
+/// );
+/// // Many compilers (e.g. one per service thread) share one context.
+/// let a = Compiler::with_context(Arc::clone(&context));
+/// let b = Compiler::with_context(Arc::clone(&context));
+/// let program = Benchmark::Xeb(9, 3).build(7);
+/// let ca = a.compile(&program, Strategy::ColorDynamic)?;
+/// let cb = b.compile(&program, Strategy::ColorDynamic)?;
+/// assert_eq!(ca.schedule, cb.schedule);
+/// # Ok::<(), fastsc_core::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct CompileContext {
+    device: Device,
+    config: CompilerConfig,
+    xtalk: CrosstalkGraph,
+    parking: Vec<f64>,
+    band: Band,
+    alpha: f64,
+    baseline_n_freqs: Vec<f64>,
+    baseline_u_freqs: Vec<f64>,
+    /// Baseline S/G static assignment, solved lazily (ColorDynamic-only
+    /// traffic never pays for it) and exactly once.
+    statics: OnceLock<Result<StaticAssignment, CompileError>>,
+    /// Concurrent `smt_find` memo keyed by `(k, band, alpha, tol)`.
+    smt_memo: RwLock<HashMap<SmtKey, Arc<Vec<f64>>>>,
+}
+
+impl CompileContext {
+    /// Builds the context for a `(device, config)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the parking
+    /// assignment cannot be solved or the reachable interaction band is
+    /// empty — the same errors (in the same order) a direct compile
+    /// would surface.
+    pub fn new(device: Device, config: CompilerConfig) -> Result<Self, CompileError> {
+        let tol = config.smt_tolerance;
+        let xtalk = device.crosstalk_graph(config.crosstalk_distance);
+        let parking = frequency::parking_assignment(&device, tol)?;
+        let band = frequency::reachable_interaction_band(&device)?;
+        let alpha = frequency::mean_anharmonicity(&device);
+
+        // Baseline N: a quasi-random (golden-ratio hash) per-coupling
+        // value, ignoring adjacency entirely — the "separated idle and
+        // interaction frequencies" of a conventional compiler, without
+        // any crosstalk model.
+        const GOLDEN: f64 = 0.618_033_988_749_895;
+        let baseline_n_freqs = (0..xtalk.coupling_count())
+            .map(|e| band.lo + ((e as f64 + 1.0) * GOLDEN).fract() * band.width())
+            .collect();
+        let baseline_u_freqs = vec![band.center(); xtalk.coupling_count()];
+
+        Ok(CompileContext {
+            device,
+            config,
+            xtalk,
+            parking,
+            band,
+            alpha,
+            baseline_n_freqs,
+            baseline_u_freqs,
+            statics: OnceLock::new(),
+            smt_memo: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The device this context was built for.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration this context was built for.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The distance-`d` crosstalk graph.
+    pub fn xtalk(&self) -> &CrosstalkGraph {
+        &self.xtalk
+    }
+
+    /// Parking (idle) frequency of every qubit.
+    pub fn parking(&self) -> &[f64] {
+        &self.parking
+    }
+
+    /// The reachable interaction band.
+    pub fn band(&self) -> Band {
+        self.band
+    }
+
+    /// Mean anharmonicity across the device.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Baseline N's crowding-unaware per-coupling frequencies.
+    pub fn baseline_n_freqs(&self) -> &[f64] {
+        &self.baseline_n_freqs
+    }
+
+    /// Baseline U's shared per-coupling frequency table.
+    pub fn baseline_u_freqs(&self) -> &[f64] {
+        &self.baseline_u_freqs
+    }
+
+    /// The Baseline S/G static assignment: the full crosstalk graph is
+    /// colored **once** and the coloring serves both the frequency table
+    /// and the gmon tiling pattern (the seed implementation ran
+    /// Welsh–Powell twice per compile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the static
+    /// color count does not fit the interaction band.
+    pub fn statics(&self) -> Result<&StaticAssignment, CompileError> {
+        self.statics
+            .get_or_init(|| {
+                let colors = coloring::welsh_powell(self.xtalk.graph());
+                let color_count = coloring::color_count(&colors);
+                let values = self.smt_frequencies(color_count)?.0;
+                let freq_of_color = frequency::freq_of_color_by_multiplicity(&colors, &values);
+                let freqs = colors.iter().map(|&c| freq_of_color[c]).collect();
+                Ok(StaticAssignment { colors, color_count, freqs })
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// `smt_find(k, band, alpha, tol)` through the concurrent memo:
+    /// returns the `k` frequencies (descending) plus whether this call
+    /// actually invoked the solver (`true` on a memo miss).
+    ///
+    /// Values are memoized forever — `smt_find` is a pure function of the
+    /// key, so a warm hit is bit-identical to a fresh solve. The solver
+    /// runs outside the lock; when two threads race on the same key the
+    /// first insert wins and both observe the identical value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError::FrequencyBandExhausted`] from
+    /// `smt_find` (errors are not memoized).
+    pub fn smt_frequencies(&self, k: usize) -> Result<(Arc<Vec<f64>>, bool), CompileError> {
+        let key = SmtKey::new(k, self.band, self.alpha, self.config.smt_tolerance);
+        if let Some(hit) = self.read_memo(&key) {
+            return Ok((hit, false));
+        }
+        let solved =
+            Arc::new(frequency::smt_find(k, self.band, self.alpha, self.config.smt_tolerance)?);
+        let mut memo = self.smt_memo.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let value = Arc::clone(memo.entry(key).or_insert(solved));
+        Ok((value, true))
+    }
+
+    fn read_memo(&self, key: &SmtKey) -> Option<Arc<Vec<f64>>> {
+        let memo = self.smt_memo.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        memo.get(key).map(Arc::clone)
+    }
+
+    /// Number of distinct `smt_find` results currently memoized.
+    pub fn smt_memo_len(&self) -> usize {
+        self.smt_memo.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CompileContext {
+        CompileContext::new(Device::grid(3, 3, 7), CompilerConfig::default()).expect("builds")
+    }
+
+    #[test]
+    fn context_matches_direct_computation() {
+        let c = ctx();
+        let device = Device::grid(3, 3, 7);
+        let tol = CompilerConfig::default().smt_tolerance;
+        assert_eq!(
+            c.parking(),
+            &frequency::parking_assignment(&device, tol).expect("fits")[..]
+        );
+        let band = frequency::reachable_interaction_band(&device).expect("non-empty");
+        assert_eq!(c.band().lo.to_bits(), band.lo.to_bits());
+        assert_eq!(c.band().hi.to_bits(), band.hi.to_bits());
+        assert_eq!(c.alpha().to_bits(), frequency::mean_anharmonicity(&device).to_bits());
+        assert_eq!(c.xtalk().coupling_count(), device.connectivity().edge_count());
+    }
+
+    #[test]
+    fn statics_solved_once_and_consistent() {
+        let c = ctx();
+        let first = c.statics().expect("solves").clone();
+        let again = c.statics().expect("cached");
+        assert_eq!(first.colors, again.colors);
+        assert_eq!(first.color_count, coloring::color_count(&first.colors));
+        assert_eq!(first.freqs.len(), c.xtalk().coupling_count());
+        // The coloring is the plain Welsh–Powell coloring of the graph.
+        assert_eq!(first.colors, coloring::welsh_powell(c.xtalk().graph()));
+        // Every frequency is in the reachable band.
+        for &f in &first.freqs {
+            assert!(c.band().contains(f), "{f} outside the interaction band");
+        }
+    }
+
+    #[test]
+    fn smt_memo_hits_return_identical_values() {
+        let c = ctx();
+        let (first, miss1) = c.smt_frequencies(3).expect("fits");
+        let (second, miss2) = c.smt_frequencies(3).expect("fits");
+        assert!(miss1, "first call must invoke the solver");
+        assert!(!miss2, "second call must hit the memo");
+        assert!(Arc::ptr_eq(&first, &second), "hits share the cached allocation");
+        let direct = frequency::smt_find(3, c.band(), c.alpha(), c.config().smt_tolerance)
+            .expect("fits");
+        assert_eq!(first.len(), direct.len());
+        for (a, b) in first.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits(), "memo must be bit-identical to a fresh solve");
+        }
+        assert_eq!(c.smt_memo_len(), 1);
+    }
+
+    #[test]
+    fn baseline_tables_sized_by_coupling_count() {
+        let c = ctx();
+        assert_eq!(c.baseline_n_freqs().len(), c.xtalk().coupling_count());
+        assert_eq!(c.baseline_u_freqs().len(), c.xtalk().coupling_count());
+        for &f in c.baseline_n_freqs() {
+            assert!(c.band().contains(f));
+        }
+        assert!(c.baseline_u_freqs().iter().all(|&f| (f - c.band().center()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unreachable_band_fails_construction() {
+        use fastsc_device::DeviceBuilder;
+        let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(2, 2));
+        b.seed(0).omega_max_distribution(5.5, 0.0); // below the 6 GHz floor
+        let result = CompileContext::new(b.build(), CompilerConfig::default());
+        assert!(matches!(result, Err(CompileError::FrequencyBandExhausted { .. })));
+    }
+}

@@ -14,6 +14,7 @@
 //! | `ColorDynamic` | per-cycle active-subgraph coloring + SMT | noise-aware queueing | fixed |
 
 use crate::config::CompilerConfig;
+use crate::context::CompileContext;
 use crate::error::CompileError;
 use crate::frequency;
 use crate::router;
@@ -25,6 +26,7 @@ use fastsc_ir::optimize::peephole;
 use fastsc_ir::{Circuit, Gate};
 use fastsc_noise::{Cycle, Schedule, ScheduledGate};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The five compilation strategies of the paper's Table I.
@@ -107,16 +109,57 @@ pub struct CompiledProgram {
 }
 
 /// The frequency-aware compiler (paper Fig. 3).
+///
+/// Device-wide precomputation (crosstalk graph, parking assignment,
+/// static colorings, `smt_find` memo) lives in an [`Arc`]-shared
+/// [`CompileContext`] built on first use, so repeated compiles against
+/// one device — the batch/service workload — only pay for it once.
+/// Cloning a `Compiler` shares its context.
 #[derive(Debug, Clone)]
 pub struct Compiler {
     device: Device,
     config: CompilerConfig,
+    context: OnceLock<Arc<CompileContext>>,
 }
 
 impl Compiler {
-    /// Creates a compiler for a device.
+    /// Creates a compiler for a device. The shared [`CompileContext`] is
+    /// built lazily on the first compile (construction is infallible;
+    /// device-level frequency errors surface from
+    /// [`compile`](Self::compile)).
     pub fn new(device: Device, config: CompilerConfig) -> Self {
-        Compiler { device, config }
+        Compiler { device, config, context: OnceLock::new() }
+    }
+
+    /// Creates a compiler over an existing shared context — nothing is
+    /// rebuilt, and every compiler created from the same `Arc` shares
+    /// the same static tables and SMT memo.
+    pub fn with_context(context: Arc<CompileContext>) -> Self {
+        let device = context.device().clone();
+        let config = *context.config();
+        let slot = OnceLock::new();
+        let _ = slot.set(context);
+        Compiler { device, config, context: slot }
+    }
+
+    /// The shared per-device context, building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the device's
+    /// frequency plan (parking or interaction band) is unsolvable.
+    pub fn context(&self) -> Result<Arc<CompileContext>, CompileError> {
+        self.context_ref().map(Arc::clone)
+    }
+
+    fn context_ref(&self) -> Result<&Arc<CompileContext>, CompileError> {
+        if self.context.get().is_none() {
+            let built = Arc::new(CompileContext::new(self.device.clone(), self.config)?);
+            // A concurrent builder may have won the race; either Arc
+            // holds identical (deterministically computed) tables.
+            let _ = self.context.set(built);
+        }
+        Ok(self.context.get().expect("context just initialized"))
     }
 
     /// The target device.
@@ -142,58 +185,39 @@ impl Compiler {
         strategy: Strategy,
     ) -> Result<CompiledProgram, CompileError> {
         let start = Instant::now();
-        let tol = self.config.smt_tolerance;
 
         // 1-2. Route and lower.
         let routed = router::route(program, &self.device)?;
         let lowered = peephole(&decompose(&routed.circuit, self.config.decomposition));
 
-        // 3. Device-wide structures.
-        let xtalk = self.device.crosstalk_graph(self.config.crosstalk_distance);
-        let parking = frequency::parking_assignment(&self.device, tol)?;
-        let band = frequency::reachable_interaction_band(&self.device)?;
-        let alpha = frequency::mean_anharmonicity(&self.device);
+        // 3. Device-wide structures — precomputed once per device in the
+        // shared context, not rebuilt per compile.
+        let ctx = self.context_ref()?;
+        let xtalk = ctx.xtalk();
+        let n_couplings = xtalk.coupling_count();
         let mut smt_calls = 0usize;
 
         // Static per-coupling interaction frequencies for the baselines.
-        let static_freqs: Option<Vec<f64>> = match strategy {
-            Strategy::BaselineN => {
-                // Crowding-unaware: a quasi-random (golden-ratio hash)
-                // per-coupling value, ignoring adjacency entirely — the
-                // "separated idle and interaction frequencies" of a
-                // conventional compiler, without any crosstalk model.
-                const GOLDEN: f64 = 0.618_033_988_749_895;
-                Some(
-                    (0..xtalk.coupling_count())
-                        .map(|e| band.lo + ((e as f64 + 1.0) * GOLDEN).fract() * band.width())
-                        .collect(),
-                )
-            }
-            Strategy::BaselineU => Some(vec![band.center(); xtalk.coupling_count()]),
+        // Baseline S/G share one crosstalk-graph coloring (solved once in
+        // the context) serving both the frequency table and the gmon
+        // tiling pattern (Sycamore-style tiles; on a mesh the classes are
+        // the A/B/C/D patterns of Fig. 7).
+        let static_freqs: Option<&[f64]> = match strategy {
+            Strategy::BaselineN => Some(ctx.baseline_n_freqs()),
+            Strategy::BaselineU => Some(ctx.baseline_u_freqs()),
             Strategy::BaselineS | Strategy::BaselineG => {
-                let colors = coloring::welsh_powell(xtalk.graph());
                 smt_calls += 1;
-                let freq_of_color =
-                    frequency::frequencies_for_coloring(&colors, band, alpha, tol)?;
-                Some(colors.iter().map(|&c| freq_of_color[c]).collect())
+                Some(&ctx.statics()?.freqs)
             }
             Strategy::ColorDynamic => None,
         };
-        // Static coloring doubles as the gmon tiling pattern: each cycle of
-        // Baseline G activates couplers of one color class only
-        // (Sycamore-style tiles; on a mesh the classes are the A/B/C/D
-        // patterns of Fig. 7).
-        let static_colors: Option<Vec<usize>> = match strategy {
-            Strategy::BaselineS | Strategy::BaselineG => {
-                Some(coloring::welsh_powell(xtalk.graph()))
-            }
+        let static_colors: Option<&[usize]> = match strategy {
+            Strategy::BaselineS | Strategy::BaselineG => Some(&ctx.statics()?.colors),
             _ => None,
         };
         let static_color_count = match strategy {
-            Strategy::BaselineS | Strategy::BaselineG => {
-                coloring::color_count(static_colors.as_ref().expect("just built"))
-            }
-            Strategy::BaselineN => 4.min(xtalk.coupling_count().max(1)),
+            Strategy::BaselineS | Strategy::BaselineG => ctx.statics()?.color_count,
+            Strategy::BaselineN => 4.min(n_couplings.max(1)),
             Strategy::BaselineU => 1,
             Strategy::ColorDynamic => 0,
         };
@@ -203,23 +227,52 @@ impl Compiler {
         let crit = criticality(&lowered);
         let n_inst = lowered.len();
         let mut remaining_preds: Vec<usize> = (0..n_inst).map(|i| dag.preds(i).len()).collect();
-        let mut ready: Vec<usize> = (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
         let mut scheduled = vec![false; n_inst];
         let mut n_scheduled = 0usize;
 
+        // The ready queue is kept sorted by (criticality desc, index asc)
+        // incrementally: sorted once here, then maintained by binary-search
+        // insertion as successors become ready — never re-sorted. The key
+        // is a strict total order (ties broken by the unique index), so
+        // the admission order is exactly what a per-cycle re-sort yields.
+        let ready_key = |i: usize| (std::cmp::Reverse(crit[i]), i);
+        let mut ready: Vec<usize> = (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
+        ready.sort_by_key(|&i| ready_key(i));
+
         let mut schedule = Schedule::new(self.device.n_qubits());
-        let mut smt_cache: HashMap<usize, Vec<f64>> = HashMap::new();
+        // Per-compile view of the context's SMT memo: one lock-free hit
+        // per distinct color count after the first lookup.
+        let mut smt_local: HashMap<usize, Arc<Vec<f64>>> = HashMap::new();
         let mut max_colors_used = static_color_count;
         let mut deferred_gates = 0usize;
         let params = *self.device.params();
 
-        while n_scheduled < n_inst {
-            ready.sort_by_key(|&i| (std::cmp::Reverse(crit[i]), i));
+        // Per-cycle scratch, allocated once and reused: membership tests
+        // are O(1) bitset probes and the hot loop is allocation-free.
+        let mut qubit_busy = vec![false; self.device.n_qubits()];
+        let mut coupling_admitted = vec![false; n_couplings];
+        let mut deferred_coupling = vec![false; n_couplings];
+        // coupling_of[i]: the coupling of (two-qubit) instruction i, valid
+        // only in cycles that admitted i; NO_COUPLING for one-qubit gates.
+        const NO_COUPLING: usize = usize::MAX;
+        let mut coupling_of = vec![NO_COUPLING; n_inst];
+        let mut freq_of_coupling = vec![0.0f64; n_couplings];
+        let mut admitted: Vec<usize> = Vec::new();
+        let mut admitted_couplings: Vec<usize> = Vec::new();
+        let mut active_colors: Vec<usize> = Vec::new();
+        // Scratch for the inline active-subgraph coloring (ColorDynamic):
+        // sub_index_of[coupling] is the active index of an admitted
+        // coupling (valid only while its coupling_admitted bit is set).
+        let mut sub_index_of = vec![usize::MAX; n_couplings];
+        let mut sub_degree: Vec<usize> = Vec::new();
+        let mut sub_order: Vec<usize> = Vec::new();
+        let mut sub_color: Vec<Option<usize>> = Vec::new();
+        let mut sub_deferred: Vec<usize> = Vec::new();
+        let mut used_colors: Vec<bool> = Vec::new();
 
-            let mut qubit_busy = vec![false; self.device.n_qubits()];
-            let mut admitted: Vec<usize> = Vec::new();
-            let mut admitted_couplings: Vec<usize> = Vec::new();
-            let mut coupling_of: HashMap<usize, usize> = HashMap::new();
+        while n_scheduled < n_inst {
+            admitted.clear();
+            admitted_couplings.clear();
             let mut tile_color: Option<usize> = None;
 
             for &i in &ready {
@@ -231,11 +284,8 @@ impl Compiler {
                     let cpl = xtalk
                         .coupling_between(a, b)
                         .expect("router guarantees coupled operands");
-                    let conflicts = xtalk
-                        .conflicts(cpl)
-                        .iter()
-                        .filter(|c| admitted_couplings.contains(c))
-                        .count();
+                    let conflicts =
+                        xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count();
                     let postpone = match strategy {
                         // Serial scheduler (Table I): one two-qubit gate
                         // per cycle — the shared interaction frequency
@@ -258,7 +308,7 @@ impl Compiler {
                         // Tiling scheduler: a cycle only activates
                         // couplers from one color class.
                         Strategy::BaselineG => {
-                            let color = static_colors.as_ref().expect("gmon is static")[cpl];
+                            let color = static_colors.expect("gmon is static")[cpl];
                             match tile_color {
                                 Some(t) => t != color,
                                 None => false,
@@ -271,10 +321,11 @@ impl Compiler {
                         continue;
                     }
                     if strategy == Strategy::BaselineG && tile_color.is_none() {
-                        tile_color = Some(static_colors.as_ref().expect("gmon is static")[cpl]);
+                        tile_color = Some(static_colors.expect("gmon is static")[cpl]);
                     }
                     admitted_couplings.push(cpl);
-                    coupling_of.insert(i, cpl);
+                    coupling_admitted[cpl] = true;
+                    coupling_of[i] = cpl;
                 }
                 for q in inst.qubits() {
                     qubit_busy[q] = true;
@@ -289,52 +340,94 @@ impl Compiler {
 
             // ColorDynamic: color the active subgraph, enforcing the
             // color budget by deferring uncolorable gates (Fig. 11).
-            let mut freq_of_coupling: HashMap<usize, f64> = HashMap::new();
+            //
+            // The coloring is `coloring::bounded_coloring` of
+            // `xtalk.active_subgraph(&admitted_couplings)`, computed
+            // inline over the coupling_admitted bitset: active index `v`
+            // is `admitted_couplings[v]` (exactly the subgraph's node
+            // mapping), subgraph adjacency is crosstalk adjacency
+            // restricted to admitted couplings, and Welsh–Powell visits
+            // by (degree desc, active index asc) — identical order,
+            // identical colors, identical deferrals, but no per-cycle
+            // graph construction or hash maps.
             if strategy == Strategy::ColorDynamic && !admitted_couplings.is_empty() {
-                let (sub, map) = xtalk.active_subgraph(&admitted_couplings);
-                let budget = self.config.max_colors.unwrap_or(sub.node_count());
-                let bounded = coloring::bounded_coloring(&sub, budget);
-                if !bounded.deferred.is_empty() {
-                    // Remove the deferred gates from this cycle.
-                    let deferred_couplings: Vec<usize> =
-                        bounded.deferred.iter().map(|&v| map[v]).collect();
-                    deferred_gates += deferred_couplings.len();
-                    admitted.retain(|&i| {
-                        coupling_of.get(&i).is_none_or(|c| !deferred_couplings.contains(c))
-                    });
+                let n_active = admitted_couplings.len();
+                let budget = self.config.max_colors.unwrap_or(n_active);
+                assert!(budget > 0, "at least one color is required");
+                for (v, &cpl) in admitted_couplings.iter().enumerate() {
+                    sub_index_of[cpl] = v;
                 }
-                let colors: Vec<usize> =
-                    (0..sub.node_count()).filter_map(|v| bounded.colors[v]).collect();
-                if !colors.is_empty() {
-                    let k = coloring::color_count(&colors);
+                sub_degree.clear();
+                sub_degree.extend(admitted_couplings.iter().map(|&cpl| {
+                    xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count()
+                }));
+                sub_order.clear();
+                sub_order.extend(0..n_active);
+                sub_order.sort_by_key(|&v| (std::cmp::Reverse(sub_degree[v]), v));
+
+                sub_color.clear();
+                sub_color.resize(n_active, None);
+                sub_deferred.clear();
+                used_colors.clear();
+                used_colors.resize(budget, false);
+                for &v in &sub_order {
+                    used_colors.fill(false);
+                    for &c in xtalk.conflicts(admitted_couplings[v]) {
+                        if coupling_admitted[c] {
+                            if let Some(color) = sub_color[sub_index_of[c]] {
+                                used_colors[color] = true;
+                            }
+                        }
+                    }
+                    match used_colors.iter().position(|&taken| !taken) {
+                        Some(color) => sub_color[v] = Some(color),
+                        None => sub_deferred.push(v),
+                    }
+                }
+
+                if !sub_deferred.is_empty() {
+                    // Remove the deferred gates from this cycle.
+                    deferred_gates += sub_deferred.len();
+                    for &v in &sub_deferred {
+                        deferred_coupling[admitted_couplings[v]] = true;
+                    }
+                    admitted.retain(|&i| {
+                        coupling_of[i] == NO_COUPLING || !deferred_coupling[coupling_of[i]]
+                    });
+                    for &v in &sub_deferred {
+                        deferred_coupling[admitted_couplings[v]] = false;
+                    }
+                }
+                active_colors.clear();
+                active_colors.extend(sub_color.iter().flatten());
+                if !active_colors.is_empty() {
+                    let k = coloring::color_count(&active_colors);
                     max_colors_used = max_colors_used.max(k);
-                    let values = match smt_cache.get(&k) {
-                        Some(v) => v.clone(),
-                        None => {
-                            smt_calls += 1;
-                            let v = frequency::smt_find(k, band, alpha, tol)?;
-                            smt_cache.insert(k, v.clone());
-                            v
+                    // Borrow the memoized frequencies (no per-cycle clone
+                    // of the value vector — only an Arc bump on misses).
+                    let values: &Arc<Vec<f64>> = match smt_local.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            let (values, missed) = ctx.smt_frequencies(k)?;
+                            if missed {
+                                smt_calls += 1;
+                            }
+                            slot.insert(values)
                         }
                     };
                     // Rank colors by multiplicity: popular = fastest.
-                    let histogram = coloring::histogram(&colors);
-                    let mut order: Vec<usize> = (0..k).collect();
-                    order.sort_by_key(|&c| (std::cmp::Reverse(histogram[c]), c));
-                    let mut freq_of_color = vec![0.0; k];
-                    for (rank, &color) in order.iter().enumerate() {
-                        freq_of_color[color] = values[rank];
-                    }
-                    for (&coupling, &color) in map.iter().zip(&bounded.colors) {
+                    let freq_of_color =
+                        frequency::freq_of_color_by_multiplicity(&active_colors, values);
+                    for (&coupling, &color) in admitted_couplings.iter().zip(&sub_color) {
                         if let Some(c) = color {
-                            freq_of_coupling.insert(coupling, freq_of_color[c]);
+                            freq_of_coupling[coupling] = freq_of_color[c];
                         }
                     }
                 }
             }
 
             // Assemble the cycle.
-            let mut frequencies = parking.clone();
+            let mut frequencies = ctx.parking().to_vec();
             let mut gates = Vec::with_capacity(admitted.len());
             let mut active_couplings = Vec::new();
             let mut max_gate_ns: f64 = 0.0;
@@ -344,10 +437,10 @@ impl Compiler {
                 let inst = lowered.instructions()[i];
                 let interaction_freq = match inst.qubit_pair() {
                     Some((a, b)) => {
-                        let cpl = coupling_of[&i];
+                        let cpl = coupling_of[i];
                         let omega = match strategy {
-                            Strategy::ColorDynamic => freq_of_coupling[&cpl],
-                            _ => static_freqs.as_ref().expect("baselines are static")[cpl],
+                            Strategy::ColorDynamic => freq_of_coupling[cpl],
+                            _ => static_freqs.expect("baselines are static")[cpl],
                         };
                         frequencies[a] = omega;
                         frequencies[b] = omega;
@@ -375,14 +468,28 @@ impl Compiler {
                 max_gate_ns + if any_two_qubit { params.flux_settle_ns } else { 0.0 };
             schedule.push_cycle(Cycle { gates, frequencies, active_couplings, duration_ns });
 
-            // Retire admitted instructions and surface newly ready ones.
+            // Reset the per-cycle bitsets (sparse clear via the admitted
+            // lists; `admitted_couplings` still holds budget-deferred
+            // couplings, so every set bit is covered).
+            qubit_busy.fill(false);
+            for &cpl in &admitted_couplings {
+                coupling_admitted[cpl] = false;
+            }
+
+            // Retire admitted instructions and surface newly ready ones at
+            // their sorted position.
             for &i in &admitted {
                 scheduled[i] = true;
                 n_scheduled += 1;
                 for &s in dag.succs(i) {
                     remaining_preds[s] -= 1;
                     if remaining_preds[s] == 0 {
-                        ready.push(s);
+                        let at = match ready
+                            .binary_search_by_key(&ready_key(s), |&j| ready_key(j))
+                        {
+                            Ok(at) | Err(at) => at,
+                        };
+                        ready.insert(at, s);
                     }
                 }
             }

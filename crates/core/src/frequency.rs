@@ -92,17 +92,33 @@ pub fn frequencies_for_coloring(
     tolerance: f64,
 ) -> Result<Vec<f64>, CompileError> {
     assert!(!colors.is_empty(), "need at least one colored vertex");
+    let k = coloring::color_count(colors);
+    let values = smt_find(k, band, alpha, tolerance)?;
+    Ok(freq_of_color_by_multiplicity(colors, &values))
+}
+
+/// Maps sorted-descending frequency `values` onto the colors of `colors`
+/// ranked by multiplicity (descending, ties by color index): the color
+/// used by the most gates receives the highest frequency (§V-B3). Returns
+/// `frequency[color]`.
+///
+/// Shared by the static (whole-graph) and dynamic (per-cycle) assignment
+/// paths so both rank identically.
+///
+/// # Panics
+///
+/// Panics if `values` holds fewer entries than `colors` has colors.
+pub fn freq_of_color_by_multiplicity(colors: &[usize], values: &[f64]) -> Vec<f64> {
     let histogram = coloring::histogram(colors);
     let k = histogram.len();
-    let values = smt_find(k, band, alpha, tolerance)?;
-    // Rank colors by multiplicity (descending), ties by color index.
+    assert!(values.len() >= k, "need one frequency per color");
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by_key(|&c| (std::cmp::Reverse(histogram[c]), c));
     let mut freq_of_color = vec![0.0; k];
     for (rank, &color) in order.iter().enumerate() {
         freq_of_color[color] = values[rank];
     }
-    Ok(freq_of_color)
+    freq_of_color
 }
 
 /// Parking (idle) frequencies for every qubit: colors the connectivity

@@ -39,11 +39,13 @@
 
 pub mod batch;
 mod config;
+pub mod context;
 mod engine;
 mod error;
 pub mod frequency;
 pub mod router;
 
 pub use config::CompilerConfig;
+pub use context::{CompileContext, StaticAssignment};
 pub use engine::{CompileStats, CompiledProgram, Compiler, Strategy};
 pub use error::CompileError;

@@ -13,6 +13,7 @@
 //! that pattern explicitly.
 
 use crate::Graph;
+use std::collections::HashMap;
 
 /// The distance-`d` crosstalk graph of a device connectivity graph.
 ///
@@ -35,6 +36,7 @@ use crate::Graph;
 pub struct CrosstalkGraph {
     graph: Graph,
     couplings: Vec<(usize, usize)>,
+    pair_index: HashMap<(usize, usize), usize>,
     distance: usize,
 }
 
@@ -78,7 +80,8 @@ impl CrosstalkGraph {
                 }
             }
         }
-        CrosstalkGraph { graph, couplings, distance: d }
+        let pair_index = couplings.iter().enumerate().map(|(i, &pair)| (pair, i)).collect();
+        CrosstalkGraph { graph, couplings, pair_index, distance: d }
     }
 
     /// The underlying graph (nodes are couplings).
@@ -106,9 +109,12 @@ impl CrosstalkGraph {
     }
 
     /// The coupling index between two qubits, if they are directly coupled.
+    ///
+    /// O(1): the scheduler hot loop calls this once per two-qubit gate per
+    /// cycle, so the lookup is backed by a qubit-pair hash index rather
+    /// than a scan of the coupling list.
     pub fn coupling_between(&self, q1: usize, q2: usize) -> Option<usize> {
-        let key = (q1.min(q2), q1.max(q2));
-        self.couplings.iter().position(|&c| c == key)
+        self.pair_index.get(&(q1.min(q2), q1.max(q2))).copied()
     }
 
     /// Crosstalk-graph neighbors of coupling `i`: all couplings that must

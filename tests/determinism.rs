@@ -4,10 +4,12 @@
 //! property the batch compiler's parallel/sequential equivalence and
 //! every paper-figure reproduction rely on.
 
-use fastsc::compiler::{Compiler, CompilerConfig, Strategy};
+use fastsc::compiler::batch::{BatchCompiler, CompileJob};
+use fastsc::compiler::{CompileContext, Compiler, CompilerConfig, Strategy};
 use fastsc::device::Device;
 use fastsc::noise::{estimate, NoiseConfig};
 use fastsc::workloads::Benchmark;
+use std::sync::Arc;
 
 #[test]
 fn same_seed_same_schedule_all_strategies() {
@@ -27,6 +29,89 @@ fn same_seed_same_schedule_all_strategies() {
             pa.to_bits(),
             pb.to_bits(),
             "{strategy} p_success is not bit-identical: {pa} vs {pb}"
+        );
+    }
+}
+
+#[test]
+fn shared_context_is_bit_identical_to_fresh_compilers() {
+    // Device-wide precomputation (crosstalk graph, parking, static
+    // colorings, SMT memo) lives in an Arc-shared CompileContext; a warm,
+    // shared context must be invisible in the output. Compile each
+    // strategy three ways — fresh compiler, shared context, shared
+    // context again (memo now warm) — and demand bit-identical schedules
+    // and success estimates.
+    let program = Benchmark::Xeb(9, 5).build(42);
+    let context = Arc::new(
+        CompileContext::new(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("context builds"),
+    );
+    let shared_a = Compiler::with_context(Arc::clone(&context));
+    let shared_b = Compiler::with_context(Arc::clone(&context));
+
+    for strategy in Strategy::all() {
+        let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+            .compile(&program, strategy)
+            .expect("compiles");
+        let warm_once = shared_a.compile(&program, strategy).expect("compiles");
+        let warm_twice = shared_b.compile(&program, strategy).expect("compiles");
+        assert_eq!(
+            fresh.schedule, warm_once.schedule,
+            "{strategy}: shared context diverged from a fresh compiler"
+        );
+        assert_eq!(
+            warm_once.schedule, warm_twice.schedule,
+            "{strategy}: a warm SMT memo changed the schedule"
+        );
+        let pf = estimate(context.device(), &fresh.schedule, &NoiseConfig::default()).p_success;
+        let pw =
+            estimate(context.device(), &warm_once.schedule, &NoiseConfig::default()).p_success;
+        assert_eq!(pf.to_bits(), pw.to_bits(), "{strategy} p_success not bit-identical");
+    }
+}
+
+#[test]
+fn persistent_pool_parallel_matches_sequential_across_strategies() {
+    // The batch front end fans out over the vendored rayon's persistent
+    // worker pool; pooled parallel output must stay bit-identical to the
+    // sequential reference path for every strategy.
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| CompileJob::new(Benchmark::Xeb(9, 4).build(i as u64), s))
+        .collect();
+    let batch = BatchCompiler::new(Device::grid(3, 3, 7), CompilerConfig::default());
+    let sequential = batch.compile_batch_sequential(jobs.clone());
+    let parallel = BatchCompiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+        .num_threads(4)
+        .compile_batch(jobs);
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        let s = s.as_ref().expect("sequential slot compiles");
+        let p = p.as_ref().expect("parallel slot compiles");
+        assert_eq!(s.schedule, p.schedule, "slot {i} diverged across the worker pool");
+    }
+}
+
+#[test]
+fn batch_through_shared_context_matches_fresh_batch() {
+    let context = Arc::new(
+        CompileContext::new(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("context builds"),
+    );
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .map(|s| CompileJob::new(Benchmark::Qaoa(8).build(5), s))
+        .collect();
+    let via_context =
+        BatchCompiler::from_context(Arc::clone(&context)).compile_batch(jobs.clone());
+    let fresh = BatchCompiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+        .compile_batch(jobs);
+    for (i, (a, b)) in via_context.iter().zip(&fresh).enumerate() {
+        assert_eq!(
+            a.as_ref().expect("compiles").schedule,
+            b.as_ref().expect("compiles").schedule,
+            "slot {i}: context-backed batch diverged"
         );
     }
 }

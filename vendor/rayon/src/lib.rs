@@ -9,13 +9,21 @@
 //! * [`current_num_threads`] and the `RAYON_NUM_THREADS` override.
 //!
 //! Execution model: the terminal operation materializes the source items,
-//! splits them into contiguous index chunks, and runs each chunk on a
-//! `std::thread::scope` thread. Ordering is preserved exactly (chunk `i`
-//! lands before chunk `i + 1`), so for pure closures the output is
-//! bit-identical to a sequential run — a property the batch-compiler
-//! tests assert.
+//! splits them into contiguous index chunks, and dispatches each chunk to
+//! a **persistent worker pool** (one process-wide set of channel-fed
+//! threads, spawned once on first use — like upstream's global registry —
+//! instead of `std::thread::scope` spawns per call, whose setup/teardown
+//! dominated many-small-batch workloads). Results carry their chunk index
+//! and are reassembled in order (chunk `i` lands before chunk `i + 1`),
+//! so for pure closures the output is bit-identical to a sequential run —
+//! a property the batch-compiler tests assert.
+//!
+//! Like upstream rayon, the dispatch path needs one `unsafe` lifetime
+//! erasure to hand borrowing closures to the persistent workers; see
+//! [`pool`] for the safety argument (the caller blocks until every
+//! submitted chunk has reported back, so no borrow outlives the call).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::Cell;
 
@@ -71,9 +79,11 @@ impl ThreadPoolBuilder {
 
 /// A scoped thread-count cap mirroring `rayon::ThreadPool`.
 ///
-/// Unlike upstream there are no persistent workers; [`install`]
-/// (ThreadPool::install) caps how many scoped threads terminal
-/// operations spawn while the closure runs on the calling thread.
+/// Worker threads themselves are persistent and process-wide (see
+/// [`pool`]); a `ThreadPool` value is a *cap*: [`install`]
+/// (ThreadPool::install) bounds how many chunks terminal operations
+/// split work into (and hence how many workers can run it concurrently)
+/// while the closure runs on the calling thread.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: Option<usize>,
@@ -104,15 +114,19 @@ impl ThreadPool {
     }
 }
 
-/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads,
-/// preserving input order in the output.
+/// Runs `f` over `items` on up to [`current_num_threads`] persistent pool
+/// workers, preserving input order in the output.
 fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
     let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    // Nested data parallelism runs inline: a worker blocking on chunks
+    // that can only run on (other, possibly busy) workers could
+    // otherwise deadlock a small pool.
+    if threads <= 1 || items.len() <= 1 || pool::on_worker_thread() {
         return items.into_iter().map(f).collect();
     }
 
-    let chunk_len = items.len().div_ceil(threads);
+    let total = items.len();
+    let chunk_len = total.div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     let mut items = items;
     while !items.is_empty() {
@@ -120,21 +134,134 @@ fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> V
         chunks.push(std::mem::replace(&mut items, rest));
     }
 
+    let n_chunks = chunks.len();
+    let (report, results) = std::sync::mpsc::channel();
     let f = &f;
-    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(mapped) => out.push(mapped),
-                Err(payload) => std::panic::resume_unwind(payload),
+    for (index, chunk) in chunks.into_iter().enumerate() {
+        let report = report.clone();
+        pool::submit_scoped(Box::new(move || {
+            let mapped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chunk.into_iter().map(f).collect::<Vec<U>>()
+            }));
+            // A send can only fail after the caller stopped listening,
+            // which it provably never does before receiving all chunks.
+            let _ = report.send((index, mapped));
+        }));
+    }
+    drop(report);
+
+    // Block until EVERY chunk has reported back — the safety contract of
+    // `submit_scoped` (no borrow of `f` or the chunks outlives this
+    // call), upheld even when some chunk panicked: unwinding is deferred
+    // until all results are in, then replayed in chunk order.
+    let mut slots: Vec<Option<std::thread::Result<Vec<U>>>> = Vec::new();
+    slots.resize_with(n_chunks, || None);
+    for _ in 0..n_chunks {
+        let (index, mapped) = results.recv().expect("pool workers outlive pending chunks");
+        slots[index] = Some(mapped);
+    }
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    for slot in slots {
+        match slot.expect("every chunk reports exactly once") {
+            Ok(mapped) => out.extend(mapped),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+pub mod pool {
+    //! The persistent worker pool backing every terminal operation.
+    //!
+    //! Workers are spawned once per process (first parallel call), sized
+    //! by [`available_parallelism`](std::thread::available_parallelism),
+    //! and fed through an mpsc injector channel; results return to the
+    //! submitting call through a per-call channel tagged with chunk
+    //! indices, so ordering never depends on worker scheduling.
+
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+    /// An erased, heap-allocated unit of pool work.
+    type Task = Box<dyn FnOnce() + Send + 'static>;
+
+    thread_local! {
+        static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// Whether the current thread is one of the pool's workers.
+    pub fn on_worker_thread() -> bool {
+        IS_WORKER.with(std::cell::Cell::get)
+    }
+
+    /// Number of persistent workers backing this process's pool.
+    pub fn worker_count() -> usize {
+        global().workers
+    }
+
+    struct WorkerPool {
+        injector: Mutex<Sender<Task>>,
+        workers: usize,
+    }
+
+    fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1);
+            let (injector, feed) = channel::<Task>();
+            let feed = Arc::new(Mutex::new(feed));
+            for index in 0..workers {
+                let feed = Arc::clone(&feed);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{index}"))
+                    .spawn(move || worker_loop(&feed))
+                    .expect("spawning a pool worker thread");
+            }
+            WorkerPool { injector: Mutex::new(injector), workers }
+        })
+    }
+
+    fn worker_loop(feed: &Mutex<Receiver<Task>>) {
+        IS_WORKER.with(|w| w.set(true));
+        loop {
+            // Holding the lock while blocked on recv is fine: the holder
+            // wakes with a task, releases the lock to run it, and the
+            // next idle worker takes over the receiver.
+            let task = {
+                let feed = feed.lock().unwrap_or_else(PoisonError::into_inner);
+                feed.recv()
+            };
+            match task {
+                Ok(task) => task(),
+                // All senders dropped: the process is shutting down.
+                Err(_) => return,
             }
         }
-    });
-    out.into_iter().flatten().collect()
+    }
+
+    /// Submits a task that may borrow from the submitting stack frame.
+    ///
+    /// # Safety contract (enforced by the single caller, `parallel_map`)
+    ///
+    /// The persistent workers require `'static` tasks, but map closures
+    /// borrow the caller's closure environment — exactly upstream
+    /// rayon's situation, solved the same way: the lifetime is erased,
+    /// and the submitting call **must not return (or unwind) before the
+    /// task has finished running**. `parallel_map` upholds this by
+    /// blocking until every submitted chunk has sent its result, which
+    /// each task does only after its closure completed (panics
+    /// included, via `catch_unwind`).
+    pub(crate) fn submit_scoped(task: Box<dyn FnOnce() + Send + '_>) {
+        // SAFETY: only the lifetime is transmuted (same vtable, same
+        // layout); the contract above guarantees the borrow is live for
+        // as long as the task can run.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(task)
+        };
+        let injector = global().injector.lock().unwrap_or_else(PoisonError::into_inner);
+        injector.send(task).expect("worker pool never drops its receiver");
+    }
 }
 
 pub mod iter {
@@ -326,5 +453,65 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         let out: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Two terminal operations in a row run on the same persistent
+        // workers (no per-call spawning): the worker count is stable and
+        // both calls complete with ordered results.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let first: Vec<usize> = (0..64).into_par_iter().map(|x| x * 3).collect();
+            let workers_before = crate::pool::worker_count();
+            let second: Vec<usize> = (0..64).into_par_iter().map(|x| x * 3).collect();
+            assert_eq!(crate::pool::worker_count(), workers_before);
+            assert_eq!(first, second);
+        });
+    }
+
+    #[test]
+    fn borrowed_environment_survives_dispatch() {
+        // Map closures borrow from the caller's stack — the pool must
+        // finish every chunk before the call returns.
+        let offsets: Vec<u64> = (0..17).collect();
+        let base = 1000u64;
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u64> = pool.install(|| offsets.par_iter().map(|&x| x + base).collect());
+        assert_eq!(out, (1000..1017).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_in_one_chunk_propagates_after_all_chunks_finish() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|x| if x == 37 { panic!("chunk boom") } else { x })
+                    .collect::<Vec<_>>()
+            })
+        });
+        let payload = result.expect_err("the panic must propagate to the caller");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "chunk boom");
+        // The pool survives the panic: the next operation still works.
+        let ok: Vec<usize> = pool.install(|| (0..10).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(ok, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_without_deadlock() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|x| (0..4usize).into_par_iter().map(|y| x * 4 + y).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
 }
