@@ -1,0 +1,60 @@
+//! Bench-regression gate over `BENCH_compile.json` (see
+//! [`fastsc_bench::regression`]).
+//!
+//! Run after the bench smoke has recorded fresh `current` medians:
+//!
+//! ```console
+//! $ cargo run --release -p fastsc-bench --bin bench_guard
+//! ```
+//!
+//! Two gates, both over the skewed-batch workload:
+//!
+//! 1. **Absolute** — the fresh `parallel` median must stay within 2x the
+//!    committed `post` baseline (`BENCH_GUARD_MAX_RATIO` overrides).
+//! 2. **Relative, same-run** — the fresh `parallel` (work-stealing)
+//!    median must stay within 1.5x the fresh `parallel_chunked` median
+//!    (`BENCH_GUARD_STEAL_RATIO` overrides). This one is
+//!    machine-independent: whatever the host, stealing falling
+//!    meaningfully behind contiguous chunking over the same jobs means
+//!    the stealing dispatch has regressed.
+//!
+//! Exits non-zero when either gate fails.
+
+use fastsc_bench::record;
+use fastsc_bench::regression::{check, check_relative, Gate, RelativeGate};
+
+fn env_ratio(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let path = record::default_path();
+    let records = record::read_records(&path);
+    let absolute = Gate {
+        workload: "skewed_batch",
+        strategy: "parallel",
+        current_label: "current",
+        baseline_label: "post",
+        max_ratio: env_ratio("BENCH_GUARD_MAX_RATIO", 2.0),
+    };
+    let relative = RelativeGate {
+        workload: "skewed_batch",
+        subject_strategy: "parallel",
+        reference_strategy: "parallel_chunked",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_STEAL_RATIO", 1.5),
+    };
+    let mut failed = false;
+    for outcome in [check(&records, &absolute), check_relative(&records, &relative)] {
+        match outcome {
+            Ok(message) => println!("bench_guard OK: {message}"),
+            Err(message) => {
+                eprintln!("bench_guard FAILED ({}): {message}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

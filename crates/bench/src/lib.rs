@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod record;
+pub mod regression;
 
 use fastsc_core::{
     CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,

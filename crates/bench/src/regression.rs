@@ -1,0 +1,280 @@
+//! Bench-regression gating over `BENCH_compile.json`.
+//!
+//! CI records fresh medians under the `current` label, then compares
+//! them against the committed `post` baseline of the same `(workload,
+//! strategy)` key: a median more than `max_ratio` times the baseline is
+//! a regression and fails the build. The comparison is deliberately
+//! coarse (medians, one-sided, generous ratio) because CI machines are
+//! noisy — the gate exists to catch order-of-magnitude scheduling
+//! regressions (e.g. work stealing silently degrading to contiguous
+//! chunking), not microsecond drift.
+
+use crate::record::BenchRecord;
+
+/// One gate: `(workload, strategy)` current-vs-baseline within ratio.
+#[derive(Debug, Clone)]
+pub struct Gate<'a> {
+    /// Workload key in `BENCH_compile.json` (e.g. `skewed_batch`).
+    pub workload: &'a str,
+    /// Strategy key (e.g. `parallel`).
+    pub strategy: &'a str,
+    /// Label of the freshly measured record (usually `current`).
+    pub current_label: &'a str,
+    /// Label of the committed baseline record (usually `post`).
+    pub baseline_label: &'a str,
+    /// Maximum tolerated `current / baseline` ratio.
+    pub max_ratio: f64,
+}
+
+/// Evaluates `gate` against `records`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when either record is missing, the
+/// baseline is zero, or the ratio exceeds `gate.max_ratio`.
+pub fn check(records: &[BenchRecord], gate: &Gate<'_>) -> Result<String, String> {
+    let find = |label: &str| {
+        records.iter().find(|r| {
+            r.workload == gate.workload && r.strategy == gate.strategy && r.label == label
+        })
+    };
+    let current = find(gate.current_label).ok_or_else(|| {
+        format!(
+            "no `{}` record for ({}, {}) — did the bench run?",
+            gate.current_label, gate.workload, gate.strategy
+        )
+    })?;
+    let baseline = find(gate.baseline_label).ok_or_else(|| {
+        format!(
+            "no `{}` baseline for ({}, {}) — commit one with BENCH_LABEL={}",
+            gate.baseline_label, gate.workload, gate.strategy, gate.baseline_label
+        )
+    })?;
+    if baseline.median_ns == 0 {
+        return Err(format!(
+            "baseline median for ({}, {}) is 0 ns — cannot gate against it",
+            gate.workload, gate.strategy
+        ));
+    }
+    let ratio = current.median_ns as f64 / baseline.median_ns as f64;
+    let summary = format!(
+        "({}, {}): current {} ns vs {} baseline {} ns — ratio {:.2} (limit {:.2})",
+        gate.workload,
+        gate.strategy,
+        current.median_ns,
+        gate.baseline_label,
+        baseline.median_ns,
+        ratio,
+        gate.max_ratio
+    );
+    if ratio > gate.max_ratio {
+        Err(format!("REGRESSION {summary}"))
+    } else {
+        Ok(summary)
+    }
+}
+
+/// A same-run relative gate: both strategies are measured under the
+/// **same label in the same bench run**, so the comparison is
+/// machine-independent — unlike the absolute [`Gate`], whose committed
+/// baseline necessarily reflects the hardware it was recorded on (the
+/// committed `post` medians come from a 1-core container, where stealing
+/// and chunking tie). On any machine, work stealing must not be
+/// meaningfully slower than contiguous chunking over the same jobs; if
+/// it is, the stealing dispatch has regressed.
+#[derive(Debug, Clone)]
+pub struct RelativeGate<'a> {
+    /// Workload key in `BENCH_compile.json`.
+    pub workload: &'a str,
+    /// The strategy that must keep up (e.g. `parallel`, the stealing
+    /// dispatch).
+    pub subject_strategy: &'a str,
+    /// The strategy it is measured against (e.g. `parallel_chunked`).
+    pub reference_strategy: &'a str,
+    /// Label both records were measured under (usually `current`).
+    pub label: &'a str,
+    /// Maximum tolerated `subject / reference` ratio.
+    pub max_ratio: f64,
+}
+
+/// Evaluates `gate` against `records`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when either record is missing, the
+/// reference is zero, or the ratio exceeds `gate.max_ratio`.
+pub fn check_relative(
+    records: &[BenchRecord],
+    gate: &RelativeGate<'_>,
+) -> Result<String, String> {
+    let find = |strategy: &str| {
+        records.iter().find(|r| {
+            r.workload == gate.workload && r.strategy == strategy && r.label == gate.label
+        })
+    };
+    let subject = find(gate.subject_strategy).ok_or_else(|| {
+        format!(
+            "no `{}` record for ({}, {}) — did the bench run?",
+            gate.label, gate.workload, gate.subject_strategy
+        )
+    })?;
+    let reference = find(gate.reference_strategy).ok_or_else(|| {
+        format!(
+            "no `{}` record for ({}, {}) — did the bench run?",
+            gate.label, gate.workload, gate.reference_strategy
+        )
+    })?;
+    if reference.median_ns == 0 {
+        return Err(format!(
+            "reference median for ({}, {}) is 0 ns — cannot gate against it",
+            gate.workload, gate.reference_strategy
+        ));
+    }
+    let ratio = subject.median_ns as f64 / reference.median_ns as f64;
+    let summary = format!(
+        "({}): {} {} ns vs {} {} ns in the same `{}` run — ratio {:.2} (limit {:.2})",
+        gate.workload,
+        gate.subject_strategy,
+        subject.median_ns,
+        gate.reference_strategy,
+        reference.median_ns,
+        gate.label,
+        ratio,
+        gate.max_ratio
+    );
+    if ratio > gate.max_ratio {
+        Err(format!("REGRESSION {summary}"))
+    } else {
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(workload: &str, strategy: &str, label: &str, ns: u128) -> BenchRecord {
+        BenchRecord {
+            workload: workload.into(),
+            strategy: strategy.into(),
+            median_ns: ns,
+            label: label.into(),
+        }
+    }
+
+    fn gate(max_ratio: f64) -> Gate<'static> {
+        Gate {
+            workload: "skewed_batch",
+            strategy: "parallel",
+            current_label: "current",
+            baseline_label: "post",
+            max_ratio,
+        }
+    }
+
+    #[test]
+    fn passes_within_ratio() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 100),
+            rec("skewed_batch", "parallel", "current", 180),
+        ];
+        let message = check(&records, &gate(2.0)).expect("within 2x");
+        assert!(message.contains("ratio 1.80"));
+    }
+
+    #[test]
+    fn fails_beyond_ratio() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 100),
+            rec("skewed_batch", "parallel", "current", 201),
+        ];
+        let message = check(&records, &gate(2.0)).expect_err("beyond 2x");
+        assert!(message.starts_with("REGRESSION"));
+    }
+
+    #[test]
+    fn boundary_ratio_passes() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 100),
+            rec("skewed_batch", "parallel", "current", 200),
+        ];
+        assert!(check(&records, &gate(2.0)).is_ok(), "exactly 2x is not a regression");
+    }
+
+    #[test]
+    fn missing_current_is_an_error() {
+        let records = vec![rec("skewed_batch", "parallel", "post", 100)];
+        let message = check(&records, &gate(2.0)).expect_err("no current record");
+        assert!(message.contains("did the bench run"));
+    }
+
+    #[test]
+    fn missing_baseline_is_an_error() {
+        let records = vec![rec("skewed_batch", "parallel", "current", 100)];
+        let message = check(&records, &gate(2.0)).expect_err("no baseline");
+        assert!(message.contains("BENCH_LABEL=post"));
+    }
+
+    #[test]
+    fn other_keys_are_ignored() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 100),
+            rec("skewed_batch", "parallel", "current", 150),
+            rec("skewed_batch", "sequential", "current", 999_999),
+            rec("xeb16", "parallel", "current", 999_999),
+        ];
+        assert!(check(&records, &gate(2.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_baseline_is_an_error() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 0),
+            rec("skewed_batch", "parallel", "current", 1),
+        ];
+        assert!(check(&records, &gate(2.0)).is_err());
+    }
+
+    fn relative_gate(max_ratio: f64) -> RelativeGate<'static> {
+        RelativeGate {
+            workload: "skewed_batch",
+            subject_strategy: "parallel",
+            reference_strategy: "parallel_chunked",
+            label: "current",
+            max_ratio,
+        }
+    }
+
+    #[test]
+    fn relative_gate_passes_when_stealing_keeps_up() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "current", 90),
+            rec("skewed_batch", "parallel_chunked", "current", 100),
+        ];
+        let message = check_relative(&records, &relative_gate(1.5)).expect("faster than ref");
+        assert!(message.contains("ratio 0.90"));
+    }
+
+    #[test]
+    fn relative_gate_fails_when_stealing_lags_chunking() {
+        let records = vec![
+            rec("skewed_batch", "parallel", "current", 200),
+            rec("skewed_batch", "parallel_chunked", "current", 100),
+        ];
+        let message = check_relative(&records, &relative_gate(1.5)).expect_err("2x slower");
+        assert!(message.starts_with("REGRESSION"));
+    }
+
+    #[test]
+    fn relative_gate_ignores_other_labels() {
+        // Only same-run (same-label) records may be compared: the
+        // committed `post` rows must never satisfy a `current` gate.
+        let records = vec![
+            rec("skewed_batch", "parallel", "post", 1),
+            rec("skewed_batch", "parallel_chunked", "current", 100),
+        ];
+        let message =
+            check_relative(&records, &relative_gate(1.5)).expect_err("missing current");
+        assert!(message.contains("did the bench run"));
+    }
+}

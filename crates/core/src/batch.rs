@@ -4,7 +4,11 @@
 //! production compilation service instead sees *queues* of jobs sharing a
 //! device. [`BatchCompiler`] is that front end: it owns one [`Compiler`]
 //! (device model + configuration built once) and fans a vector of
-//! [`CompileJob`]s out across worker threads.
+//! [`CompileJob`]s out across worker threads. It is deliberately the
+//! *single-shard* special case of the multi-device `fastsc_service`
+//! compile service — both dispatch every job through the same
+//! [`compile_isolated`] primitive, the service adding shard routing and a
+//! whole-schedule result cache on top.
 //!
 //! Guarantees:
 //!
@@ -60,6 +64,32 @@ impl CompileJob {
     }
 }
 
+/// Compiles one program with panic isolation: a panic inside any
+/// compilation stage is caught and surfaced as
+/// [`CompileError::Internal`] instead of unwinding into the caller.
+///
+/// This is the per-job execution primitive shared by every batch front
+/// end — [`BatchCompiler`] uses it for each slot, and the multi-device
+/// `fastsc_service` shard router uses it for each routed job — so the
+/// isolation contract ("one bad job cannot poison its batch") is defined
+/// in exactly one place.
+pub fn compile_isolated(
+    compiler: &Compiler,
+    program: &Circuit,
+    strategy: Strategy,
+) -> Result<CompiledProgram, CompileError> {
+    catch_unwind(AssertUnwindSafe(|| compiler.compile(program, strategy))).unwrap_or_else(
+        |payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CompileError::Internal { message })
+        },
+    )
+}
+
 /// Compiles many jobs against one shared device, in parallel.
 ///
 /// See the [module docs](self) for the order/isolation/determinism
@@ -84,20 +114,32 @@ impl BatchCompiler {
 
     /// Wraps an existing shared [`CompileContext`] — the crosstalk graph,
     /// parking assignment, static colorings, and SMT memo are reused, not
-    /// rebuilt, even across multiple `BatchCompiler`s.
+    /// rebuilt, even across multiple `BatchCompiler`s. The result honors
+    /// [`num_threads`](Self::num_threads) exactly like the other
+    /// construction paths: the cap is applied per `compile_batch` call,
+    /// not baked into the context.
     pub fn from_context(context: Arc<CompileContext>) -> Self {
         BatchCompiler::from_compiler(Compiler::with_context(context))
     }
 
-    /// Caps the worker-thread count: jobs run inside a rayon pool of at
-    /// most `n` threads. `num_threads(1)` forces a fully sequential run —
-    /// the baseline the throughput benchmark measures the rayon path
-    /// against. By default the rayon pool decides (all available cores,
-    /// or `RAYON_NUM_THREADS`).
+    /// Caps the worker-thread count: every [`compile_batch`]
+    /// (Self::compile_batch) call dispatches at most `n` worker tasks
+    /// onto the persistent rayon pool, regardless of how this
+    /// `BatchCompiler` was constructed ([`new`](Self::new),
+    /// [`from_compiler`](Self::from_compiler), or
+    /// [`from_context`](Self::from_context)). `num_threads(1)` forces a
+    /// fully sequential run — the baseline the throughput benchmark
+    /// measures the rayon path against. By default the rayon pool
+    /// decides (all available cores, or `RAYON_NUM_THREADS`).
     pub fn num_threads(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one worker thread is required");
         self.num_threads = Some(n);
         self
+    }
+
+    /// The cap installed by [`num_threads`](Self::num_threads), if any.
+    pub fn thread_cap(&self) -> Option<usize> {
+        self.num_threads
     }
 
     /// The shared underlying compiler.
@@ -141,16 +183,7 @@ impl BatchCompiler {
     }
 
     fn run_job(&self, job: CompileJob) -> Result<CompiledProgram, CompileError> {
-        let compiler = &self.compiler;
-        catch_unwind(AssertUnwindSafe(|| compiler.compile(&job.program, job.strategy)))
-            .unwrap_or_else(|payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(CompileError::Internal { message })
-            })
+        compile_isolated(&self.compiler, &job.program, job.strategy)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Compiler configuration.
 
 use fastsc_ir::decompose::Strategy as Lowering;
+use fastsc_ir::hash::StableHasher;
 
 /// Tunables of the frequency-aware compiler (all strategies share them;
 /// strategy-specific behavior lives in [`Strategy`](crate::Strategy)).
@@ -48,6 +49,47 @@ impl CompilerConfig {
         assert!(max_colors > 0, "at least one color is required");
         CompilerConfig { max_colors: Some(max_colors), ..CompilerConfig::default() }
     }
+
+    /// A stable 64-bit fingerprint of every tunable.
+    ///
+    /// Compilation is a pure function of `(device, config, program,
+    /// strategy)`, so the compile service's whole-schedule result cache
+    /// folds this fingerprint into its keys: two configs fingerprint
+    /// equal exactly when every field is equal (`smt_tolerance` compared
+    /// bit-exactly). Computed with the pinned
+    /// [`StableHasher`] algorithm so values survive process restarts.
+    pub fn fingerprint(&self) -> u64 {
+        // Exhaustive destructuring: adding a config field is a compile
+        // error here, so a new tunable can never silently escape the
+        // cache key.
+        let CompilerConfig {
+            crosstalk_distance,
+            max_colors,
+            decomposition,
+            conflict_threshold,
+            smt_tolerance,
+        } = *self;
+        let mut h = StableHasher::new();
+        h.write_usize(crosstalk_distance);
+        match max_colors {
+            None => h.write_u8(0),
+            Some(k) => {
+                h.write_u8(1);
+                h.write_usize(k);
+            }
+        }
+        // Exhaustive match: adding a lowering variant must revisit this
+        // encoding (tags are append-only, never renumbered).
+        h.write_u8(match decomposition {
+            Lowering::CzOnly => 0,
+            Lowering::ISwapOnly => 1,
+            Lowering::SqrtISwapOnly => 2,
+            Lowering::Hybrid => 3,
+        });
+        h.write_usize(conflict_threshold);
+        h.write_f64(smt_tolerance);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +114,35 @@ mod tests {
     #[should_panic(expected = "at least one color")]
     fn rejects_zero_colors() {
         let _ = CompilerConfig::with_max_colors(0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = CompilerConfig::default();
+        assert_eq!(base.fingerprint(), CompilerConfig::default().fingerprint());
+
+        let variants = [
+            CompilerConfig { crosstalk_distance: 2, ..base },
+            CompilerConfig { max_colors: Some(3), ..base },
+            CompilerConfig { decomposition: Lowering::CzOnly, ..base },
+            CompilerConfig { conflict_threshold: 5, ..base },
+            CompilerConfig { smt_tolerance: 1e-4, ..base },
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(CompilerConfig::fingerprint).collect();
+        prints.push(base.fingerprint());
+        for (i, a) in prints.iter().enumerate() {
+            for (j, b) in prints.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_none_from_some_color_budget() {
+        // The Option<usize> encoding must not confuse None with Some(0)
+        // or collapse a tag byte into a value byte.
+        let none = CompilerConfig::default().fingerprint();
+        let one = CompilerConfig::with_max_colors(1).fingerprint();
+        assert_ne!(none, one);
     }
 }

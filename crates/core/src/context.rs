@@ -103,7 +103,17 @@ pub struct CompileContext {
     statics: OnceLock<Result<StaticAssignment, CompileError>>,
     /// Concurrent `smt_find` memo keyed by `(k, band, alpha, tol)`.
     smt_memo: RwLock<HashMap<SmtKey, Arc<Vec<f64>>>>,
+    /// Hard cap on memoized `smt_find` entries (see
+    /// [`smt_memo_capacity`](Self::smt_memo_capacity)).
+    smt_memo_capacity: usize,
 }
+
+/// Default cap on distinct memoized `smt_find` results. Real traffic
+/// needs one entry per distinct per-cycle color count — a handful — so a
+/// four-digit cap is unreachable except by adversarial batches sweeping
+/// `max_colors`, which this bound keeps from growing the memo without
+/// limit.
+pub const DEFAULT_SMT_MEMO_CAPACITY: usize = 1024;
 
 impl CompileContext {
     /// Builds the context for a `(device, config)` pair.
@@ -142,7 +152,25 @@ impl CompileContext {
             baseline_u_freqs,
             statics: OnceLock::new(),
             smt_memo: RwLock::new(HashMap::new()),
+            smt_memo_capacity: DEFAULT_SMT_MEMO_CAPACITY,
         })
+    }
+
+    /// Overrides the memo cap (default
+    /// [`DEFAULT_SMT_MEMO_CAPACITY`]). A capacity of 0 disables
+    /// memoization entirely; results stay correct either way, since the
+    /// memo is a pure cache.
+    pub fn with_smt_memo_capacity(mut self, capacity: usize) -> Self {
+        self.smt_memo_capacity = capacity;
+        self
+    }
+
+    /// The maximum number of `smt_find` results this context will
+    /// memoize. Once the memo is full, further *distinct* keys are solved
+    /// correctly but not retained, so the memo cannot grow without limit
+    /// under adversarial batches (e.g. a `max_colors` sweep).
+    pub fn smt_memo_capacity(&self) -> usize {
+        self.smt_memo_capacity
     }
 
     /// The device this context was built for.
@@ -212,10 +240,12 @@ impl CompileContext {
     /// returns the `k` frequencies (descending) plus whether this call
     /// actually invoked the solver (`true` on a memo miss).
     ///
-    /// Values are memoized forever — `smt_find` is a pure function of the
-    /// key, so a warm hit is bit-identical to a fresh solve. The solver
-    /// runs outside the lock; when two threads race on the same key the
-    /// first insert wins and both observe the identical value.
+    /// Hits are retained up to [`smt_memo_capacity`]
+    /// (Self::smt_memo_capacity); beyond the cap, distinct keys are still
+    /// solved correctly but not memoized. `smt_find` is a pure function
+    /// of the key, so a warm hit is bit-identical to a fresh solve. The
+    /// solver runs outside the lock; when two threads race on the same
+    /// key the first insert wins and both observe the identical value.
     ///
     /// # Errors
     ///
@@ -229,7 +259,16 @@ impl CompileContext {
         let solved =
             Arc::new(frequency::smt_find(k, self.band, self.alpha, self.config.smt_tolerance)?);
         let mut memo = self.smt_memo.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let value = Arc::clone(memo.entry(key).or_insert(solved));
+        let value = match memo.get(&key) {
+            // A concurrent solver won the race: its value is canonical.
+            Some(existing) => Arc::clone(existing),
+            None if memo.len() < self.smt_memo_capacity => {
+                memo.insert(key, Arc::clone(&solved));
+                solved
+            }
+            // Memo full: hand the caller its solve without retaining it.
+            None => solved,
+        };
         Ok((value, true))
     }
 
@@ -310,6 +349,48 @@ mod tests {
             assert!(c.band().contains(f));
         }
         assert!(c.baseline_u_freqs().iter().all(|&f| (f - c.band().center()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smt_memo_is_bounded() {
+        let c = ctx().with_smt_memo_capacity(3);
+        assert_eq!(c.smt_memo_capacity(), 3);
+        // An adversarial sweep over distinct color counts: the memo stops
+        // retaining at the cap, but every solve stays correct.
+        for k in 1..=6 {
+            let (value, miss) = c.smt_frequencies(k).expect("band fits");
+            assert!(miss, "k={k} is a distinct key, must invoke the solver");
+            let direct = frequency::smt_find(k, c.band(), c.alpha(), c.config().smt_tolerance)
+                .expect("band fits");
+            assert_eq!(value.len(), direct.len());
+            for (a, b) in value.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k} diverged past the cap");
+            }
+        }
+        assert_eq!(c.smt_memo_len(), 3, "memo must stop growing at its capacity");
+        // Keys admitted before the cap still hit.
+        let (_, miss) = c.smt_frequencies(1).expect("band fits");
+        assert!(!miss, "pre-cap keys stay memoized");
+        // Keys past the cap keep re-solving (bounded, not evicting).
+        let (_, miss) = c.smt_frequencies(6).expect("band fits");
+        assert!(miss, "post-cap keys are not retained");
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let c = ctx().with_smt_memo_capacity(0);
+        let (first, miss1) = c.smt_frequencies(2).expect("band fits");
+        let (second, miss2) = c.smt_frequencies(2).expect("band fits");
+        assert!(miss1 && miss2, "nothing is retained at capacity 0");
+        assert_eq!(c.smt_memo_len(), 0);
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn default_capacity_is_generous() {
+        assert_eq!(ctx().smt_memo_capacity(), DEFAULT_SMT_MEMO_CAPACITY);
     }
 
     #[test]

@@ -62,6 +62,18 @@ impl Strategy {
         ]
     }
 
+    /// A stable one-byte tag for cache keys (Table I order, pinned
+    /// forever: new strategies append, existing tags never change).
+    pub fn stable_code(self) -> u8 {
+        match self {
+            Strategy::BaselineN => 0,
+            Strategy::BaselineG => 1,
+            Strategy::BaselineU => 2,
+            Strategy::BaselineS => 3,
+            Strategy::ColorDynamic => 4,
+        }
+    }
+
     /// Short display label matching the paper's legends.
     pub fn label(self) -> &'static str {
         match self {

@@ -119,6 +119,39 @@ fn num_threads_one_is_sequential_and_identical() {
 }
 
 #[test]
+fn num_threads_applies_on_the_from_context_path() {
+    // The cap must behave identically however the BatchCompiler was
+    // constructed: from_context + num_threads(1) takes the sequential
+    // path, from_context + num_threads(n) installs an n-worker cap for
+    // the pooled dispatch, and both match a fresh compiler's output.
+    use fastsc_core::CompileContext;
+    use std::sync::Arc;
+    let context = Arc::new(
+        CompileContext::new(Device::grid(3, 3, 13), CompilerConfig::default())
+            .expect("context builds"),
+    );
+    let jobs = mixed_jobs();
+
+    let capped = BatchCompiler::from_context(Arc::clone(&context)).num_threads(2);
+    assert_eq!(capped.thread_cap(), Some(2));
+    let sequential = BatchCompiler::from_context(Arc::clone(&context)).num_threads(1);
+    assert_eq!(sequential.thread_cap(), Some(1));
+    let fresh = BatchCompiler::new(Device::grid(3, 3, 13), CompilerConfig::default());
+    assert_eq!(fresh.thread_cap(), None);
+
+    let a = capped.compile_batch(jobs.clone());
+    let b = sequential.compile_batch(jobs.clone());
+    let c = fresh.compile_batch(jobs);
+    for (i, ((x, y), z)) in a.iter().zip(&b).zip(&c).enumerate() {
+        let x = x.as_ref().expect("compiles");
+        let y = y.as_ref().expect("compiles");
+        let z = z.as_ref().expect("compiles");
+        assert_eq!(x.schedule, y.schedule, "slot {i}: capped diverged from sequential");
+        assert_eq!(y.schedule, z.schedule, "slot {i}: shared context diverged from fresh");
+    }
+}
+
+#[test]
 fn shared_device_is_reused_not_rebuilt() {
     // The batch front end exposes the one compiler every job ran against;
     // its device must be the exact configuration handed in.

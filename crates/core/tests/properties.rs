@@ -178,4 +178,34 @@ proptest! {
         // A denser crosstalk graph can only force more serialization.
         prop_assert!(s2.schedule.depth() >= s1.schedule.depth());
     }
+
+    #[test]
+    fn structural_hash_equality_implies_identical_schedules(
+        a in arb_program(9, 10),
+        b in arb_program(9, 10),
+        resubmit in proptest::prelude::any::<bool>(),
+    ) {
+        // The whole-schedule result cache treats equal program hashes as
+        // "same program". Half the cases resubmit `a` verbatim (the hot
+        // path a cache serves); the other half pits two independently
+        // generated programs against each other, where a hash collision
+        // would silently serve the wrong schedule.
+        let b = if resubmit { a.clone() } else { b };
+        if a.structural_hash() != b.structural_hash() {
+            prop_assert_ne!(&a, &b);
+            return Ok(());
+        }
+        prop_assert_eq!(&a, &b, "distinct circuits collided on the structural hash");
+        let compiler = Compiler::new(Device::grid(3, 3, 5), CompilerConfig::default());
+        for strategy in Plan::all() {
+            let ca = compiler.compile(&a, strategy).expect("compiles");
+            let cb = compiler.compile(&b, strategy).expect("compiles");
+            prop_assert_eq!(
+                ca.schedule,
+                cb.schedule,
+                "{} schedules diverged for hash-equal programs",
+                strategy
+            );
+        }
+    }
 }

@@ -2,7 +2,7 @@
 
 use crate::coupler::CouplerKind;
 use crate::params::DeviceParams;
-use crate::partition::FrequencyPartition;
+use crate::partition::{Band, FrequencyPartition};
 use crate::sampling;
 use crate::transmon::TransmonSpec;
 use fastsc_graph::crosstalk::CrosstalkGraph;
@@ -22,6 +22,7 @@ pub struct Device {
     coupler: CouplerKind,
     partition: FrequencyPartition,
     params: DeviceParams,
+    seed: u64,
 }
 
 impl Device {
@@ -89,6 +90,17 @@ impl Device {
         &self.params
     }
 
+    /// The fabrication-variation seed this device was sampled from.
+    ///
+    /// Together with the connectivity graph and builder parameters, the
+    /// seed determines every sampled per-qubit frequency, so the compile
+    /// service uses it as the device component of whole-schedule cache
+    /// keys (two shards share cached results only when their seeds and
+    /// topologies agree).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The distance-`d` crosstalk graph `Gx` (paper Algorithm 2).
     pub fn crosstalk_graph(&self, d: usize) -> CrosstalkGraph {
         CrosstalkGraph::build(&self.connectivity, d)
@@ -103,6 +115,64 @@ impl Device {
     /// build the gmon baseline from the same chip).
     pub fn with_coupler(&self, coupler: CouplerKind) -> Self {
         Device { coupler, ..self.clone() }
+    }
+
+    /// Feeds every identity-bearing field of this device into `sink` as
+    /// stable 64-bit words (floats as IEEE-754 bits, in a fixed order).
+    ///
+    /// This is the raw material for device fingerprints (the compile
+    /// service hashes the word stream into whole-schedule cache keys):
+    /// two devices emit the same stream exactly when every field that
+    /// can influence compilation is identical. `Device` and every nested
+    /// struct are destructured **exhaustively** — adding a field to any
+    /// of them is a compile error here, so a new field can never
+    /// silently escape the identity.
+    pub fn visit_identity(&self, sink: &mut dyn FnMut(u64)) {
+        let Device { connectivity, qubits, coupler, partition, params, seed } = self;
+        sink(*seed);
+        sink(connectivity.structural_hash());
+        sink(qubits.len() as u64);
+        for spec in qubits {
+            let TransmonSpec { omega_max, anharmonicity, sweet_spot_low, t1_us, t2_us } = *spec;
+            for value in [omega_max, anharmonicity, sweet_spot_low, t1_us, t2_us] {
+                sink(value.to_bits());
+            }
+        }
+        match *coupler {
+            CouplerKind::Fixed => sink(0),
+            CouplerKind::Tunable { residual } => {
+                sink(1);
+                sink(residual.to_bits());
+            }
+        }
+        let FrequencyPartition { parking, exclusion, interaction } = *partition;
+        for band in [parking, exclusion, interaction] {
+            let Band { lo, hi } = band;
+            sink(lo.to_bits());
+            sink(hi.to_bits());
+        }
+        let DeviceParams {
+            g0,
+            omega_ref,
+            t_single_ns,
+            flux_settle_ns,
+            base_two_qubit_error,
+            base_single_qubit_error,
+            distance2_coupling_factor,
+            flux_noise_slope,
+        } = *params;
+        for value in [
+            g0,
+            omega_ref,
+            t_single_ns,
+            flux_settle_ns,
+            base_two_qubit_error,
+            base_single_qubit_error,
+            distance2_coupling_factor,
+            flux_noise_slope,
+        ] {
+            sink(value.to_bits());
+        }
     }
 }
 
@@ -218,6 +288,7 @@ impl DeviceBuilder {
             coupler: self.coupler,
             partition: self.partition,
             params: self.params,
+            seed: self.seed,
         }
     }
 }
@@ -246,6 +317,30 @@ mod tests {
         for w in omegas {
             assert!((6.0..8.0).contains(&w), "omega_max = {w}");
         }
+    }
+
+    #[test]
+    fn visit_identity_is_stable_and_discriminating() {
+        let words = |d: &Device| {
+            let mut out = Vec::new();
+            d.visit_identity(&mut |w| out.push(w));
+            out
+        };
+        let base = Device::grid(3, 3, 7);
+        assert_eq!(words(&base), words(&Device::grid(3, 3, 7)));
+        assert_ne!(words(&base), words(&Device::grid(3, 3, 8)), "seed must matter");
+        assert_ne!(words(&base), words(&Device::linear(9, 7)), "topology must matter");
+        let gmon = base.with_coupler(CouplerKind::tunable(0.1));
+        assert_ne!(words(&base), words(&gmon), "coupler must matter");
+    }
+
+    #[test]
+    fn seed_is_recorded() {
+        assert_eq!(Device::grid(3, 3, 42).seed(), 42);
+        assert_eq!(Device::linear(4, 9).seed(), 9);
+        // Derived copies keep the fabrication seed of the original chip.
+        let gmon = Device::grid(2, 2, 17).with_coupler(CouplerKind::tunable(0.0));
+        assert_eq!(gmon.seed(), 17);
     }
 
     #[test]

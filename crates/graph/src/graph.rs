@@ -157,6 +157,28 @@ impl Graph {
         0..self.node_count()
     }
 
+    /// A stable 64-bit structural hash: [`StableHasher`]
+    /// (crate::hash::StableHasher) (pinned FNV-1a/64) over the node count
+    /// and the edge list in insertion order (endpoints normalized, as
+    /// stored).
+    ///
+    /// Two graphs hash equal exactly when they are [`PartialEq`]-equal up
+    /// to adjacency-list ordering — same nodes, same edges, same edge
+    /// indices. The value is reproducible across processes and Rust
+    /// releases; the compile service folds it into device-level cache
+    /// keys so two devices can only share cached schedules when their
+    /// connectivity is identical.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_usize(self.node_count());
+        h.write_usize(self.edges.len());
+        for &(u, v) in &self.edges {
+            h.write_usize(u);
+            h.write_usize(v);
+        }
+        h.finish()
+    }
+
     /// Edge indices incident to node `u`.
     ///
     /// # Panics
@@ -371,6 +393,20 @@ mod tests {
         assert!(g.has_edge(0, 2));
         assert!(g.has_edge(2, 0));
         assert_eq!(g.edge_between(0, 2), Some(e));
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_graphs() {
+        assert_eq!(path3().structural_hash(), path3().structural_hash());
+        // Different edge set, same node count.
+        let other = Graph::with_edges(3, [(0, 1), (0, 2)]).expect("valid");
+        assert_ne!(path3().structural_hash(), other.structural_hash());
+        // Same edges, different node count.
+        let wider = Graph::with_edges(4, [(0, 1), (1, 2)]).expect("valid");
+        assert_ne!(path3().structural_hash(), wider.structural_hash());
+        // Endpoint normalization makes (2,0) and (0,2) the same edge.
+        let normalized = Graph::with_edges(3, [(1, 0), (2, 1)]).expect("valid");
+        assert_eq!(path3().structural_hash(), normalized.structural_hash());
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! A stable 64-bit structural hasher.
+//!
+//! The compile-service result cache keys whole schedules by
+//! `(device seed, program hash, strategy, config hash)`, so every
+//! component hash must be **stable**: the same value in every process,
+//! on every platform, across Rust releases. The standard-library
+//! [`std::hash::Hasher`] machinery explicitly reserves the right to
+//! change between releases, so this module pins the exact algorithm
+//! instead: FNV-1a with the canonical 64-bit offset basis and prime,
+//! folding every primitive through a fixed little-endian byte encoding.
+//!
+//! It lives here, in the workspace's bottom crate, so graphs
+//! ([`Graph::structural_hash`](crate::Graph::structural_hash)), circuits
+//! (`fastsc_ir::Circuit::structural_hash`), configs, and device
+//! fingerprints all share **one** pinned implementation (`fastsc_ir::
+//! hash` re-exports it).
+//!
+//! FNV-1a is order-sensitive (`ab` and `ba` hash differently), which is
+//! exactly what a *structural* hash needs — reordering gates or
+//! relabeling qubits must change the hash (the IR property suite asserts
+//! this for random circuits).
+
+/// Incremental FNV-1a (64-bit) over a fixed byte encoding.
+///
+/// # Example
+///
+/// ```
+/// use fastsc_graph::hash::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_u64(7);
+/// let mut b = StableHasher::new();
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Starts a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one byte into the state.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Folds a `u64` (little-endian) into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` into the state, widened to `u64` so 32- and 64-bit
+    /// targets agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` into the state via its IEEE-754 bit pattern, so
+    /// hashing is exact (no epsilon) and `-0.0 != 0.0`.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        // Canonical FNV-1a test vectors (from the FNV reference code).
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut ab = StableHasher::new();
+        ab.write_u8(1);
+        ab.write_u8(2);
+        let mut ba = StableHasher::new();
+        ba.write_u8(2);
+        ba.write_u8(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn float_hashing_is_bit_exact() {
+        let mut pos = StableHasher::new();
+        pos.write_f64(0.0);
+        let mut neg = StableHasher::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish(), "-0.0 and 0.0 differ as bits");
+        let mut a = StableHasher::new();
+        a.write_f64(1.5);
+        let mut b = StableHasher::new();
+        b.write_f64(1.5);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn usize_widens_to_u64() {
+        let mut a = StableHasher::new();
+        a.write_usize(300);
+        let mut b = StableHasher::new();
+        b.write_u64(300);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

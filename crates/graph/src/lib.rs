@@ -45,6 +45,7 @@ pub mod coloring;
 pub mod crosstalk;
 mod error;
 mod graph;
+pub mod hash;
 pub mod topology;
 
 pub use error::GraphError;

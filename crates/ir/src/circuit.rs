@@ -1,6 +1,7 @@
 //! Quantum circuits: ordered gate lists over `n` program qubits.
 
 use crate::gate::Gate;
+use crate::hash::StableHasher;
 use std::error::Error;
 use std::fmt;
 
@@ -229,6 +230,43 @@ impl Circuit {
         counts
     }
 
+    /// A stable 64-bit structural hash of the circuit.
+    ///
+    /// Two circuits hash equal exactly when they have the same qubit
+    /// count and the same instruction sequence (same gates, same
+    /// parameters bit-for-bit, same operands in the same order) — the
+    /// notion of identity [`PartialEq`] implements, but condensed to a
+    /// key a result cache can store. The hash is computed with a pinned
+    /// algorithm ([`StableHasher`], FNV-1a/64 over a fixed encoding), so
+    /// it is reproducible across processes, platforms, and Rust releases,
+    /// unlike [`std::hash::Hasher`] output.
+    ///
+    /// Gate *reorderings* and qubit *relabelings* change the hash (the
+    /// encoding is order-sensitive and operand-sensitive); the property
+    /// suite asserts both for random circuits.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.n_qubits);
+        h.write_usize(self.instructions.len());
+        for inst in &self.instructions {
+            let (tag, params) = inst.gate.stable_code();
+            h.write_u8(tag);
+            h.write_u64(params);
+            match inst.operands {
+                Operands::One(q) => {
+                    h.write_u8(1);
+                    h.write_usize(q);
+                }
+                Operands::Two(a, b) => {
+                    h.write_u8(2);
+                    h.write_usize(a);
+                    h.write_usize(b);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Logical depth: the number of layers in an ASAP schedule where
     /// instructions sharing a qubit cannot share a layer.
     pub fn depth(&self) -> usize {
@@ -353,6 +391,74 @@ mod tests {
         assert!(a.overlaps(Operands::Two(1, 2)));
         assert!(!a.overlaps(Operands::Two(2, 3)));
         assert!(Operands::One(5).overlaps(Operands::One(5)));
+    }
+
+    #[test]
+    fn structural_hash_matches_equality() {
+        let build = || {
+            let mut c = Circuit::new(3);
+            c.push1(Gate::H, 0).expect("valid");
+            c.push1(Gate::Rz(0.25), 1).expect("valid");
+            c.push2(Gate::Cnot, 0, 2).expect("valid");
+            c
+        };
+        assert_eq!(build().structural_hash(), build().structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_is_pinned() {
+        // The hash feeds a persistent cache key: its exact value is part
+        // of the contract. If this test fails, the encoding changed and
+        // every on-disk cache key would silently rot.
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).expect("valid");
+        c.push2(Gate::Cz, 0, 1).expect("valid");
+        assert_eq!(c.structural_hash(), 0x1217_f165_2626_5d18);
+    }
+
+    #[test]
+    fn structural_hash_sees_order_operands_params_and_width() {
+        let mut base = Circuit::new(3);
+        base.push1(Gate::H, 0).expect("valid");
+        base.push2(Gate::Cz, 0, 1).expect("valid");
+
+        // Reordered instructions.
+        let mut reordered = Circuit::new(3);
+        reordered.push2(Gate::Cz, 0, 1).expect("valid");
+        reordered.push1(Gate::H, 0).expect("valid");
+        assert_ne!(base.structural_hash(), reordered.structural_hash());
+
+        // Relabeled qubits (asymmetric even for the symmetric CZ: the
+        // hash is structural, not semantic).
+        let mut relabeled = Circuit::new(3);
+        relabeled.push1(Gate::H, 2).expect("valid");
+        relabeled.push2(Gate::Cz, 2, 1).expect("valid");
+        assert_ne!(base.structural_hash(), relabeled.structural_hash());
+
+        // Operand order of a two-qubit gate.
+        let mut swapped = Circuit::new(3);
+        swapped.push1(Gate::H, 0).expect("valid");
+        swapped.push2(Gate::Cz, 1, 0).expect("valid");
+        assert_ne!(base.structural_hash(), swapped.structural_hash());
+
+        // Same instructions, different declared width.
+        let mut wider = Circuit::new(4);
+        wider.push1(Gate::H, 0).expect("valid");
+        wider.push2(Gate::Cz, 0, 1).expect("valid");
+        assert_ne!(base.structural_hash(), wider.structural_hash());
+
+        // Rotation parameters are hashed bit-exactly.
+        let mut ra = Circuit::new(1);
+        ra.push1(Gate::Rx(0.1), 0).expect("valid");
+        let mut rb = Circuit::new(1);
+        rb.push1(Gate::Rx(0.2), 0).expect("valid");
+        assert_ne!(ra.structural_hash(), rb.structural_hash());
+    }
+
+    #[test]
+    fn empty_circuits_hash_by_width() {
+        assert_ne!(Circuit::new(1).structural_hash(), Circuit::new(2).structural_hash());
+        assert_eq!(Circuit::new(5).structural_hash(), Circuit::new(5).structural_hash());
     }
 
     #[test]

@@ -170,6 +170,38 @@ impl Gate {
         }
     }
 
+    /// A stable `(tag, parameter-bits)` encoding for structural hashing.
+    ///
+    /// Tags are fixed forever (appending new gates gets new tags; existing
+    /// tags never change), so a [`Circuit::structural_hash`]
+    /// (crate::Circuit::structural_hash) computed today matches one
+    /// computed by any future build — the property the compile service's
+    /// persistent result cache depends on. Non-parametric gates carry
+    /// parameter bits `0`; rotations carry the IEEE-754 bits of their
+    /// angle, so `Rx(0.1)` and `Rx(0.2)` encode differently while
+    /// `Rx(a)` always encodes identically to itself.
+    pub fn stable_code(self) -> (u8, u64) {
+        match self {
+            Gate::Id => (0, 0),
+            Gate::X => (1, 0),
+            Gate::Y => (2, 0),
+            Gate::Z => (3, 0),
+            Gate::H => (4, 0),
+            Gate::S => (5, 0),
+            Gate::Sdg => (6, 0),
+            Gate::T => (7, 0),
+            Gate::Tdg => (8, 0),
+            Gate::Rx(t) => (9, t.to_bits()),
+            Gate::Ry(t) => (10, t.to_bits()),
+            Gate::Rz(t) => (11, t.to_bits()),
+            Gate::Cnot => (12, 0),
+            Gate::Cz => (13, 0),
+            Gate::Swap => (14, 0),
+            Gate::ISwap => (15, 0),
+            Gate::SqrtISwap => (16, 0),
+        }
+    }
+
     /// A short lowercase mnemonic (e.g. `"cnot"`, `"rx"`).
     pub fn name(self) -> &'static str {
         match self {

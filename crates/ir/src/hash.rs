@@ -1,0 +1,9 @@
+//! Stable hashing for circuits — re-exported from `fastsc-graph`.
+//!
+//! The pinned FNV-1a/64 [`StableHasher`] is implemented once, in the
+//! workspace's bottom crate ([`fastsc_graph::hash`]), so circuit hashes,
+//! graph hashes, config fingerprints, and device fingerprints all fold
+//! through the same algorithm by construction. This module keeps the
+//! historical `fastsc_ir::hash` path working for IR users.
+
+pub use fastsc_graph::hash::StableHasher;

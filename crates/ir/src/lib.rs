@@ -28,6 +28,7 @@
 mod circuit;
 pub mod decompose;
 mod gate;
+pub mod hash;
 pub mod layering;
 pub mod math;
 pub mod optimize;

@@ -5,7 +5,7 @@
 use fastsc_ir::decompose::{decompose, Strategy as Lowering};
 use fastsc_ir::optimize::peephole;
 use fastsc_ir::unitary::{circuit_unitary, matrices_equal_up_to_phase};
-use fastsc_ir::{layering, Circuit, Gate};
+use fastsc_ir::{layering, Circuit, Gate, Operands};
 use proptest::prelude::*;
 
 /// An arbitrary gate on an `n`-qubit circuit, encoded as a constructor.
@@ -143,5 +143,77 @@ proptest! {
     ) {
         let c = build_circuit(3, &raw);
         prop_assert!(peephole(&c).depth() <= c.depth());
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_gate_reorderings(
+        raw in proptest::collection::vec(arb_instruction(4), 2..16),
+        i in 0usize..16,
+        j in 0usize..16,
+    ) {
+        // The hash feeds whole-schedule cache keys, so any observable
+        // reordering must produce a different key.
+        let c = build_circuit(4, &raw);
+        if c.len() < 2 {
+            return Ok(());
+        }
+        let (i, j) = (i % c.len(), j % c.len());
+        let mut reordered_insts = c.instructions().to_vec();
+        reordered_insts.swap(i, j);
+        let mut reordered = Circuit::new(4);
+        for inst in reordered_insts {
+            reordered.push(inst).expect("valid");
+        }
+        if reordered == c {
+            prop_assert_eq!(c.structural_hash(), reordered.structural_hash());
+        } else {
+            prop_assert_ne!(
+                c.structural_hash(),
+                reordered.structural_hash(),
+                "swapping instructions {} and {} kept the hash",
+                i,
+                j
+            );
+        }
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_qubit_relabelings(
+        raw in proptest::collection::vec(arb_instruction(4), 1..16),
+        rotation in 1usize..4,
+    ) {
+        let c = build_circuit(4, &raw);
+        let mut relabeled = Circuit::new(4);
+        for inst in c.instructions() {
+            match inst.operands {
+                Operands::One(q) => {
+                    relabeled.push1(inst.gate, (q + rotation) % 4).expect("valid");
+                }
+                Operands::Two(a, b) => {
+                    relabeled
+                        .push2(inst.gate, (a + rotation) % 4, (b + rotation) % 4)
+                        .expect("valid");
+                }
+            }
+        }
+        if relabeled == c {
+            prop_assert_eq!(c.structural_hash(), relabeled.structural_hash());
+        } else {
+            prop_assert_ne!(
+                c.structural_hash(),
+                relabeled.structural_hash(),
+                "rotating qubit labels by {} kept the hash",
+                rotation
+            );
+        }
+    }
+
+    #[test]
+    fn structural_hash_is_a_pure_function(
+        raw in proptest::collection::vec(arb_instruction(4), 0..16),
+    ) {
+        let a = build_circuit(4, &raw);
+        let b = build_circuit(4, &raw);
+        prop_assert_eq!(a.structural_hash(), b.structural_hash());
     }
 }

@@ -1,0 +1,143 @@
+//! Pluggable shard-selection policies.
+//!
+//! The router calls its policy once per job, **sequentially in
+//! submission order**, before any job starts compiling — so a policy is
+//! a deterministic function of its own state and the submission stream,
+//! and routing never depends on worker timing. The load figures a policy
+//! sees combine jobs already routed in the current batch with jobs still
+//! in flight from overlapping batches.
+
+use fastsc_core::Strategy;
+
+/// Everything a policy may consult for one routing decision.
+#[derive(Debug, Clone)]
+pub struct RouteRequest<'a> {
+    /// Stable structural hash of the job's program.
+    pub program_hash: u64,
+    /// The job's strategy.
+    pub strategy: Strategy,
+    /// Qubit count of the job's program.
+    pub program_qubits: usize,
+    /// Per-shard load: jobs routed-but-unfinished (this batch, in
+    /// submission order so far, plus in-flight jobs of other batches).
+    pub loads: &'a [usize],
+}
+
+impl RouteRequest<'_> {
+    /// Number of shards available to route to.
+    pub fn shard_count(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+/// Chooses the shard for one job. Implementations must return an index
+/// `< request.shard_count()`; the router asserts this.
+pub trait ShardPolicy: Send + std::fmt::Debug {
+    /// Routes one job.
+    fn route(&mut self, request: &RouteRequest<'_>) -> usize;
+}
+
+/// Cycles through the shards in registration order, independent of job
+/// content — the fairest policy for homogeneous fleets and uniform jobs.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Starts at shard 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl ShardPolicy for RoundRobin {
+    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
+        let shard = self.next % request.shard_count();
+        self.next = (self.next + 1) % request.shard_count();
+        shard
+    }
+}
+
+/// Routes each job to the shard with the fewest routed-but-unfinished
+/// jobs (ties break to the lowest shard index) — absorbs skewed batches
+/// where one shard's jobs run long.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates the policy (stateless).
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl ShardPolicy for LeastLoaded {
+    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
+        let mut best = 0;
+        for (shard, &load) in request.loads.iter().enumerate() {
+            if load < request.loads[best] {
+                best = shard;
+            }
+        }
+        best
+    }
+}
+
+/// Pins every program to `program_hash % shard_count`, so resubmissions
+/// of the same circuit always land on the shard whose result cache and
+/// SMT memo are already warm for it.
+#[derive(Debug, Default)]
+pub struct ProgramAffinity;
+
+impl ProgramAffinity {
+    /// Creates the policy (stateless).
+    pub fn new() -> Self {
+        ProgramAffinity
+    }
+}
+
+impl ShardPolicy for ProgramAffinity {
+    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
+        (request.program_hash % request.shard_count() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request<'a>(hash: u64, loads: &'a [usize]) -> RouteRequest<'a> {
+        RouteRequest {
+            program_hash: hash,
+            strategy: Strategy::ColorDynamic,
+            program_qubits: 4,
+            loads,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::new();
+        let loads = [0usize; 3];
+        let picks: Vec<usize> = (0..7).map(|i| p.route(&request(i, &loads))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum_with_low_tie_break() {
+        let mut p = LeastLoaded::new();
+        assert_eq!(p.route(&request(0, &[3, 1, 2])), 1);
+        assert_eq!(p.route(&request(0, &[2, 2, 2])), 0, "ties break to the lowest index");
+        assert_eq!(p.route(&request(0, &[5, 4, 0])), 2);
+    }
+
+    #[test]
+    fn affinity_is_a_pure_function_of_the_hash() {
+        let mut p = ProgramAffinity::new();
+        let loads = [100usize, 0]; // load must not matter
+        assert_eq!(p.route(&request(6, &loads)), 0);
+        assert_eq!(p.route(&request(7, &loads)), 1);
+        assert_eq!(p.route(&request(7, &loads)), 1, "same program, same shard, every time");
+    }
+}

@@ -1,0 +1,599 @@
+//! The shard router: a fleet of per-device compile shards behind one
+//! submission queue.
+//!
+//! Each registered device becomes a **shard**: an [`Arc`]-shared
+//! [`CompileContext`] (crosstalk graph, parking, static colorings, SMT
+//! memo — built once at registration), a bounded [`ScheduleCache`] of
+//! finished schedules, and an in-flight counter. A batch is processed in
+//! three phases:
+//!
+//! 1. **Route** — the [`ShardPolicy`] assigns every job a shard,
+//!    sequentially in submission order (deterministic; never depends on
+//!    worker timing).
+//! 2. **Coalesce** — jobs with identical `(shard, cache key)` collapse
+//!    to one compile whose result every duplicate slot shares (repeat
+//!    traffic in a single batch costs one schedule, not N; shards with
+//!    caching disabled opt out).
+//! 3. **Dispatch** — the unique jobs fan out over the work-stealing
+//!    rayon pool as *one* flat batch, so a shard with heavy jobs borrows
+//!    the idle workers of its lightly-loaded neighbors. Results are
+//!    reassembled in submission order with per-job error isolation
+//!    (a panicking job surfaces as `CompileError::Internal` in its own
+//!    slot).
+//!
+//! Compilation is pure per `(device, config, program, strategy)`, so
+//! routing, stealing, and caching are all invisible in the output: every
+//! reply is bit-identical to a fresh single-device compile of that job
+//! on its routed shard (the determinism suite asserts exactly this).
+
+use crate::cache::{device_fingerprint, CacheKey, CacheStats, ScheduleCache};
+use crate::policy::{RouteRequest, ShardPolicy};
+use fastsc_core::batch::{compile_isolated, CompileJob};
+use fastsc_core::{
+    CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,
+};
+use fastsc_device::Device;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One successfully compiled job, with routing/caching provenance.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// The shard (registration index) that served the job.
+    pub shard: usize,
+    /// Whether the slot was served **without running a compile**: a
+    /// whole-schedule result-cache hit, or coalesced with an identical
+    /// job earlier in the same batch.
+    pub cache_hit: bool,
+    /// The compiled program (shared; a cache hit clones no schedule).
+    pub compiled: Arc<CompiledProgram>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    compiler: Compiler,
+    cache: ScheduleCache,
+    fingerprint: u64,
+    config_fingerprint: u64,
+    inflight: AtomicUsize,
+}
+
+/// A multi-device compile service (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use fastsc_core::batch::CompileJob;
+/// use fastsc_core::{CompilerConfig, Strategy};
+/// use fastsc_device::Device;
+/// use fastsc_service::{CompileService, RoundRobin};
+/// use fastsc_workloads::Benchmark;
+///
+/// let mut service = CompileService::new(RoundRobin::new());
+/// service.register_device(Device::grid(3, 3, 7), CompilerConfig::default())?;
+/// service.register_device(Device::grid(3, 3, 11), CompilerConfig::default())?;
+/// let jobs: Vec<CompileJob> = Strategy::all()
+///     .into_iter()
+///     .map(|s| CompileJob::new(Benchmark::Xeb(9, 3).build(1), s))
+///     .collect();
+/// let replies = service.compile_batch(jobs);
+/// assert_eq!(replies.len(), 5);
+/// // Round-robin alternates the two shards in submission order.
+/// assert_eq!(replies[0].as_ref().unwrap().shard, 0);
+/// assert_eq!(replies[1].as_ref().unwrap().shard, 1);
+/// # Ok::<(), fastsc_core::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct CompileService {
+    shards: Vec<Shard>,
+    policy: Mutex<Box<dyn ShardPolicy>>,
+}
+
+impl CompileService {
+    /// An empty service routing with `policy`. Register at least one
+    /// device before compiling.
+    pub fn new(policy: impl ShardPolicy + 'static) -> Self {
+        CompileService { shards: Vec::new(), policy: Mutex::new(Box::new(policy)) }
+    }
+
+    /// The single-shard convenience: one device, round-robin routing —
+    /// behaviorally a [`BatchCompiler`](fastsc_core::batch::BatchCompiler)
+    /// plus the whole-schedule result cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context-construction failures from
+    /// [`register_device`](Self::register_device).
+    pub fn single_shard(device: Device, config: CompilerConfig) -> Result<Self, CompileError> {
+        let mut service = CompileService::new(crate::policy::RoundRobin::new());
+        service.register_device(device, config)?;
+        Ok(service)
+    }
+
+    /// Registers a device as a new shard and returns its index (shard
+    /// indices are dense and stable: registration order).
+    ///
+    /// The shard's [`CompileContext`] is built **eagerly** so
+    /// device-level frequency-plan failures surface here, once, instead
+    /// of failing every routed job later. The shard's result cache gets
+    /// [`ScheduleCache::DEFAULT_CAPACITY`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the device's
+    /// parking assignment or interaction band is unsolvable.
+    pub fn register_device(
+        &mut self,
+        device: Device,
+        config: CompilerConfig,
+    ) -> Result<usize, CompileError> {
+        self.register_device_with_cache(device, config, ScheduleCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`register_device`](Self::register_device) with an explicit
+    /// result-cache capacity (0 disables result caching for this shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the device's
+    /// parking assignment or interaction band is unsolvable.
+    pub fn register_device_with_cache(
+        &mut self,
+        device: Device,
+        config: CompilerConfig,
+        cache_capacity: usize,
+    ) -> Result<usize, CompileError> {
+        let fingerprint = device_fingerprint(&device);
+        let config_fingerprint = config.fingerprint();
+        let context = Arc::new(CompileContext::new(device, config)?);
+        self.shards.push(Shard {
+            compiler: Compiler::with_context(context),
+            cache: ScheduleCache::with_capacity(cache_capacity),
+            fingerprint,
+            config_fingerprint,
+            inflight: AtomicUsize::new(0),
+        });
+        Ok(self.shards.len() - 1)
+    }
+
+    /// Replaces the routing policy (takes effect for subsequent batches).
+    pub fn set_policy(&mut self, policy: impl ShardPolicy + 'static) {
+        self.set_policy_boxed(Box::new(policy));
+    }
+
+    /// [`set_policy`](Self::set_policy) for an already-boxed policy
+    /// (e.g. when iterating over heterogeneous policies).
+    pub fn set_policy_boxed(&mut self, policy: Box<dyn ShardPolicy>) {
+        *self.lock_policy() = policy;
+    }
+
+    /// Number of registered shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The device behind shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_device(&self, shard: usize) -> &Device {
+        self.shards[shard].compiler.device()
+    }
+
+    /// The shared compile context of shard `shard` (e.g. to hand to a
+    /// [`BatchCompiler`](fastsc_core::batch::BatchCompiler) bypassing the
+    /// router).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice: the context was built at registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_context(&self, shard: usize) -> Result<Arc<CompileContext>, CompileError> {
+        self.shards[shard].compiler.context()
+    }
+
+    /// Result-cache counters of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn cache_stats(&self, shard: usize) -> CacheStats {
+        self.shards[shard].cache.stats()
+    }
+
+    /// Compiles every job, fanning out across shards and worker threads;
+    /// `results[i]` always corresponds to `jobs[i]`, and failures (errors
+    /// or panics) are isolated to their own slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no device has been registered, or if the policy routes
+    /// outside `0..shard_count()`.
+    pub fn compile_batch(
+        &self,
+        jobs: Vec<CompileJob>,
+    ) -> Vec<Result<ServiceReply, CompileError>> {
+        self.dispatch(jobs, true)
+    }
+
+    /// [`compile_batch`](Self::compile_batch) on the calling thread —
+    /// same routing, same coalescing, same caching, no parallelism. The
+    /// reference path the determinism suite holds the parallel dispatch
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no device has been registered, or if the policy routes
+    /// outside `0..shard_count()`.
+    pub fn compile_batch_sequential(
+        &self,
+        jobs: Vec<CompileJob>,
+    ) -> Vec<Result<ServiceReply, CompileError>> {
+        self.dispatch(jobs, false)
+    }
+
+    /// Routes, coalesces, executes (parallel or inline), and fans results
+    /// back out to submission-order slots.
+    fn dispatch(
+        &self,
+        jobs: Vec<CompileJob>,
+        parallel: bool,
+    ) -> Vec<Result<ServiceReply, CompileError>> {
+        let routed = self.route_jobs(jobs);
+        let (slot_source, unique) = self.coalesce(routed);
+        let results: Vec<Result<ServiceReply, CompileError>> = if parallel {
+            unique
+                .into_par_iter()
+                .map(|(shard, hash, job)| self.run_routed(shard, hash, &job))
+                .collect()
+        } else {
+            unique
+                .into_iter()
+                .map(|(shard, hash, job)| self.run_routed(shard, hash, &job))
+                .collect()
+        };
+        // Fan coalesced slots back out: every slot after the first that
+        // shares a unique job is morally a cache hit — it was served
+        // without running a compile (and shares the same `Arc`).
+        let mut owner_seen = vec![false; results.len()];
+        slot_source
+            .into_iter()
+            .map(|source| {
+                let mut reply = results[source].clone();
+                if owner_seen[source] {
+                    if let Ok(r) = &mut reply {
+                        r.cache_hit = true;
+                    }
+                } else {
+                    owner_seen[source] = true;
+                }
+                reply
+            })
+            .collect()
+    }
+
+    /// Phase 1.5: collapse jobs with identical `(shard, cache key)` so a
+    /// batch of repeats costs one compile, with every duplicate slot
+    /// sharing the first occurrence's result. Routing is sequential and
+    /// keys are already computed there, so this is a deterministic pass
+    /// over the submission order — no worker ever races a duplicate.
+    /// Shards with result caching disabled opt out (capacity 0 promises
+    /// "every job really compiles", which the scheduling benchmarks rely
+    /// on).
+    ///
+    /// Returns `(slot_source, unique)`: `unique` is the dispatch list,
+    /// `slot_source[i]` the `unique` index serving submission slot `i`.
+    #[allow(clippy::type_complexity)]
+    fn coalesce(
+        &self,
+        routed: Vec<(usize, u64, CompileJob)>,
+    ) -> (Vec<usize>, Vec<(usize, u64, CompileJob)>) {
+        let mut slot_source = Vec::with_capacity(routed.len());
+        let mut unique: Vec<(usize, u64, CompileJob)> = Vec::with_capacity(routed.len());
+        let mut first_of: HashMap<(usize, CacheKey), usize> = HashMap::new();
+        for (shard_index, program_hash, job) in routed {
+            if self.shards[shard_index].cache.capacity() > 0 {
+                let key = self.key_for(shard_index, program_hash, job.strategy);
+                match first_of.get(&(shard_index, key)) {
+                    // Coalesce only on true program identity: the 64-bit
+                    // key is not collision-proof, and a colliding job
+                    // must compile on its own, never borrow another
+                    // program's schedule.
+                    Some(&source) if unique[source].2.program == job.program => {
+                        slot_source.push(source);
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => {
+                        first_of.insert((shard_index, key), unique.len());
+                    }
+                }
+            }
+            slot_source.push(unique.len());
+            unique.push((shard_index, program_hash, job));
+        }
+        (slot_source, unique)
+    }
+
+    /// Phase 1: assign every job a shard, sequentially in submission
+    /// order (see the [module docs](self)).
+    ///
+    /// The policy is consulted once per **distinct** `(program,
+    /// strategy)`: repeats pin to the first occurrence's shard, so
+    /// coalescing works under every policy (a load-based policy would
+    /// otherwise scatter identical jobs across shards, compiling the
+    /// same program once per shard), and the free duplicates do not
+    /// count toward shard load. Shards with result caching disabled
+    /// cannot coalesce, so their jobs are never pinned.
+    fn route_jobs(&self, jobs: Vec<CompileJob>) -> Vec<(usize, u64, CompileJob)> {
+        assert!(!self.shards.is_empty(), "register at least one device before compiling");
+        let mut loads: Vec<usize> =
+            self.shards.iter().map(|s| s.inflight.load(Ordering::Relaxed)).collect();
+        let mut pinned: HashMap<(u64, u8), usize> = HashMap::new();
+        let mut policy = self.lock_policy();
+        jobs.into_iter()
+            .map(|job| {
+                let program_hash = job.program.structural_hash();
+                let pin = (program_hash, job.strategy.stable_code());
+                if let Some(&shard) = pinned.get(&pin) {
+                    return (shard, program_hash, job);
+                }
+                let request = RouteRequest {
+                    program_hash,
+                    strategy: job.strategy,
+                    program_qubits: job.program.n_qubits(),
+                    loads: &loads,
+                };
+                let shard = policy.route(&request);
+                assert!(
+                    shard < self.shards.len(),
+                    "policy routed to shard {shard} of {}",
+                    self.shards.len()
+                );
+                loads[shard] += 1;
+                if self.shards[shard].cache.capacity() > 0 {
+                    pinned.insert(pin, shard);
+                }
+                (shard, program_hash, job)
+            })
+            .collect()
+    }
+
+    /// Phase 2, one job: result-cache lookup, else an isolated compile on
+    /// the routed shard, populating the cache on success.
+    fn run_routed(
+        &self,
+        shard_index: usize,
+        program_hash: u64,
+        job: &CompileJob,
+    ) -> Result<ServiceReply, CompileError> {
+        let shard = &self.shards[shard_index];
+        let key = self.key_for(shard_index, program_hash, job.strategy);
+        if let Some(compiled) = shard.cache.get(&key, &job.program) {
+            return Ok(ServiceReply { shard: shard_index, cache_hit: true, compiled });
+        }
+        shard.inflight.fetch_add(1, Ordering::Relaxed);
+        let result = compile_isolated(&shard.compiler, &job.program, job.strategy);
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        let compiled = Arc::new(result?);
+        shard.cache.insert(key, job.program.clone(), Arc::clone(&compiled));
+        Ok(ServiceReply { shard: shard_index, cache_hit: false, compiled })
+    }
+
+    fn key_for(&self, shard_index: usize, program_hash: u64, strategy: Strategy) -> CacheKey {
+        let shard = &self.shards[shard_index];
+        CacheKey {
+            device_fingerprint: shard.fingerprint,
+            program_hash,
+            strategy_code: strategy.stable_code(),
+            config_fingerprint: shard.config_fingerprint,
+        }
+    }
+
+    fn lock_policy(&self) -> std::sync::MutexGuard<'_, Box<dyn ShardPolicy>> {
+        self.policy.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LeastLoaded, ProgramAffinity, RoundRobin};
+    use fastsc_core::Strategy;
+    use fastsc_workloads::Benchmark;
+
+    fn two_shard_service() -> CompileService {
+        let mut service = CompileService::new(RoundRobin::new());
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        service
+            .register_device(Device::grid(3, 3, 11), CompilerConfig::default())
+            .expect("registers");
+        service
+    }
+
+    #[test]
+    fn round_robin_routes_in_submission_order() {
+        let service = two_shard_service();
+        // Distinct widths guarantee distinct programs (equal-seed BV
+        // secrets can collide, and identical programs pin together
+        // instead of advancing the round-robin).
+        let jobs: Vec<CompileJob> = (0..4)
+            .map(|i| CompileJob::new(Benchmark::Bv(4 + i).build(1), Strategy::ColorDynamic))
+            .collect();
+        let replies = service.compile_batch(jobs);
+        let shards: Vec<usize> =
+            replies.iter().map(|r| r.as_ref().expect("compiles").shard).collect();
+        assert_eq!(shards, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn affinity_pins_repeat_programs_to_one_shard() {
+        let mut service = two_shard_service();
+        service.set_policy(ProgramAffinity::new());
+        let program = Benchmark::Qaoa(6).build(3);
+        let jobs: Vec<CompileJob> =
+            (0..4).map(|_| CompileJob::new(program.clone(), Strategy::BaselineS)).collect();
+        let replies = service.compile_batch(jobs);
+        let shards: Vec<usize> =
+            replies.iter().map(|r| r.as_ref().expect("compiles").shard).collect();
+        assert!(
+            shards.windows(2).all(|w| w[0] == w[1]),
+            "affinity split a program: {shards:?}"
+        );
+        // Identical repeats: one cold compile, the rest served hot.
+        let hits = replies.iter().filter(|r| r.as_ref().expect("compiles").cache_hit).count();
+        assert_eq!(hits, replies.len() - 1);
+    }
+
+    #[test]
+    fn least_loaded_balances_a_uniform_batch() {
+        let mut service = two_shard_service();
+        service.set_policy(LeastLoaded::new());
+        // Distinct widths: identical programs would pin to one shard by
+        // design rather than balance.
+        let jobs: Vec<CompileJob> = (0..6)
+            .map(|i| CompileJob::new(Benchmark::Bv(3 + i).build(1), Strategy::BaselineN))
+            .collect();
+        let replies = service.compile_batch_sequential(jobs);
+        let mut per_shard = [0usize; 2];
+        for reply in &replies {
+            per_shard[reply.as_ref().expect("compiles").shard] += 1;
+        }
+        assert_eq!(per_shard, [3, 3], "uniform load must split evenly");
+    }
+
+    #[test]
+    fn errors_stay_in_their_slot() {
+        let service = two_shard_service();
+        let jobs = vec![
+            CompileJob::new(Benchmark::Bv(4).build(1), Strategy::ColorDynamic),
+            // 16 qubits on a 9-qubit shard: fails alone.
+            CompileJob::new(Benchmark::Bv(16).build(1), Strategy::ColorDynamic),
+            CompileJob::new(Benchmark::Ising(4).build(1), Strategy::BaselineU),
+        ];
+        let replies = service.compile_batch(jobs);
+        assert!(replies[0].is_ok());
+        assert!(matches!(
+            replies[1],
+            Err(CompileError::ProgramTooWide { program: 16, device: 9 })
+        ));
+        assert!(replies[2].is_ok());
+        // Failures are never cached.
+        assert_eq!(service.cache_stats(0).len + service.cache_stats(1).len, 2);
+    }
+
+    #[test]
+    fn registration_surfaces_device_failures_eagerly() {
+        use fastsc_device::DeviceBuilder;
+        let mut bad = DeviceBuilder::new(fastsc_graph::topology::grid(2, 2));
+        bad.seed(0).omega_max_distribution(5.5, 0.0); // below the 6 GHz floor
+        let mut service = CompileService::new(RoundRobin::new());
+        let result = service.register_device(bad.build(), CompilerConfig::default());
+        assert!(matches!(result, Err(CompileError::FrequencyBandExhausted { .. })));
+        assert_eq!(service.shard_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register at least one device")]
+    fn empty_service_refuses_jobs() {
+        let service = CompileService::new(RoundRobin::new());
+        let _ = service.compile_batch(vec![CompileJob::new(
+            Benchmark::Bv(4).build(1),
+            Strategy::ColorDynamic,
+        )]);
+    }
+
+    #[test]
+    fn duplicate_jobs_coalesce_to_one_compile() {
+        let mut service = CompileService::new(RoundRobin::new());
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        let program = Benchmark::Xeb(9, 3).build(1);
+        let jobs: Vec<CompileJob> =
+            (0..6).map(|_| CompileJob::new(program.clone(), Strategy::ColorDynamic)).collect();
+        let replies = service.compile_batch(jobs);
+        let hits: Vec<bool> =
+            replies.iter().map(|r| r.as_ref().expect("compiles").cache_hit).collect();
+        assert!(!hits[0], "the first occurrence runs the compile");
+        assert!(hits[1..].iter().all(|&h| h), "every duplicate slot is served for free");
+        // All six slots share the one compiled allocation.
+        let first = &replies[0].as_ref().expect("compiles").compiled;
+        for reply in &replies[1..] {
+            assert!(Arc::ptr_eq(first, &reply.as_ref().expect("compiles").compiled));
+        }
+        // Exactly one cache miss (the unique job); duplicates never even
+        // probed the cache.
+        let stats = service.cache_stats(0);
+        assert_eq!((stats.misses, stats.hits, stats.len), (1, 0, 1));
+    }
+
+    #[test]
+    fn duplicates_pin_to_one_shard_under_load_policies() {
+        // A load-based policy would scatter identical jobs across shards
+        // (each duplicate sees the previous one as load); route-time
+        // pinning keeps them together so coalescing serves N duplicates
+        // with exactly one compile, and the free duplicates don't count
+        // toward load when the genuinely distinct job is placed.
+        let mut service = two_shard_service();
+        service.set_policy(LeastLoaded::new());
+        let program = Benchmark::Qaoa(6).build(9);
+        let mut jobs: Vec<CompileJob> =
+            (0..4).map(|_| CompileJob::new(program.clone(), Strategy::ColorDynamic)).collect();
+        jobs.push(CompileJob::new(Benchmark::Bv(4).build(1), Strategy::ColorDynamic));
+        let replies = service.compile_batch(jobs);
+        let shards: Vec<usize> =
+            replies.iter().map(|r| r.as_ref().expect("compiles").shard).collect();
+        assert!(
+            shards[..4].windows(2).all(|w| w[0] == w[1]),
+            "identical jobs scattered across shards: {shards:?}"
+        );
+        // The four duplicates cost one compile; only their first
+        // occurrence counted as load, so the distinct job lands on the
+        // other (emptier) shard.
+        assert_ne!(shards[4], shards[0], "free duplicates must not skew placement");
+        let total_misses = service.cache_stats(0).misses + service.cache_stats(1).misses;
+        assert_eq!(total_misses, 2, "one compile per distinct program");
+    }
+
+    #[test]
+    fn caching_disabled_shards_skip_coalescing() {
+        let mut service = CompileService::new(RoundRobin::new());
+        service
+            .register_device_with_cache(Device::grid(3, 3, 7), CompilerConfig::default(), 0)
+            .expect("registers");
+        let program = Benchmark::Bv(4).build(1);
+        let jobs: Vec<CompileJob> =
+            (0..3).map(|_| CompileJob::new(program.clone(), Strategy::BaselineN)).collect();
+        let replies = service.compile_batch_sequential(jobs);
+        for reply in &replies {
+            let reply = reply.as_ref().expect("compiles");
+            assert!(!reply.cache_hit, "capacity 0 promises every job really compiles");
+        }
+        // Distinct compiles: distinct allocations, identical schedules.
+        let a = &replies[0].as_ref().expect("compiles").compiled;
+        let b = &replies[1].as_ref().expect("compiles").compiled;
+        assert!(!Arc::ptr_eq(a, b));
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn shard_accessors_expose_registration() {
+        let service = two_shard_service();
+        assert_eq!(service.shard_count(), 2);
+        assert_eq!(service.shard_device(0).seed(), 7);
+        assert_eq!(service.shard_device(1).seed(), 11);
+        let context = service.shard_context(0).expect("built at registration");
+        assert_eq!(context.device().seed(), 7);
+        let stats = service.cache_stats(0);
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+    }
+}

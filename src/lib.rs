@@ -15,6 +15,7 @@
 //! | [`noise`] | `fastsc-noise` | crosstalk/decoherence models, `P_success` estimator |
 //! | [`workloads`] | `fastsc-workloads` | BV / QAOA / ISING / QGAN / XEB generators |
 //! | [`compiler`] | `fastsc-core` | ColorDynamic and the Table I baselines |
+//! | [`service`] | `fastsc-service` | sharded multi-device compile service + result cache |
 //! | [`sim`] | `fastsc-sim` | noisy state-vector + two-transmon qutrit simulation |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@ pub use fastsc_device as device;
 pub use fastsc_graph as graph;
 pub use fastsc_ir as ir;
 pub use fastsc_noise as noise;
+pub use fastsc_service as service;
 pub use fastsc_sim as sim;
 pub use fastsc_smt as smt;
 pub use fastsc_workloads as workloads;

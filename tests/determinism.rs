@@ -8,6 +8,7 @@ use fastsc::compiler::batch::{BatchCompiler, CompileJob};
 use fastsc::compiler::{CompileContext, Compiler, CompilerConfig, Strategy};
 use fastsc::device::Device;
 use fastsc::noise::{estimate, NoiseConfig};
+use fastsc::service::{CompileService, LeastLoaded, ProgramAffinity, RoundRobin};
 use fastsc::workloads::Benchmark;
 use std::sync::Arc;
 
@@ -112,6 +113,109 @@ fn batch_through_shared_context_matches_fresh_batch() {
             a.as_ref().expect("compiles").schedule,
             b.as_ref().expect("compiles").schedule,
             "slot {i}: context-backed batch diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_service_compiles_are_bit_identical_to_fresh_single_device_compiles() {
+    // The full service stack — shard routing, whole-schedule result
+    // cache, work-stealing dispatch — must be invisible in the output:
+    // every reply equals a fresh, cold, sequential compile of the same
+    // job on the device it was routed to, for all five strategies and
+    // every built-in policy.
+    let devices = [Device::grid(3, 3, 7), Device::grid(3, 3, 11)];
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| CompileJob::new(Benchmark::Xeb(9, 4).build(i as u64), s))
+        .collect();
+
+    for round in 0..3 {
+        let mut service = CompileService::new(RoundRobin::new());
+        for device in &devices {
+            service
+                .register_device(device.clone(), CompilerConfig::default())
+                .expect("registers");
+        }
+        match round {
+            0 => {}
+            1 => service.set_policy(LeastLoaded::new()),
+            _ => service.set_policy(ProgramAffinity::new()),
+        }
+        let replies = service.compile_batch(jobs.clone());
+        for (i, (reply, job)) in replies.iter().zip(&jobs).enumerate() {
+            let reply = reply.as_ref().expect("compiles");
+            let fresh = Compiler::new(devices[reply.shard].clone(), CompilerConfig::default())
+                .compile(&job.program, job.strategy)
+                .expect("compiles");
+            assert_eq!(
+                reply.compiled.schedule, fresh.schedule,
+                "policy {round}, job {i} ({}): routed compile diverged from fresh",
+                job.strategy
+            );
+            let pr = estimate(
+                &devices[reply.shard],
+                &reply.compiled.schedule,
+                &NoiseConfig::default(),
+            )
+            .p_success;
+            let pf = estimate(&devices[reply.shard], &fresh.schedule, &NoiseConfig::default())
+                .p_success;
+            assert_eq!(pr.to_bits(), pf.to_bits(), "job {i} p_success not bit-identical");
+        }
+    }
+}
+
+#[test]
+fn warm_result_cache_hits_are_bit_identical_to_cold_compiles() {
+    let service =
+        CompileService::single_shard(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("builds");
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .map(|s| CompileJob::new(Benchmark::Qaoa(8).build(5), s))
+        .collect();
+    let cold = service.compile_batch(jobs.clone());
+    let warm = service.compile_batch(jobs.clone());
+    for (i, ((c, w), job)) in cold.iter().zip(&warm).zip(&jobs).enumerate() {
+        let c = c.as_ref().expect("cold compiles");
+        let w = w.as_ref().expect("warm compiles");
+        assert!(!c.cache_hit && w.cache_hit, "slot {i} cache provenance is wrong");
+        assert_eq!(c.compiled.schedule, w.compiled.schedule, "slot {i} hit diverged");
+        let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+            .compile(&job.program, job.strategy)
+            .expect("compiles");
+        assert_eq!(
+            w.compiled.schedule, fresh.schedule,
+            "slot {i} ({}): cached schedule diverged from a fresh compile",
+            job.strategy
+        );
+    }
+}
+
+#[test]
+fn work_stealing_batches_match_sequential_across_strategies() {
+    // A deliberately skewed batch (heavy XEB jobs first, tiny BV jobs
+    // after) exercises stealing: workers that finish their own deque
+    // steal the tail of the busy worker's. Output must stay bit-identical
+    // to the sequential reference, slot for slot.
+    let mut jobs: Vec<CompileJob> = (0..4)
+        .map(|i| CompileJob::new(Benchmark::Xeb(9, 12).build(i), Strategy::ColorDynamic))
+        .collect();
+    for (i, s) in (0..16).zip(Strategy::all().into_iter().cycle()) {
+        jobs.push(CompileJob::new(Benchmark::Bv(5).build(i), s));
+    }
+    let batch = BatchCompiler::new(Device::grid(3, 3, 7), CompilerConfig::default());
+    let sequential = batch.compile_batch_sequential(jobs.clone());
+    let parallel = BatchCompiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+        .num_threads(4)
+        .compile_batch(jobs);
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s.as_ref().expect("compiles").schedule,
+            p.as_ref().expect("compiles").schedule,
+            "slot {i} diverged under work stealing"
         );
     }
 }

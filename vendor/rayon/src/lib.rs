@@ -9,19 +9,25 @@
 //! * [`current_num_threads`] and the `RAYON_NUM_THREADS` override.
 //!
 //! Execution model: the terminal operation materializes the source items,
-//! splits them into contiguous index chunks, and dispatches each chunk to
-//! a **persistent worker pool** (one process-wide set of channel-fed
-//! threads, spawned once on first use — like upstream's global registry —
-//! instead of `std::thread::scope` spawns per call, whose setup/teardown
-//! dominated many-small-batch workloads). Results carry their chunk index
-//! and are reassembled in order (chunk `i` lands before chunk `i + 1`),
-//! so for pure closures the output is bit-identical to a sequential run —
-//! a property the batch-compiler tests assert.
+//! tags each with its input index, and deals them into **one deque per
+//! worker** (contiguous runs, for locality). Workers drain their own
+//! deque from the front and, when it runs dry, **steal from the back of
+//! another worker's deque** — so a single expensive item (one dominating
+//! compile job) occupies one worker while the rest keep draining the
+//! remaining items, instead of idling behind a fixed contiguous chunk
+//! split. Workers are a **persistent pool** (one process-wide set of
+//! channel-fed threads, spawned once on first use — like upstream's
+//! global registry — instead of `std::thread::scope` spawns per call,
+//! whose setup/teardown dominated many-small-batch workloads). Every
+//! result carries its item index and is reassembled in input order, so
+//! for pure closures the output is bit-identical to a sequential run no
+//! matter which worker computed which item — a property the
+//! batch-compiler tests assert.
 //!
 //! Like upstream rayon, the dispatch path needs one `unsafe` lifetime
 //! erasure to hand borrowing closures to the persistent workers; see
 //! [`pool`] for the safety argument (the caller blocks until every
-//! submitted chunk has reported back, so no borrow outlives the call).
+//! submitted worker task has finished, so no borrow outlives the call).
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -114,56 +120,94 @@ impl ThreadPool {
     }
 }
 
+/// One worker's share of a work-stealing dispatch: index-tagged items,
+/// drained by the owner from the front and stolen from the back.
+type Deque<T> = std::sync::Mutex<std::collections::VecDeque<(usize, T)>>;
+
+/// Claims the next item for `own`: the front of its own deque, else the
+/// back of the first non-empty victim (scanned in ring order from
+/// `own + 1` so contention spreads instead of piling on deque 0). Items
+/// are only ever removed, so one full scan finding every deque empty
+/// means the dispatch is drained and the worker can retire.
+fn claim_item<T>(deques: &[Deque<T>], own: usize) -> Option<(usize, T)> {
+    fn lock<T>(
+        d: &Deque<T>,
+    ) -> std::sync::MutexGuard<'_, std::collections::VecDeque<(usize, T)>> {
+        d.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+    if let Some(item) = lock(&deques[own]).pop_front() {
+        return Some(item);
+    }
+    for offset in 1..deques.len() {
+        if let Some(item) = lock(&deques[(own + offset) % deques.len()]).pop_back() {
+            return Some(item);
+        }
+    }
+    None
+}
+
 /// Runs `f` over `items` on up to [`current_num_threads`] persistent pool
-/// workers, preserving input order in the output.
+/// workers with per-item work stealing, preserving input order in the
+/// output.
 fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
-    let threads = current_num_threads().min(items.len().max(1));
-    // Nested data parallelism runs inline: a worker blocking on chunks
+    let workers = current_num_threads().min(items.len());
+    // Nested data parallelism runs inline: a worker blocking on items
     // that can only run on (other, possibly busy) workers could
     // otherwise deadlock a small pool.
-    if threads <= 1 || items.len() <= 1 || pool::on_worker_thread() {
+    if workers <= 1 || items.len() <= 1 || pool::on_worker_thread() {
         return items.into_iter().map(f).collect();
     }
 
     let total = items.len();
-    let chunk_len = total.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk_len));
-        chunks.push(std::mem::replace(&mut items, rest));
+    // Deal contiguous index-tagged runs into one deque per worker: with
+    // evenly priced items nobody steals and locality matches the old
+    // chunking; with skewed items idle workers steal single items from
+    // the back of busy workers' deques.
+    let run = total.div_ceil(workers);
+    let mut deques: Vec<Deque<T>> = Vec::with_capacity(workers);
+    let mut tagged = items.into_iter().enumerate();
+    for _ in 0..workers {
+        deques.push(std::sync::Mutex::new(tagged.by_ref().take(run).collect()));
     }
 
-    let n_chunks = chunks.len();
     let (report, results) = std::sync::mpsc::channel();
     let f = &f;
-    for (index, chunk) in chunks.into_iter().enumerate() {
+    let deques = &deques;
+    for worker in 0..workers {
         let report = report.clone();
         pool::submit_scoped(Box::new(move || {
-            let mapped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                chunk.into_iter().map(f).collect::<Vec<U>>()
-            }));
-            // A send can only fail after the caller stopped listening,
-            // which it provably never does before receiving all chunks.
-            let _ = report.send((index, mapped));
+            while let Some((index, item)) = claim_item(deques, worker) {
+                let mapped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+                // A send can only fail after the caller stopped
+                // listening, which it provably never does before the
+                // channel disconnects.
+                let _ = report.send((index, mapped));
+            }
+            // The worker's `report` clone drops HERE, after its last
+            // possible use of `f`/`deques` — channel disconnection is
+            // how the caller knows every borrow is dead.
         }));
     }
     drop(report);
 
-    // Block until EVERY chunk has reported back — the safety contract of
-    // `submit_scoped` (no borrow of `f` or the chunks outlives this
-    // call), upheld even when some chunk panicked: unwinding is deferred
-    // until all results are in, then replayed in chunk order.
-    let mut slots: Vec<Option<std::thread::Result<Vec<U>>>> = Vec::new();
-    slots.resize_with(n_chunks, || None);
-    for _ in 0..n_chunks {
-        let (index, mapped) = results.recv().expect("pool workers outlive pending chunks");
+    // Drain to disconnection, not just to `total` results — the safety
+    // contract of `submit_scoped` (no borrow of `f` or the deques
+    // outlives this call) needs every worker *task* finished, not merely
+    // every item reported. Panics are deferred until the dispatch is
+    // fully drained, then replayed in item order.
+    let mut slots: Vec<Option<std::thread::Result<U>>> = Vec::new();
+    slots.resize_with(total, || None);
+    let mut received = 0usize;
+    while let Ok((index, mapped)) = results.recv() {
+        debug_assert!(slots[index].is_none(), "item {index} reported twice");
         slots[index] = Some(mapped);
+        received += 1;
     }
+    assert_eq!(received, total, "every item reports exactly once");
     let mut out: Vec<U> = Vec::with_capacity(total);
     for slot in slots {
-        match slot.expect("every chunk reports exactly once") {
-            Ok(mapped) => out.extend(mapped),
+        match slot.expect("every item reports exactly once") {
+            Ok(mapped) => out.push(mapped),
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
@@ -176,8 +220,9 @@ pub mod pool {
     //! Workers are spawned once per process (first parallel call), sized
     //! by [`available_parallelism`](std::thread::available_parallelism),
     //! and fed through an mpsc injector channel; results return to the
-    //! submitting call through a per-call channel tagged with chunk
-    //! indices, so ordering never depends on worker scheduling.
+    //! submitting call through a per-call channel tagged with item
+    //! indices, so ordering never depends on worker scheduling or on
+    //! which worker stole which item.
 
     use std::sync::mpsc::{channel, Receiver, Sender};
     use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -249,9 +294,10 @@ pub mod pool {
     /// rayon's situation, solved the same way: the lifetime is erased,
     /// and the submitting call **must not return (or unwind) before the
     /// task has finished running**. `parallel_map` upholds this by
-    /// blocking until every submitted chunk has sent its result, which
-    /// each task does only after its closure completed (panics
-    /// included, via `catch_unwind`).
+    /// draining its result channel to disconnection: each worker task
+    /// holds a clone of the sender that only drops when the task's
+    /// closure has fully completed (item panics included, via
+    /// `catch_unwind`), so disconnection proves every borrow is dead.
     pub(crate) fn submit_scoped(task: Box<dyn FnOnce() + Send + '_>) {
         // SAFETY: only the lifetime is transmuted (same vtable, same
         // layout); the contract above guarantees the borrow is live for
@@ -498,6 +544,139 @@ mod tests {
         // The pool survives the panic: the next operation still works.
         let ok: Vec<usize> = pool.install(|| (0..10).into_par_iter().map(|x| x + 1).collect());
         assert_eq!(ok, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_costs_preserve_order() {
+        // One dominating item (index 0) plus many cheap ones: stealing
+        // moves the cheap items to other workers, and index-tagged
+        // reassembly still returns them in input order.
+        fn busy(rounds: u64) -> u64 {
+            let mut acc = 1u64;
+            for i in 0..rounds {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+            }
+            std::hint::black_box(acc)
+        }
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let costs: Vec<u64> =
+            std::iter::once(2_000_000u64).chain((1..64).map(|_| 10)).collect();
+        let out: Vec<(usize, u64)> = pool.install(|| {
+            costs
+                .iter()
+                .copied()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(i, c)| (i, busy(c)))
+                .collect()
+        });
+        assert_eq!(out.len(), 64);
+        for (slot, &(index, _)) in out.iter().enumerate() {
+            assert_eq!(slot, index, "work stealing broke input-order reassembly");
+        }
+    }
+
+    #[test]
+    fn stealing_distributes_items_beyond_contiguous_runs() {
+        // With 2 workers over 8 items, contiguous chunking would pin
+        // items 0..4 to the worker that owns item 0. Here item 0 blocks
+        // until every other item has finished: under per-item stealing
+        // the second worker drains its own run (4..8) and then steals
+        // items 3, 2, 1 from the blocked worker's deque, so the first
+        // run's items are computed by more than one thread.
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        if crate::pool::worker_count() < 2 {
+            return; // stealing needs a second runnable worker
+        }
+        // Two-way gate pinning the interleaving: item 0 (always claimed
+        // first by the worker owning deque 0) announces itself, every
+        // other item waits for that announcement, and item 0 only
+        // finishes once the other 7 are done — which, with item 0's
+        // worker blocked, only stealing can achieve. Waits are bounded so
+        // a starved pool degrades to a failed assertion, not a hang.
+        let spin_until = |cond: &dyn Fn() -> bool| {
+            let start = std::time::Instant::now();
+            while !cond() && start.elapsed() < std::time::Duration::from_secs(10) {
+                std::thread::yield_now();
+            }
+        };
+        let item0_started = AtomicUsize::new(0);
+        let others_done = AtomicUsize::new(0);
+        let thread_of: Mutex<HashMap<usize, std::thread::ThreadId>> =
+            Mutex::new(HashMap::new());
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let _: Vec<()> = (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 0 {
+                        item0_started.store(1, Ordering::SeqCst);
+                        spin_until(&|| others_done.load(Ordering::SeqCst) >= 7);
+                    } else {
+                        spin_until(&|| item0_started.load(Ordering::SeqCst) == 1);
+                    }
+                    thread_of.lock().unwrap().insert(i, std::thread::current().id());
+                    if i != 0 {
+                        others_done.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+        });
+        assert_eq!(others_done.load(Ordering::SeqCst), 7);
+        let thread_of = thread_of.into_inner().unwrap();
+        let first_run: std::collections::HashSet<_> = (0..4).map(|i| thread_of[&i]).collect();
+        assert!(
+            first_run.len() > 1,
+            "items 0..4 all ran on one thread — nothing was stolen from the busy worker"
+        );
+    }
+
+    #[test]
+    fn installed_cap_bounds_worker_threads_used() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<usize> = pool.install(|| {
+            (0..256usize)
+                .into_par_iter()
+                .map(|x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..256).collect::<Vec<_>>());
+        assert!(
+            seen.lock().unwrap().len() <= 2,
+            "a num_threads(2) cap must dispatch at most 2 worker tasks"
+        );
+    }
+
+    #[test]
+    fn panic_in_stolen_item_reports_lowest_index() {
+        // Two items panic; the replayed payload must be the lower index
+        // regardless of which worker hit which item first.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 13 || x == 97 {
+                            panic!("boom {x}");
+                        }
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        let payload = result.expect_err("panics must propagate");
+        let message = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(message, "boom 13");
     }
 
     #[test]
