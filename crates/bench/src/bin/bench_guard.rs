@@ -7,18 +7,24 @@
 //! $ cargo run --release -p fastsc-bench --bin bench_guard
 //! ```
 //!
-//! Two gates, both over the skewed-batch workload:
+//! Three gates:
 //!
-//! 1. **Absolute** — the fresh `parallel` median must stay within 2x the
-//!    committed `post` baseline (`BENCH_GUARD_MAX_RATIO` overrides).
-//! 2. **Relative, same-run** — the fresh `parallel` (work-stealing)
-//!    median must stay within 1.5x the fresh `parallel_chunked` median
-//!    (`BENCH_GUARD_STEAL_RATIO` overrides). This one is
-//!    machine-independent: whatever the host, stealing falling
-//!    meaningfully behind contiguous chunking over the same jobs means
-//!    the stealing dispatch has regressed.
+//! 1. **Absolute** — the fresh skewed-batch `parallel` median must stay
+//!    within 2x the committed `post` baseline (`BENCH_GUARD_MAX_RATIO`
+//!    overrides).
+//! 2. **Relative, same-run** — the fresh skewed-batch `parallel`
+//!    (work-stealing) median must stay within 1.5x the fresh
+//!    `parallel_chunked` median (`BENCH_GUARD_STEAL_RATIO` overrides).
+//!    This one is machine-independent: whatever the host, stealing
+//!    falling meaningfully behind contiguous chunking over the same jobs
+//!    means the stealing dispatch has regressed.
+//! 3. **Relative, same-run** — queued end-to-end (`queue_saturated`
+//!    `queued`) must stay within 2x direct `compile_batch` on the same
+//!    workload and fleet (`BENCH_GUARD_QUEUE_RATIO` overrides): the
+//!    async front end's admission/dispatch/wakeup overhead cannot
+//!    silently regress.
 //!
-//! Exits non-zero when either gate fails.
+//! Exits non-zero when any gate fails.
 
 use fastsc_bench::record;
 use fastsc_bench::regression::{check, check_relative, Gate, RelativeGate};
@@ -44,8 +50,19 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_STEAL_RATIO", 1.5),
     };
+    let queue = RelativeGate {
+        workload: "queue_saturated",
+        subject_strategy: "queued",
+        reference_strategy: "direct",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_QUEUE_RATIO", 2.0),
+    };
     let mut failed = false;
-    for outcome in [check(&records, &absolute), check_relative(&records, &relative)] {
+    for outcome in [
+        check(&records, &absolute),
+        check_relative(&records, &relative),
+        check_relative(&records, &queue),
+    ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),
             Err(message) => {

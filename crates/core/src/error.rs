@@ -33,6 +33,27 @@ pub enum CompileError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// No registered shard has enough qubits for the program. Surfaced by
+    /// fleet routers whose placement policy is capacity-aware: rather
+    /// than routing the job to a shard where it is guaranteed to fail
+    /// with [`ProgramTooWide`](Self::ProgramTooWide), routing itself
+    /// rejects it.
+    NoShardFits {
+        /// Program qubit count.
+        program: usize,
+        /// Qubit count of the largest registered shard.
+        max_shard: usize,
+    },
+    /// The job's deadline passed before a compile slot opened. Surfaced
+    /// by queueing front ends: the job is expired without compiling.
+    Deadline,
+    /// The job was cancelled by its submitter before it started
+    /// compiling.
+    Cancelled,
+    /// The admission queue was full and the job was turned away — either
+    /// rejected at submission (`RejectWhenFull` backpressure) or shed
+    /// after admission to make room for newer work (`ShedOldest`).
+    QueueFull,
 }
 
 impl fmt::Display for CompileError {
@@ -50,6 +71,18 @@ impl fmt::Display for CompileError {
             ),
             CompileError::Internal { ref message } => {
                 write!(f, "compilation stage panicked: {message}")
+            }
+            CompileError::NoShardFits { program, max_shard } => write!(
+                f,
+                "program uses {program} qubits but the largest registered shard has only \
+                 {max_shard}"
+            ),
+            CompileError::Deadline => {
+                write!(f, "deadline passed before the job reached a compiler")
+            }
+            CompileError::Cancelled => write!(f, "job cancelled before compilation"),
+            CompileError::QueueFull => {
+                write!(f, "admission queue full; job rejected or shed")
             }
         }
     }
@@ -69,5 +102,10 @@ mod tests {
         assert!(e.to_string().contains("disconnected"));
         let e = CompileError::FrequencyBandExhausted { colors: 12 };
         assert!(e.to_string().contains("12"));
+        let e = CompileError::NoShardFits { program: 16, max_shard: 9 };
+        assert!(e.to_string().contains("16") && e.to_string().contains("9"));
+        assert!(CompileError::Deadline.to_string().contains("deadline"));
+        assert!(CompileError::Cancelled.to_string().contains("cancelled"));
+        assert!(CompileError::QueueFull.to_string().contains("queue full"));
     }
 }

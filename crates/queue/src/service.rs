@@ -1,0 +1,905 @@
+//! The queue service: admission, dispatch, and result delivery.
+//!
+//! One dispatcher thread sits between submitters and the sharded
+//! [`CompileService`]: submissions land in the [`AdmissionQueue`]
+//! (bounded; the configured [`Backpressure`] decides what happens when
+//! it is full), the dispatcher drains weighted, client-fair
+//! micro-batches into [`CompileService::compile_batch`] (so shard
+//! routing, coalescing, work stealing, and the whole-schedule result
+//! cache all keep working under queued traffic), and each finished job
+//! wakes its [`JobHandle`] and every [`Completions`] subscriber the
+//! moment its micro-batch returns.
+//!
+//! Every admitted job resolves exactly once: to a compile result, or to
+//! [`CompileError::Deadline`] (expired while queued),
+//! [`CompileError::QueueFull`] (shed), or [`CompileError::Cancelled`]
+//! (cancelled, or still queued when the service shut down mid-drain —
+//! which cannot happen under the graceful drop-drain, but the contract
+//! is defensive). Nothing is lost and nothing is delivered twice.
+
+use crate::job::{JobId, Priority, Submission};
+use crate::scheduler::{AdmissionQueue, QueuedJob};
+use crate::stats::{QueueStats, StatsState};
+use fastsc_core::batch::CompileJob;
+use fastsc_core::CompileError;
+use fastsc_service::{CompileService, ServiceReply};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Terminal outcome of one queued job: the compile service's reply
+/// (shard + cache-hit metadata included) or the per-job error.
+pub type JobResult = Result<ServiceReply, CompileError>;
+
+/// What [`QueueService::submit`] does when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the submitting thread until a slot frees (the default):
+    /// lossless, propagates pressure to producers.
+    #[default]
+    Block,
+    /// Fail the submission immediately with [`CompileError::QueueFull`]:
+    /// lossy but never blocks — for callers with their own retry logic.
+    RejectWhenFull,
+    /// Admit the newcomer by evicting the oldest queued job of the
+    /// least important class not outranking it; the victim's handle
+    /// resolves to [`CompileError::QueueFull`]. When every queued job
+    /// outranks the newcomer, the newcomer itself is admitted-and-shed
+    /// instead — queue pressure never evicts upward.
+    ShedOldest,
+}
+
+/// Tuning knobs for [`QueueService`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Maximum jobs waiting for dispatch (jobs already compiling do not
+    /// count). Minimum 1.
+    pub capacity: usize,
+    /// Full-queue behavior.
+    pub backpressure: Backpressure,
+    /// Largest micro-batch the dispatcher hands the compile service at
+    /// once. Minimum 1. Larger batches amortize dispatch and give
+    /// coalescing/work stealing more to chew on; smaller batches lower
+    /// the latency of a high-priority job arriving behind a full batch.
+    pub max_batch: usize,
+    /// Completions each [`subscribe_all`](QueueService::subscribe_all)
+    /// subscriber may buffer before its **oldest** entries are dropped
+    /// (counted, see [`Completions::dropped`]). Minimum 1. Bounds the
+    /// memory a stalled consumer can pin — the admission queue is
+    /// bounded, so unread completion buffers must be too.
+    pub subscriber_buffer: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 256,
+            backpressure: Backpressure::Block,
+            max_batch: 32,
+            subscriber_buffer: 4096,
+        }
+    }
+}
+
+/// Where one job is in its lifecycle.
+#[derive(Debug)]
+enum Slot {
+    /// Admitted, waiting in the queue (metadata locates it for cancel).
+    Queued { client: crate::job::ClientId, priority: Priority },
+    /// Drained into a micro-batch, compiling now.
+    Running,
+    /// Finished; the result waits for its handle.
+    Done(JobResult),
+    /// The handle was dropped before completion; deliver to subscribers
+    /// only, then forget.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct Subscriber {
+    id: u64,
+    buffer: std::collections::VecDeque<(JobId, JobResult)>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    subscriber_buffer: usize,
+    queue: AdmissionQueue,
+    slots: HashMap<JobId, Slot>,
+    next_id: u64,
+    next_seq: u64,
+    next_subscriber: u64,
+    inflight: usize,
+    paused: bool,
+    shutdown: bool,
+    stats: StatsState,
+    subscribers: Vec<Subscriber>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the dispatcher: work arrived, resumed, or shutting down.
+    work: Condvar,
+    /// Wakes blocked submitters: queue depth dropped.
+    space: Condvar,
+    /// Wakes handle waiters and subscribers: a job completed.
+    done: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Delivers `result` for `id`: streams it to every subscriber, then
+/// parks it in the job's slot for its handle (or forgets it if the
+/// handle is gone). Callers update stats and notify `done`.
+fn complete(state: &mut State, id: JobId, result: JobResult) {
+    let cap = state.subscriber_buffer;
+    for subscriber in &mut state.subscribers {
+        subscriber.buffer.push_back((id, result.clone()));
+        // A stalled consumer must not pin unbounded memory: drop its
+        // oldest unread completion (counted) once past the cap.
+        if subscriber.buffer.len() > cap {
+            subscriber.buffer.pop_front();
+            subscriber.dropped += 1;
+        }
+    }
+    match state.slots.get_mut(&id) {
+        Some(slot @ (Slot::Queued { .. } | Slot::Running)) => *slot = Slot::Done(result),
+        Some(Slot::Abandoned) => {
+            state.slots.remove(&id);
+        }
+        // Double delivery is a bug in the queue itself, not user error.
+        Some(Slot::Done(_)) => unreachable!("job {id} completed twice"),
+        None => {}
+    }
+}
+
+/// The asynchronous front end over a sharded [`CompileService`] (see the
+/// [module docs](self) and the crate-level example).
+#[derive(Debug)]
+pub struct QueueService {
+    shared: Arc<Shared>,
+    service: Arc<CompileService>,
+    config: QueueConfig,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl QueueService {
+    /// Starts the front end over `service` (the dispatcher thread is
+    /// spawned immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity`, `config.max_batch`, or
+    /// `config.subscriber_buffer` is 0, or if `service` has no
+    /// registered shard — devices cannot be added once the service is
+    /// behind the queue, so an empty fleet could never compile anything
+    /// (and would panic the dispatcher on its first batch instead of
+    /// failing fast here).
+    pub fn new(service: CompileService, config: QueueConfig) -> Self {
+        assert!(config.capacity >= 1, "queue capacity must be at least 1");
+        assert!(config.max_batch >= 1, "micro-batch size must be at least 1");
+        assert!(config.subscriber_buffer >= 1, "subscriber buffer must be at least 1");
+        assert!(
+            service.shard_count() >= 1,
+            "register at least one device before starting the queue"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                subscriber_buffer: config.subscriber_buffer,
+                queue: AdmissionQueue::new(),
+                slots: HashMap::new(),
+                next_id: 0,
+                next_seq: 0,
+                next_subscriber: 0,
+                inflight: 0,
+                paused: false,
+                shutdown: false,
+                stats: StatsState::default(),
+                subscribers: Vec::new(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let service = Arc::new(service);
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("fastsc-queue-dispatcher".into())
+                .spawn(move || dispatch_loop(&shared, &service, config.max_batch))
+                .expect("spawning the dispatcher thread succeeds")
+        };
+        QueueService { shared, service, config, dispatcher: Some(dispatcher) }
+    }
+
+    /// [`new`](Self::new) with [`QueueConfig::default`].
+    pub fn with_defaults(service: CompileService) -> Self {
+        QueueService::new(service, QueueConfig::default())
+    }
+
+    /// Submits one job without waiting for it to compile. The returned
+    /// [`JobHandle`] observes the job's lifecycle; results also stream
+    /// to every [`subscribe_all`](Self::subscribe_all) subscriber.
+    ///
+    /// Under [`Backpressure::Block`] this call blocks while the queue is
+    /// full — that is the backpressure. The other modes never block.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::QueueFull`] — queue full under
+    ///   [`Backpressure::RejectWhenFull`].
+    /// * [`CompileError::Cancelled`] — the service is shutting down.
+    pub fn submit(&self, submission: Submission) -> Result<JobHandle, CompileError> {
+        let Submission { job, client, priority, deadline } = submission;
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(CompileError::Cancelled);
+        }
+        let mut shed_self = false;
+        if state.queue.len() >= self.config.capacity {
+            match self.config.backpressure {
+                Backpressure::Block => {
+                    while state.queue.len() >= self.config.capacity && !state.shutdown {
+                        state = self
+                            .shared
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    if state.shutdown {
+                        return Err(CompileError::Cancelled);
+                    }
+                }
+                Backpressure::RejectWhenFull => {
+                    state.stats.rejected += 1;
+                    return Err(CompileError::QueueFull);
+                }
+                Backpressure::ShedOldest => {
+                    match state.queue.shed_oldest_at_most(priority) {
+                        Some(victim) => {
+                            state.stats.shed += 1;
+                            complete(&mut state, victim.id, Err(CompileError::QueueFull));
+                            self.shared.done.notify_all();
+                        }
+                        // Everything queued outranks the newcomer: the
+                        // newcomer is the victim. It is still admitted
+                        // (its handle resolves, subscribers see it).
+                        None => shed_self = true,
+                    }
+                }
+            }
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        state.stats.admitted += 1;
+        if shed_self {
+            state.stats.shed += 1;
+            state.slots.insert(id, Slot::Queued { client, priority });
+            complete(&mut state, id, Err(CompileError::QueueFull));
+            self.shared.done.notify_all();
+        } else {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.slots.insert(id, Slot::Queued { client, priority });
+            state.queue.push(QueuedJob {
+                id,
+                client,
+                priority,
+                job,
+                deadline,
+                submitted: Instant::now(),
+                seq,
+            });
+            self.shared.work.notify_all();
+        }
+        Ok(JobHandle { id, shared: Arc::clone(&self.shared) })
+    }
+
+    /// Streams every completion from now on: the iterator yields
+    /// `(job_id, result)` in **completion order** (the order micro-batch
+    /// results are delivered), blocking between completions and ending
+    /// when the service has shut down and everything admitted has
+    /// resolved. Completions before the subscription are not replayed.
+    pub fn subscribe_all(&self) -> Completions {
+        let mut state = self.shared.lock();
+        let id = state.next_subscriber;
+        state.next_subscriber += 1;
+        state.subscribers.push(Subscriber {
+            id,
+            buffer: std::collections::VecDeque::new(),
+            dropped: 0,
+        });
+        Completions { id, shared: Arc::clone(&self.shared) }
+    }
+
+    /// A point-in-time snapshot of queue depth, lifecycle counters,
+    /// per-priority latency percentiles, and the fleet's schedule-cache
+    /// counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.shared.lock();
+        state.stats.snapshot(
+            state.queue.len(),
+            state.inflight,
+            self.service.cache_stats_total(),
+        )
+    }
+
+    /// Holds the dispatcher after its current micro-batch: queued jobs
+    /// wait (deadlines keep ticking) until [`resume`](Self::resume).
+    /// Submissions are still admitted. Useful for maintenance windows
+    /// and for tests that need a deterministically full queue.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Releases [`pause`](Self::pause).
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// The compile service behind the queue (e.g. for per-shard cache
+    /// stats).
+    pub fn service(&self) -> &CompileService {
+        &self.service
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> QueueConfig {
+        self.config
+    }
+}
+
+impl Drop for QueueService {
+    /// Graceful shutdown: refuses new submissions, lets the dispatcher
+    /// drain everything already admitted (pause is overridden), then
+    /// joins it. Every outstanding handle and subscriber resolves.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        self.shared.done.notify_all();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+/// The dispatcher: drain a fair micro-batch, expire overdue jobs, run
+/// the rest through the compile service, deliver, repeat. Exits once
+/// shutdown is flagged and the queue is empty.
+fn dispatch_loop(shared: &Shared, service: &CompileService, max_batch: usize) {
+    loop {
+        let batch = {
+            let mut state = shared.lock();
+            loop {
+                if state.shutdown {
+                    break;
+                }
+                if !state.paused && !state.queue.is_empty() {
+                    break;
+                }
+                state = shared.work.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+            if state.shutdown && state.queue.is_empty() {
+                return;
+            }
+            let drained = state.queue.drain_batch(max_batch);
+            let now = Instant::now();
+            let mut batch = Vec::with_capacity(drained.len());
+            for queued in drained {
+                if queued.deadline.is_some_and(|deadline| deadline <= now) {
+                    state.stats.expired += 1;
+                    complete(&mut state, queued.id, Err(CompileError::Deadline));
+                } else {
+                    // Only a live slot advances; an `Abandoned` marker
+                    // (handle already dropped) must survive so the
+                    // completion is forgotten, not parked.
+                    if let Some(slot @ Slot::Queued { .. }) = state.slots.get_mut(&queued.id) {
+                        *slot = Slot::Running;
+                    }
+                    batch.push(queued);
+                }
+            }
+            state.inflight += batch.len();
+            batch
+        };
+        // Depth dropped; unblock submitters. Expired jobs completed.
+        shared.space.notify_all();
+        shared.done.notify_all();
+        if batch.is_empty() {
+            continue;
+        }
+        let jobs: Vec<CompileJob> = batch.iter().map(|queued| queued.job.clone()).collect();
+        // The service already isolates per-job panics, but the batch
+        // call itself can still panic (e.g. a custom policy routing out
+        // of bounds). Letting that unwind would kill the dispatcher with
+        // jobs stuck in `Running` — every waiter would hang forever — so
+        // the whole batch fails into its slots instead and the
+        // dispatcher lives on.
+        let replies = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.compile_batch(jobs)
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            batch
+                .iter()
+                .map(|_| Err(CompileError::Internal { message: message.clone() }))
+                .collect()
+        });
+        {
+            let mut state = shared.lock();
+            state.inflight -= batch.len();
+            for (queued, reply) in batch.into_iter().zip(replies) {
+                state.stats.completed += 1;
+                state.stats.record_latency(queued.priority, queued.submitted.elapsed());
+                complete(&mut state, queued.id, reply);
+            }
+        }
+        shared.done.notify_all();
+    }
+}
+
+/// Observes one submitted job (returned by [`QueueService::submit`]).
+///
+/// Dropping the handle detaches it — the job still runs (and still
+/// streams to subscribers); only the parked result is discarded.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+}
+
+impl JobHandle {
+    /// The job's identity (matches the `(job_id, result)` pairs streamed
+    /// by [`QueueService::subscribe_all`]).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's result if it has completed, without blocking.
+    pub fn poll(&self) -> Option<JobResult> {
+        match self.shared.lock().slots.get(&self.id) {
+            Some(Slot::Done(result)) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job completes.
+    pub fn wait(&self) -> JobResult {
+        let mut state = self.shared.lock();
+        loop {
+            match state.slots.get(&self.id) {
+                Some(Slot::Done(result)) => return result.clone(),
+                // The slot is gone or the drain already passed the job
+                // by: resolve rather than hang. Unreachable under the
+                // normal lifecycle.
+                None => return Err(CompileError::Cancelled),
+                _ => {}
+            }
+            state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`wait`](Self::wait) bounded by `timeout`; `None` when the job is
+    /// still outstanding at the end of it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            match state.slots.get(&self.id) {
+                Some(Slot::Done(result)) => return Some(result.clone()),
+                None => return Some(Err(CompileError::Cancelled)),
+                _ => {}
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Cancels the job if it is still queued: its handle (and every
+    /// subscriber) resolves to [`CompileError::Cancelled`] and it will
+    /// never compile. Returns `false` when too late — the job is already
+    /// compiling or done, and its real result stands.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.shared.lock();
+        let Some(Slot::Queued { client, priority }) = state.slots.get(&self.id) else {
+            return false;
+        };
+        let (client, priority) = (*client, *priority);
+        let removed = state.queue.remove(self.id, client, priority);
+        debug_assert!(removed.is_some(), "queued slot implies a queued job");
+        state.stats.cancelled += 1;
+        complete(&mut state, self.id, Err(CompileError::Cancelled));
+        self.shared.space.notify_all();
+        self.shared.done.notify_all();
+        true
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        match state.slots.get_mut(&self.id) {
+            Some(Slot::Done(_)) => {
+                state.slots.remove(&self.id);
+            }
+            Some(slot) => *slot = Slot::Abandoned,
+            None => {}
+        }
+    }
+}
+
+/// Blocking iterator over completions (see
+/// [`QueueService::subscribe_all`]).
+#[derive(Debug)]
+pub struct Completions {
+    id: u64,
+    shared: Arc<Shared>,
+}
+
+impl Completions {
+    /// The next completion, or `None` after `timeout` with nothing
+    /// delivered (the subscription stays live — keep calling).
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<(JobId, JobResult)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(item) = self.pop(&mut state) {
+                return Some(item);
+            }
+            if self.finished(&state) {
+                return None;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Completions this subscriber missed because its buffer overflowed
+    /// ([`QueueConfig::subscriber_buffer`]) before it was drained. The
+    /// jobs themselves were unaffected — their handles still resolved.
+    pub fn dropped(&self) -> u64 {
+        let state = self.shared.lock();
+        state.subscribers.iter().find(|s| s.id == self.id).map_or(0, |s| s.dropped)
+    }
+
+    fn pop(&self, state: &mut State) -> Option<(JobId, JobResult)> {
+        let buffer = &mut state.subscribers.iter_mut().find(|s| s.id == self.id)?.buffer;
+        buffer.pop_front()
+    }
+
+    /// No more completions can ever arrive: shut down with nothing
+    /// queued or compiling.
+    fn finished(&self, state: &State) -> bool {
+        state.shutdown && state.queue.is_empty() && state.inflight == 0
+    }
+}
+
+impl Iterator for Completions {
+    type Item = (JobId, JobResult);
+
+    /// Blocks until the next completion; ends (`None`) only when the
+    /// service has shut down and everything admitted has resolved.
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(item) = self.pop(&mut state) {
+                return Some(item);
+            }
+            if self.finished(&state) {
+                return None;
+            }
+            state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for Completions {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.subscribers.retain(|s| s.id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsc_core::{CompilerConfig, Strategy};
+    use fastsc_device::Device;
+    use fastsc_service::RoundRobin;
+    use fastsc_workloads::Benchmark;
+
+    fn queue(config: QueueConfig) -> QueueService {
+        let mut service = CompileService::new(RoundRobin::new());
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        QueueService::new(service, config)
+    }
+
+    fn bv(width: usize) -> Submission {
+        Submission::new(CompileJob::new(Benchmark::Bv(width).build(1), Strategy::ColorDynamic))
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let queue = queue(QueueConfig::default());
+        let handle = queue.submit(bv(4)).expect("admits");
+        let reply = handle.wait().expect("compiles");
+        assert_eq!(reply.shard, 0);
+        assert_eq!(handle.poll().expect("done").expect("compiles").shard, 0);
+        let stats = queue.stats();
+        assert_eq!((stats.admitted, stats.completed), (1, 1));
+        assert_eq!(stats.latency(Priority::Batch).count, 1);
+    }
+
+    #[test]
+    fn per_job_errors_stay_in_their_slot() {
+        let queue = queue(QueueConfig::default());
+        let wide = queue.submit(bv(16)).expect("admits");
+        let fits = queue.submit(bv(4)).expect("admits");
+        assert!(matches!(wide.wait(), Err(CompileError::ProgramTooWide { .. })));
+        assert!(fits.wait().is_ok());
+    }
+
+    #[test]
+    fn reject_when_full_fails_fast_and_counts() {
+        let queue = queue(QueueConfig {
+            capacity: 1,
+            backpressure: Backpressure::RejectWhenFull,
+            max_batch: 4,
+            subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        });
+        queue.pause();
+        let first = queue.submit(bv(4)).expect("fits the queue");
+        // The queue is paused and full: the second submission bounces.
+        for _ in 0..3 {
+            match queue.submit(bv(5)) {
+                Err(CompileError::QueueFull) => {}
+                other => panic!("expected QueueFull, got {other:?}"),
+            }
+        }
+        queue.resume();
+        assert!(first.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!((stats.admitted, stats.rejected), (1, 3));
+    }
+
+    #[test]
+    fn deadline_expires_without_compiling() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let doomed = queue
+            .submit(bv(4).deadline_at(Instant::now() - Duration::from_millis(1)))
+            .expect("admits");
+        let alive = queue.submit(bv(5)).expect("admits");
+        queue.resume();
+        assert!(matches!(doomed.wait(), Err(CompileError::Deadline)));
+        assert!(alive.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!((stats.expired, stats.completed), (1, 1));
+        // The expired job never reached a compiler: one miss, no hit.
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn cancel_only_wins_before_dispatch() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let victim = queue.submit(bv(4)).expect("admits");
+        assert!(victim.cancel(), "still queued: cancellable");
+        assert!(matches!(victim.wait(), Err(CompileError::Cancelled)));
+        assert!(!victim.cancel(), "already resolved");
+        queue.resume();
+        let done = queue.submit(bv(5)).expect("admits");
+        assert!(done.wait().is_ok());
+        assert!(!done.cancel(), "completed jobs cannot be cancelled");
+        assert_eq!(queue.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn dropping_the_service_resolves_outstanding_handles() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let handle = queue.submit(bv(4)).expect("admits");
+        drop(queue); // graceful drain overrides pause
+        assert!(handle.wait().is_ok(), "queued work must drain on shutdown");
+    }
+
+    #[test]
+    fn shed_oldest_evicts_and_resolves_the_victim() {
+        let queue = queue(QueueConfig {
+            capacity: 2,
+            backpressure: Backpressure::ShedOldest,
+            max_batch: 4,
+            subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        });
+        queue.pause();
+        let oldest = queue.submit(bv(4)).expect("admits");
+        let second = queue.submit(bv(5)).expect("admits");
+        let newcomer = queue.submit(bv(6)).expect("sheds the oldest and admits");
+        assert!(matches!(oldest.wait(), Err(CompileError::QueueFull)));
+        queue.resume();
+        assert!(second.wait().is_ok());
+        assert!(newcomer.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!((stats.admitted, stats.shed, stats.completed), (3, 1, 2));
+    }
+
+    #[test]
+    fn shed_never_evicts_upward() {
+        let queue = queue(QueueConfig {
+            capacity: 1,
+            backpressure: Backpressure::ShedOldest,
+            max_batch: 4,
+            subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        });
+        queue.pause();
+        let vip = queue.submit(bv(4).priority(Priority::Interactive)).expect("admits");
+        // Everything queued outranks the speculative newcomer: the
+        // newcomer itself is admitted-and-shed.
+        let spec = queue.submit(bv(5).priority(Priority::Speculative)).expect("admits");
+        assert!(matches!(spec.wait(), Err(CompileError::QueueFull)));
+        queue.resume();
+        assert!(vip.wait().is_ok());
+        assert_eq!(queue.stats().shed, 1);
+    }
+
+    #[test]
+    fn subscriber_sees_each_completion_exactly_once() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let mut completions = queue.subscribe_all();
+        let handles: Vec<JobHandle> =
+            (0..3).map(|i| queue.submit(bv(4 + i)).expect("admits")).collect();
+        let expected: Vec<JobId> = handles.iter().map(JobHandle::id).collect();
+        queue.resume();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let (id, result) = completions.next_timeout(Duration::from_secs(30)).expect("runs");
+            assert!(result.is_ok());
+            seen.push(id);
+        }
+        seen.sort();
+        assert_eq!(seen, expected);
+        assert!(
+            completions.next_timeout(Duration::from_millis(10)).is_none(),
+            "no duplicate deliveries"
+        );
+    }
+
+    #[test]
+    fn block_mode_blocks_until_space_frees() {
+        let queue = Arc::new(queue(QueueConfig {
+            capacity: 1,
+            backpressure: Backpressure::Block,
+            max_batch: 1,
+            subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        }));
+        // Flood from a second thread; Block admission means every job
+        // eventually compiles, with the producer throttled to queue pace.
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                (0..4)
+                    .map(|i| queue.submit(bv(4 + i)).expect("blocks, then admits"))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let handles = producer.join().expect("producer finishes");
+        for handle in &handles {
+            assert!(handle.wait().is_ok());
+        }
+        let stats = queue.stats();
+        assert_eq!((stats.admitted, stats.rejected, stats.completed), (4, 0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "register at least one device")]
+    fn empty_fleet_is_refused_at_construction() {
+        // Devices cannot be registered once the service is behind the
+        // queue, so an empty fleet would panic the dispatcher on its
+        // first batch; construction fails fast instead.
+        let _ =
+            QueueService::with_defaults(CompileService::new(fastsc_service::RoundRobin::new()));
+    }
+
+    #[test]
+    fn dispatcher_survives_a_panicking_batch() {
+        // A policy routing out of bounds panics inside compile_batch.
+        // The dispatcher must convert that into per-job Internal errors
+        // and keep serving — never die with jobs stuck in Running.
+        #[derive(Debug)]
+        struct OutOfBounds;
+        impl fastsc_service::ShardPolicy for OutOfBounds {
+            fn route(
+                &mut self,
+                _request: &fastsc_service::RouteRequest<'_>,
+            ) -> Result<usize, CompileError> {
+                Ok(7)
+            }
+        }
+        let mut service = CompileService::new(OutOfBounds);
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        let queue = QueueService::with_defaults(service);
+        let first = queue.submit(bv(4)).expect("admits");
+        match first.wait() {
+            Err(CompileError::Internal { message }) => {
+                assert!(message.contains("routed to shard"), "unexpected payload: {message}")
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The dispatcher is still alive and keeps resolving jobs.
+        let second = queue.submit(bv(5)).expect("admits");
+        assert!(matches!(second.wait(), Err(CompileError::Internal { .. })));
+        assert_eq!(queue.stats().completed, 2);
+    }
+
+    #[test]
+    fn stalled_subscribers_are_bounded_drop_oldest() {
+        let queue = queue(QueueConfig { subscriber_buffer: 2, ..QueueConfig::default() });
+        let completions = queue.subscribe_all();
+        let handles: Vec<JobHandle> =
+            (0..5).map(|i| queue.submit(bv(3 + i)).expect("admits")).collect();
+        let last_ids: Vec<JobId> = handles[3..].iter().map(JobHandle::id).collect();
+        for handle in &handles {
+            assert!(handle.wait().is_ok(), "dropped buffer entries never affect the job");
+        }
+        assert_eq!(completions.dropped(), 3, "oldest completions age out, counted");
+        let mut completions = completions;
+        let buffered: Vec<JobId> = (0..2)
+            .map(|_| completions.next_timeout(Duration::from_secs(10)).expect("buffered").0)
+            .collect();
+        assert_eq!(buffered, last_ids, "the newest completions survive");
+    }
+
+    #[test]
+    fn dropped_handles_do_not_leak_slots() {
+        let queue = queue(QueueConfig::default());
+        for i in 0..4 {
+            let handle = queue.submit(bv(4 + i)).expect("admits");
+            handle.wait().expect("compiles");
+            drop(handle);
+        }
+        let abandoned = queue.submit(bv(8)).expect("admits");
+        drop(abandoned); // dropped before completion: delivered to no one
+        while queue.stats().completed < 5 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(queue.shared.lock().slots.is_empty(), "slots must not accumulate");
+    }
+}

@@ -91,10 +91,33 @@ pub struct CacheStats {
     /// Lookups that found nothing (including key collisions, see
     /// [`ScheduleCache::get`]).
     pub misses: u64,
+    /// Entries dropped to make room for newer ones (FIFO eviction at
+    /// capacity).
+    pub evictions: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum entries ever cached at once.
     pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Element-wise sum of two snapshots — aggregates per-shard caches
+    /// into fleet totals (`capacity` and `len` add; the ratio semantics
+    /// of `hits`/`misses` are preserved).
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            len: self.len + other.len,
+            capacity: self.capacity + other.capacity,
+        }
+    }
+
+    /// The all-zero snapshot ([`merge`](Self::merge) identity).
+    pub fn zero() -> CacheStats {
+        CacheStats { hits: 0, misses: 0, evictions: 0, len: 0, capacity: 0 }
+    }
 }
 
 /// A bounded, concurrent map from [`CacheKey`] to finished
@@ -120,6 +143,7 @@ pub struct ScheduleCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -152,6 +176,7 @@ impl ScheduleCache {
             inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -200,6 +225,7 @@ impl ScheduleCache {
         if inner.map.len() >= self.capacity {
             if let Some(oldest) = inner.order.pop_front() {
                 inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         inner.map.insert(key, Entry { program, compiled: value });
@@ -226,6 +252,7 @@ impl ScheduleCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             len: self.len(),
             capacity: self.capacity,
         }
@@ -307,6 +334,18 @@ mod tests {
         assert!(cache.get(&key(1), &circuit()).is_none(), "oldest entry must be evicted");
         assert!(cache.get(&key(2), &circuit()).is_some());
         assert!(cache.get(&key(3), &circuit()).is_some());
+        assert_eq!(cache.stats().evictions, 1, "eviction must be counted");
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = CacheStats { hits: 1, misses: 2, evictions: 3, len: 4, capacity: 5 };
+        let b = CacheStats { hits: 10, misses: 20, evictions: 30, len: 40, capacity: 50 };
+        assert_eq!(
+            a.merge(b),
+            CacheStats { hits: 11, misses: 22, evictions: 33, len: 44, capacity: 55 }
+        );
+        assert_eq!(CacheStats::zero().merge(a), a);
     }
 
     #[test]

@@ -38,5 +38,7 @@ pub mod policy;
 pub mod router;
 
 pub use cache::{device_fingerprint, CacheKey, CacheStats, ScheduleCache};
-pub use policy::{LeastLoaded, ProgramAffinity, RoundRobin, RouteRequest, ShardPolicy};
+pub use policy::{
+    CapacityAware, LeastLoaded, ProgramAffinity, RoundRobin, RouteRequest, ShardPolicy,
+};
 pub use router::{CompileService, ServiceReply};

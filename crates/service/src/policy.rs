@@ -6,8 +6,14 @@
 //! and routing never depends on worker timing. The load figures a policy
 //! sees combine jobs already routed in the current batch with jobs still
 //! in flight from overlapping batches.
+//!
+//! Routing is fallible: a policy that inspects device capacity (e.g.
+//! [`CapacityAware`]) may conclude that **no** shard can serve a job and
+//! return a [`CompileError`] instead of an index. The router isolates
+//! that error to the job's own result slot — it never panics and never
+//! poisons the rest of the batch.
 
-use fastsc_core::Strategy;
+use fastsc_core::{CompileError, Strategy};
 
 /// Everything a policy may consult for one routing decision.
 #[derive(Debug, Clone)]
@@ -21,6 +27,8 @@ pub struct RouteRequest<'a> {
     /// Per-shard load: jobs routed-but-unfinished (this batch, in
     /// submission order so far, plus in-flight jobs of other batches).
     pub loads: &'a [usize],
+    /// Per-shard device capacity in qubits, in registration order.
+    pub shard_qubits: &'a [usize],
 }
 
 impl RouteRequest<'_> {
@@ -31,10 +39,17 @@ impl RouteRequest<'_> {
 }
 
 /// Chooses the shard for one job. Implementations must return an index
-/// `< request.shard_count()`; the router asserts this.
+/// `< request.shard_count()` or a per-job routing error; the router
+/// asserts the index bound.
 pub trait ShardPolicy: Send + std::fmt::Debug {
     /// Routes one job.
-    fn route(&mut self, request: &RouteRequest<'_>) -> usize;
+    ///
+    /// # Errors
+    ///
+    /// A policy may refuse a job it can prove no shard can serve (e.g.
+    /// [`CompileError::NoShardFits`]); the error becomes that job's
+    /// result.
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError>;
 }
 
 /// Cycles through the shards in registration order, independent of job
@@ -52,10 +67,10 @@ impl RoundRobin {
 }
 
 impl ShardPolicy for RoundRobin {
-    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         let shard = self.next % request.shard_count();
         self.next = (self.next + 1) % request.shard_count();
-        shard
+        Ok(shard)
     }
 }
 
@@ -73,14 +88,14 @@ impl LeastLoaded {
 }
 
 impl ShardPolicy for LeastLoaded {
-    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         let mut best = 0;
         for (shard, &load) in request.loads.iter().enumerate() {
             if load < request.loads[best] {
                 best = shard;
             }
         }
-        best
+        Ok(best)
     }
 }
 
@@ -98,8 +113,55 @@ impl ProgramAffinity {
 }
 
 impl ShardPolicy for ProgramAffinity {
-    fn route(&mut self, request: &RouteRequest<'_>) -> usize {
-        (request.program_hash % request.shard_count() as u64) as usize
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
+        Ok((request.program_hash % request.shard_count() as u64) as usize)
+    }
+}
+
+/// Capacity-aware least-loaded placement for heterogeneous fleets: only
+/// shards with at least `program_qubits` qubits are candidates; among
+/// them the least-loaded wins, with load ties broken to the **larger**
+/// shard (headroom for the next wide job on *its* rival is worth more
+/// than on a chip every job fits) and equal-capacity ties to the lowest
+/// index.
+///
+/// When no shard fits, routing fails with
+/// [`CompileError::NoShardFits`] — the job is rejected up front instead
+/// of being handed to a shard where compilation is guaranteed to fail.
+#[derive(Debug, Default)]
+pub struct CapacityAware;
+
+impl CapacityAware {
+    /// Creates the policy (stateless).
+    pub fn new() -> Self {
+        CapacityAware
+    }
+}
+
+impl ShardPolicy for CapacityAware {
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
+        let mut best: Option<usize> = None;
+        for (shard, (&load, &qubits)) in
+            request.loads.iter().zip(request.shard_qubits).enumerate()
+        {
+            if qubits < request.program_qubits {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (best_load, best_qubits) = (request.loads[b], request.shard_qubits[b]);
+                    load < best_load || (load == best_load && qubits > best_qubits)
+                }
+            };
+            if better {
+                best = Some(shard);
+            }
+        }
+        best.ok_or(CompileError::NoShardFits {
+            program: request.program_qubits,
+            max_shard: request.shard_qubits.iter().copied().max().unwrap_or(0),
+        })
     }
 }
 
@@ -107,12 +169,13 @@ impl ShardPolicy for ProgramAffinity {
 mod tests {
     use super::*;
 
-    fn request<'a>(hash: u64, loads: &'a [usize]) -> RouteRequest<'a> {
+    fn request<'a>(hash: u64, loads: &'a [usize], qubits: &'a [usize]) -> RouteRequest<'a> {
         RouteRequest {
             program_hash: hash,
             strategy: Strategy::ColorDynamic,
             program_qubits: 4,
             loads,
+            shard_qubits: qubits,
         }
     }
 
@@ -120,24 +183,68 @@ mod tests {
     fn round_robin_cycles() {
         let mut p = RoundRobin::new();
         let loads = [0usize; 3];
-        let picks: Vec<usize> = (0..7).map(|i| p.route(&request(i, &loads))).collect();
+        let qubits = [9usize; 3];
+        let picks: Vec<usize> =
+            (0..7).map(|i| p.route(&request(i, &loads, &qubits)).expect("routes")).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
     }
 
     #[test]
     fn least_loaded_picks_minimum_with_low_tie_break() {
         let mut p = LeastLoaded::new();
-        assert_eq!(p.route(&request(0, &[3, 1, 2])), 1);
-        assert_eq!(p.route(&request(0, &[2, 2, 2])), 0, "ties break to the lowest index");
-        assert_eq!(p.route(&request(0, &[5, 4, 0])), 2);
+        let qubits = [9usize; 3];
+        assert_eq!(p.route(&request(0, &[3, 1, 2], &qubits)), Ok(1));
+        assert_eq!(
+            p.route(&request(0, &[2, 2, 2], &qubits)),
+            Ok(0),
+            "ties break to the lowest index"
+        );
+        assert_eq!(p.route(&request(0, &[5, 4, 0], &qubits)), Ok(2));
     }
 
     #[test]
     fn affinity_is_a_pure_function_of_the_hash() {
         let mut p = ProgramAffinity::new();
         let loads = [100usize, 0]; // load must not matter
-        assert_eq!(p.route(&request(6, &loads)), 0);
-        assert_eq!(p.route(&request(7, &loads)), 1);
-        assert_eq!(p.route(&request(7, &loads)), 1, "same program, same shard, every time");
+        let qubits = [9usize; 2];
+        assert_eq!(p.route(&request(6, &loads, &qubits)), Ok(0));
+        assert_eq!(p.route(&request(7, &loads, &qubits)), Ok(1));
+        assert_eq!(
+            p.route(&request(7, &loads, &qubits)),
+            Ok(1),
+            "same program, same shard, every time"
+        );
+    }
+
+    #[test]
+    fn capacity_aware_skips_too_small_shards() {
+        let mut p = CapacityAware::new();
+        // Program needs 4 qubits; shard 0 only has 2, so even though it
+        // is idle the job must go to a fitting shard.
+        let loads = [0usize, 5, 6];
+        let qubits = [2usize, 9, 16];
+        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(1));
+    }
+
+    #[test]
+    fn capacity_aware_breaks_load_ties_to_the_larger_shard() {
+        let mut p = CapacityAware::new();
+        let loads = [1usize, 1, 1];
+        let qubits = [9usize, 16, 9];
+        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(1));
+        // Equal capacity and load: lowest index.
+        let qubits = [9usize, 9, 9];
+        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(0));
+    }
+
+    #[test]
+    fn capacity_aware_refuses_unplaceable_jobs() {
+        let mut p = CapacityAware::new();
+        let loads = [0usize, 0];
+        let qubits = [2usize, 3];
+        assert_eq!(
+            p.route(&request(0, &loads, &qubits)),
+            Err(CompileError::NoShardFits { program: 4, max_shard: 3 })
+        );
     }
 }

@@ -89,13 +89,32 @@ struct Shard {
 pub struct CompileService {
     shards: Vec<Shard>,
     policy: Mutex<Box<dyn ShardPolicy>>,
+    default_cache_capacity: usize,
 }
 
 impl CompileService {
     /// An empty service routing with `policy`. Register at least one
     /// device before compiling.
     pub fn new(policy: impl ShardPolicy + 'static) -> Self {
-        CompileService { shards: Vec::new(), policy: Mutex::new(Box::new(policy)) }
+        CompileService {
+            shards: Vec::new(),
+            policy: Mutex::new(Box::new(policy)),
+            default_cache_capacity: ScheduleCache::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Sets the result-cache capacity that subsequent
+    /// [`register_device`](Self::register_device) calls give their shard
+    /// (0 disables caching for them). Already-registered shards keep the
+    /// capacity they were registered with.
+    pub fn set_default_cache_capacity(&mut self, capacity: usize) {
+        self.default_cache_capacity = capacity;
+    }
+
+    /// The capacity [`register_device`](Self::register_device) currently
+    /// hands new shards.
+    pub fn default_cache_capacity(&self) -> usize {
+        self.default_cache_capacity
     }
 
     /// The single-shard convenience: one device, round-robin routing —
@@ -118,7 +137,9 @@ impl CompileService {
     /// The shard's [`CompileContext`] is built **eagerly** so
     /// device-level frequency-plan failures surface here, once, instead
     /// of failing every routed job later. The shard's result cache gets
-    /// [`ScheduleCache::DEFAULT_CAPACITY`].
+    /// the service's [`default_cache_capacity`]
+    /// (Self::default_cache_capacity)
+    /// ([`ScheduleCache::DEFAULT_CAPACITY`] unless reconfigured).
     ///
     /// # Errors
     ///
@@ -129,7 +150,7 @@ impl CompileService {
         device: Device,
         config: CompilerConfig,
     ) -> Result<usize, CompileError> {
-        self.register_device_with_cache(device, config, ScheduleCache::DEFAULT_CAPACITY)
+        self.register_device_with_cache(device, config, self.default_cache_capacity)
     }
 
     /// [`register_device`](Self::register_device) with an explicit
@@ -207,9 +228,17 @@ impl CompileService {
         self.shards[shard].cache.stats()
     }
 
+    /// Fleet-wide result-cache counters: every shard's
+    /// [`cache_stats`](Self::cache_stats) summed. This is the snapshot
+    /// queueing front ends fold into their own stats.
+    pub fn cache_stats_total(&self) -> CacheStats {
+        self.shards.iter().fold(CacheStats::zero(), |acc, s| acc.merge(s.cache.stats()))
+    }
+
     /// Compiles every job, fanning out across shards and worker threads;
     /// `results[i]` always corresponds to `jobs[i]`, and failures (errors
-    /// or panics) are isolated to their own slot.
+    /// or panics — including per-job routing refusals such as
+    /// [`CompileError::NoShardFits`]) are isolated to their own slot.
     ///
     /// # Panics
     ///
@@ -260,11 +289,16 @@ impl CompileService {
         };
         // Fan coalesced slots back out: every slot after the first that
         // shares a unique job is morally a cache hit — it was served
-        // without running a compile (and shares the same `Arc`).
+        // without running a compile (and shares the same `Arc`). Slots
+        // the policy refused keep their routing error.
         let mut owner_seen = vec![false; results.len()];
         slot_source
             .into_iter()
             .map(|source| {
+                let source = match source {
+                    Ok(source) => source,
+                    Err(error) => return Err(error),
+                };
                 let mut reply = results[source].clone();
                 if owner_seen[source] {
                     if let Ok(r) = &mut reply {
@@ -288,16 +322,24 @@ impl CompileService {
     /// on).
     ///
     /// Returns `(slot_source, unique)`: `unique` is the dispatch list,
-    /// `slot_source[i]` the `unique` index serving submission slot `i`.
+    /// `slot_source[i]` the `unique` index serving submission slot `i` —
+    /// or the routing error that refused slot `i`.
     #[allow(clippy::type_complexity)]
     fn coalesce(
         &self,
-        routed: Vec<(usize, u64, CompileJob)>,
-    ) -> (Vec<usize>, Vec<(usize, u64, CompileJob)>) {
+        routed: Vec<Result<(usize, u64, CompileJob), CompileError>>,
+    ) -> (Vec<Result<usize, CompileError>>, Vec<(usize, u64, CompileJob)>) {
         let mut slot_source = Vec::with_capacity(routed.len());
         let mut unique: Vec<(usize, u64, CompileJob)> = Vec::with_capacity(routed.len());
         let mut first_of: HashMap<(usize, CacheKey), usize> = HashMap::new();
-        for (shard_index, program_hash, job) in routed {
+        for slot in routed {
+            let (shard_index, program_hash, job) = match slot {
+                Ok(routed) => routed,
+                Err(error) => {
+                    slot_source.push(Err(error));
+                    continue;
+                }
+            };
             if self.shards[shard_index].cache.capacity() > 0 {
                 let key = self.key_for(shard_index, program_hash, job.strategy);
                 match first_of.get(&(shard_index, key)) {
@@ -306,7 +348,7 @@ impl CompileService {
                     // must compile on its own, never borrow another
                     // program's schedule.
                     Some(&source) if unique[source].2.program == job.program => {
-                        slot_source.push(source);
+                        slot_source.push(Ok(source));
                         continue;
                     }
                     Some(_) => {}
@@ -315,7 +357,7 @@ impl CompileService {
                     }
                 }
             }
-            slot_source.push(unique.len());
+            slot_source.push(Ok(unique.len()));
             unique.push((shard_index, program_hash, job));
         }
         (slot_source, unique)
@@ -330,11 +372,21 @@ impl CompileService {
     /// otherwise scatter identical jobs across shards, compiling the
     /// same program once per shard), and the free duplicates do not
     /// count toward shard load. Shards with result caching disabled
-    /// cannot coalesce, so their jobs are never pinned.
-    fn route_jobs(&self, jobs: Vec<CompileJob>) -> Vec<(usize, u64, CompileJob)> {
+    /// cannot coalesce, so their jobs are never pinned. A policy
+    /// refusal (e.g. [`CompileError::NoShardFits`]) becomes the slot's
+    /// result — refused jobs are never pinned, so a later identical job
+    /// is re-evaluated (the fleet may have been reconfigured between
+    /// batches, and refusal is cheap either way).
+    #[allow(clippy::type_complexity)]
+    fn route_jobs(
+        &self,
+        jobs: Vec<CompileJob>,
+    ) -> Vec<Result<(usize, u64, CompileJob), CompileError>> {
         assert!(!self.shards.is_empty(), "register at least one device before compiling");
         let mut loads: Vec<usize> =
             self.shards.iter().map(|s| s.inflight.load(Ordering::Relaxed)).collect();
+        let shard_qubits: Vec<usize> =
+            self.shards.iter().map(|s| s.compiler.device().n_qubits()).collect();
         let mut pinned: HashMap<(u64, u8), usize> = HashMap::new();
         let mut policy = self.lock_policy();
         jobs.into_iter()
@@ -342,15 +394,16 @@ impl CompileService {
                 let program_hash = job.program.structural_hash();
                 let pin = (program_hash, job.strategy.stable_code());
                 if let Some(&shard) = pinned.get(&pin) {
-                    return (shard, program_hash, job);
+                    return Ok((shard, program_hash, job));
                 }
                 let request = RouteRequest {
                     program_hash,
                     strategy: job.strategy,
                     program_qubits: job.program.n_qubits(),
                     loads: &loads,
+                    shard_qubits: &shard_qubits,
                 };
-                let shard = policy.route(&request);
+                let shard = policy.route(&request)?;
                 assert!(
                     shard < self.shards.len(),
                     "policy routed to shard {shard} of {}",
@@ -360,7 +413,7 @@ impl CompileService {
                 if self.shards[shard].cache.capacity() > 0 {
                     pinned.insert(pin, shard);
                 }
-                (shard, program_hash, job)
+                Ok((shard, program_hash, job))
             })
             .collect()
     }
@@ -595,5 +648,81 @@ mod tests {
         assert_eq!(context.device().seed(), 7);
         let stats = service.cache_stats(0);
         assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+    }
+
+    #[test]
+    fn capacity_aware_routes_wide_jobs_to_fitting_shards_only() {
+        use crate::policy::CapacityAware;
+        let mut service = CompileService::new(CapacityAware::new());
+        service
+            .register_device(Device::grid(2, 2, 7), CompilerConfig::default())
+            .expect("registers");
+        service
+            .register_device(Device::grid(4, 4, 23), CompilerConfig::default())
+            .expect("registers");
+        let jobs = vec![
+            // 16 qubits: only the 4x4 shard fits.
+            CompileJob::new(Benchmark::Bv(16).build(1), Strategy::BaselineN),
+            // 4 qubits: fits both; least-loaded sends it to the idle 2x2.
+            CompileJob::new(Benchmark::Bv(4).build(1), Strategy::BaselineN),
+            // 20 qubits: fits nowhere — routing refuses, nothing compiles.
+            CompileJob::new(Benchmark::Bv(20).build(1), Strategy::BaselineN),
+        ];
+        let replies = service.compile_batch(jobs);
+        assert_eq!(replies[0].as_ref().expect("fits the 4x4").shard, 1);
+        assert_eq!(replies[1].as_ref().expect("fits the 2x2").shard, 0);
+        assert!(matches!(
+            replies[2],
+            Err(CompileError::NoShardFits { program: 20, max_shard: 16 })
+        ));
+    }
+
+    #[test]
+    fn routing_refusals_do_not_poison_later_batches() {
+        use crate::policy::CapacityAware;
+        let mut service = CompileService::new(CapacityAware::new());
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        let wide = CompileJob::new(Benchmark::Bv(16).build(1), Strategy::ColorDynamic);
+        let fits = CompileJob::new(Benchmark::Bv(4).build(1), Strategy::ColorDynamic);
+        let replies = service.compile_batch(vec![wide.clone(), fits.clone()]);
+        assert!(matches!(replies[0], Err(CompileError::NoShardFits { .. })));
+        assert!(replies[1].is_ok());
+        // Resubmitting the refused job is refused again (not pinned, not
+        // cached), and the fitting one now hits the cache.
+        let replies = service.compile_batch(vec![wide, fits]);
+        assert!(matches!(replies[0], Err(CompileError::NoShardFits { .. })));
+        assert!(replies[1].as_ref().expect("compiles").cache_hit);
+    }
+
+    #[test]
+    fn default_cache_capacity_is_configurable_per_registration() {
+        let mut service = CompileService::new(RoundRobin::new());
+        assert_eq!(service.default_cache_capacity(), ScheduleCache::DEFAULT_CAPACITY);
+        service.set_default_cache_capacity(2);
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        service.set_default_cache_capacity(0);
+        service
+            .register_device(Device::grid(3, 3, 11), CompilerConfig::default())
+            .expect("registers");
+        assert_eq!(service.cache_stats(0).capacity, 2);
+        assert_eq!(service.cache_stats(1).capacity, 0);
+    }
+
+    #[test]
+    fn cache_stats_total_aggregates_all_shards() {
+        let service = two_shard_service();
+        let jobs: Vec<CompileJob> = (0..4)
+            .map(|i| CompileJob::new(Benchmark::Bv(4 + i).build(1), Strategy::ColorDynamic))
+            .collect();
+        let _ = service.compile_batch(jobs.clone());
+        let _ = service.compile_batch(jobs);
+        let total = service.cache_stats_total();
+        let by_hand = service.cache_stats(0).merge(service.cache_stats(1));
+        assert_eq!(total, by_hand);
+        assert_eq!((total.hits, total.misses, total.len), (4, 4, 4));
     }
 }

@@ -221,6 +221,74 @@ fn work_stealing_batches_match_sequential_across_strategies() {
 }
 
 #[test]
+fn queued_compiles_under_contention_match_fresh_sequential_compiles() {
+    // The async front end adds admission, priority scheduling, and
+    // micro-batched dispatch on top of the service — none of which may
+    // touch the output. Two producer threads race all five strategies
+    // through a two-shard queue; every reply must equal a fresh, cold,
+    // sequential compile on the shard the job was routed to.
+    use fastsc::queue::{Backpressure, QueueConfig, QueueService, Submission};
+    use std::sync::Arc as StdArc;
+
+    let devices = [Device::grid(3, 3, 7), Device::grid(3, 3, 11)];
+    let mut service = CompileService::new(LeastLoaded::new());
+    for device in &devices {
+        service.register_device(device.clone(), CompilerConfig::default()).expect("registers");
+    }
+    let queue = StdArc::new(QueueService::new(
+        service,
+        QueueConfig {
+            capacity: 4,
+            backpressure: Backpressure::Block,
+            max_batch: 3,
+            ..QueueConfig::default()
+        },
+    ));
+    let producers: Vec<_> = (0..2u64)
+        .map(|producer| {
+            let queue = StdArc::clone(&queue);
+            std::thread::spawn(move || {
+                Strategy::all()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, strategy)| {
+                        let program = Benchmark::Xeb(9, 4).build(producer * 10 + i as u64);
+                        let handle = queue
+                            .submit(
+                                Submission::new(CompileJob::new(program.clone(), strategy))
+                                    .client(producer),
+                            )
+                            .expect("block mode always admits");
+                        (program, strategy, handle)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for producer in producers {
+        for (program, strategy, handle) in producer.join().expect("producer finishes") {
+            let reply = handle.wait().expect("compiles");
+            let fresh = Compiler::new(devices[reply.shard].clone(), CompilerConfig::default())
+                .compile(&program, strategy)
+                .expect("compiles");
+            assert_eq!(
+                reply.compiled.schedule, fresh.schedule,
+                "{strategy}: queued schedule diverged from a fresh sequential compile"
+            );
+            let pq = estimate(
+                &devices[reply.shard],
+                &reply.compiled.schedule,
+                &NoiseConfig::default(),
+            )
+            .p_success;
+            let pf = estimate(&devices[reply.shard], &fresh.schedule, &NoiseConfig::default())
+                .p_success;
+            assert_eq!(pq.to_bits(), pf.to_bits(), "{strategy} p_success not bit-identical");
+        }
+    }
+}
+
+#[test]
 fn different_device_seeds_change_frequencies() {
     // Counter-test: determinism must come from the seed, not from the
     // model ignoring it. Different fabrication seeds give different
