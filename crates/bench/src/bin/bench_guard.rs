@@ -7,7 +7,7 @@
 //! $ cargo run --release -p fastsc-bench --bin bench_guard
 //! ```
 //!
-//! Three gates:
+//! Four gates:
 //!
 //! 1. **Absolute** — the fresh skewed-batch `parallel` median must stay
 //!    within 2x the committed `post` baseline (`BENCH_GUARD_MAX_RATIO`
@@ -23,6 +23,10 @@
 //!    workload and fleet (`BENCH_GUARD_QUEUE_RATIO` overrides): the
 //!    async front end's admission/dispatch/wakeup overhead cannot
 //!    silently regress.
+//! 4. **Relative, same-run** — `FidelityAware` routing must stay within
+//!    1.5x `RoundRobin` on the identical warm 8-shard batch
+//!    (`BENCH_GUARD_ROUTE_RATIO` overrides): consulting calibration
+//!    profiles may cost something, but never an order of magnitude.
 //!
 //! Exits non-zero when any gate fails.
 
@@ -57,11 +61,19 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_QUEUE_RATIO", 2.0),
     };
+    let route = RelativeGate {
+        workload: "routing_overhead",
+        subject_strategy: "FidelityAware_8shard",
+        reference_strategy: "RoundRobin_8shard",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_ROUTE_RATIO", 1.5),
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
         check_relative(&records, &relative),
         check_relative(&records, &queue),
+        check_relative(&records, &route),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

@@ -203,6 +203,23 @@ impl CompileContext {
         self.alpha
     }
 
+    /// The minimum parking-frequency separation between directly coupled
+    /// qubits — the worst idle detuning any physical coupling sits at
+    /// between gates, i.e. the static figure that bounds this device's
+    /// idle-crosstalk floor. Returns `f64::INFINITY` for a device with
+    /// no couplings.
+    ///
+    /// Telemetry layers feed this (with [`band`](Self::band)) into
+    /// `fastsc_noise::static_success_estimate` to score shards for
+    /// fidelity-aware placement without compiling anything.
+    pub fn min_coupled_parking_separation(&self) -> f64 {
+        self.device
+            .connectivity()
+            .edges()
+            .map(|(_, (u, v))| (self.parking[u] - self.parking[v]).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Baseline N's crowding-unaware per-coupling frequencies.
     pub fn baseline_n_freqs(&self) -> &[f64] {
         &self.baseline_n_freqs
@@ -338,6 +355,22 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "memo must be bit-identical to a fresh solve");
         }
         assert_eq!(c.smt_memo_len(), 1);
+    }
+
+    #[test]
+    fn parking_separation_is_the_worst_coupled_pair() {
+        let c = ctx();
+        let device = Device::grid(3, 3, 7);
+        let by_hand = device
+            .connectivity()
+            .edges()
+            .map(|(_, (u, v))| (c.parking()[u] - c.parking()[v]).abs())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(c.min_coupled_parking_separation().to_bits(), by_hand.to_bits());
+        assert!(
+            c.min_coupled_parking_separation() > 0.0,
+            "coupled qubits must not park on top of each other"
+        );
     }
 
     #[test]

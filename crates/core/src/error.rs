@@ -2,7 +2,14 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors raised by the compiler.
+///
+/// The enum is `#[non_exhaustive]`: every layer of the stack (batch
+/// front end, shard router, admission queue) has added variants of its
+/// own, and future serving layers will too — downstream matches must
+/// carry a wildcard arm so a new failure mode is an API *addition*, not
+/// a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// The program uses more qubits than the device provides.
     ProgramTooWide {

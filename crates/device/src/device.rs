@@ -10,6 +10,30 @@ use fastsc_graph::{topology, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A compact summary of the calibration-relevant figures of one device:
+/// size, connectivity crowding, and coherence. This is what fleet
+/// routers consume when they rank shards — cheap to build once at
+/// registration, cheap to copy, and a pure function of the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationSummary {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Number of couplings (connectivity edges).
+    pub couplings: usize,
+    /// Mean connectivity degree (`2E / N`; 0 for an empty device).
+    pub mean_degree: f64,
+    /// Maximum connectivity degree.
+    pub max_degree: usize,
+    /// Mean energy-relaxation time `T1` across qubits, µs.
+    pub mean_t1_us: f64,
+    /// Worst (minimum) `T1` across qubits, µs.
+    pub min_t1_us: f64,
+    /// Mean dephasing time `T2` across qubits, µs.
+    pub mean_t2_us: f64,
+    /// Worst (minimum) `T2` across qubits, µs.
+    pub min_t2_us: f64,
+}
+
 /// A complete description of a superconducting quantum device.
 ///
 /// Construct with the convenience constructors ([`Device::grid`],
@@ -99,6 +123,43 @@ impl Device {
     /// topologies agree).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Extracts the [`CalibrationSummary`] of this device: qubit and
+    /// coupling counts, degree statistics of the connectivity graph, and
+    /// the mean/worst coherence times of the sampled qubits. All figures
+    /// are deterministic functions of the device, so the summary is a
+    /// stable per-shard profile for placement decisions.
+    pub fn calibration_summary(&self) -> CalibrationSummary {
+        let qubits = self.n_qubits();
+        let couplings = self.n_couplings();
+        let mean_degree =
+            if qubits == 0 { 0.0 } else { 2.0 * couplings as f64 / qubits as f64 };
+        let fold = |f: fn(&TransmonSpec) -> f64| {
+            let (mut sum, mut min) = (0.0, f64::INFINITY);
+            for spec in &self.qubits {
+                let value = f(spec);
+                sum += value;
+                min = min.min(value);
+            }
+            if qubits == 0 {
+                (0.0, 0.0)
+            } else {
+                (sum / qubits as f64, min)
+            }
+        };
+        let (mean_t1_us, min_t1_us) = fold(|spec| spec.t1_us);
+        let (mean_t2_us, min_t2_us) = fold(|spec| spec.t2_us);
+        CalibrationSummary {
+            qubits,
+            couplings,
+            mean_degree,
+            max_degree: self.connectivity.max_degree(),
+            mean_t1_us,
+            min_t1_us,
+            mean_t2_us,
+            min_t2_us,
+        }
     }
 
     /// The distance-`d` crosstalk graph `Gx` (paper Algorithm 2).
@@ -357,6 +418,22 @@ mod tests {
             .zip(c.qubits())
             .any(|(qa, qc)| (qa.omega_max - qc.omega_max).abs() > 1e-12);
         assert!(differs);
+    }
+
+    #[test]
+    fn calibration_summary_reflects_topology_and_coherence() {
+        let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(3, 3));
+        b.seed(7).coherence(50.0, 40.0);
+        let summary = b.build().calibration_summary();
+        assert_eq!((summary.qubits, summary.couplings), (9, 12));
+        assert_eq!(summary.max_degree, 4, "the center of a 3x3 mesh has degree 4");
+        assert!((summary.mean_degree - 24.0 / 9.0).abs() < 1e-12);
+        // Builder coherence is uniform, so mean == min.
+        assert_eq!((summary.mean_t1_us, summary.min_t1_us), (50.0, 50.0));
+        assert_eq!((summary.mean_t2_us, summary.min_t2_us), (40.0, 40.0));
+        // A longer-lived chip summarizes strictly better.
+        let default_summary = Device::grid(3, 3, 7).calibration_summary();
+        assert!(default_summary.min_t1_us < summary.min_t1_us);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod sampling;
 mod transmon;
 
 pub use coupler::CouplerKind;
-pub use device::{Device, DeviceBuilder};
+pub use device::{CalibrationSummary, Device, DeviceBuilder};
 pub use params::DeviceParams;
 pub use partition::{Band, FrequencyPartition};
 pub use transmon::TransmonSpec;

@@ -304,6 +304,72 @@ pub fn estimate(device: &Device, schedule: &Schedule, config: &NoiseConfig) -> S
     }
 }
 
+/// The program depth [`static_success_estimate`] charges: deep enough
+/// that coherence differences between chips dominate the constant
+/// per-gate calibration floor (a depth-1 proxy would score a 5 µs chip
+/// and a 50 µs chip nearly identically), shallow enough that healthy
+/// devices keep scores well away from zero.
+pub const NOMINAL_DEPTH_CYCLES: usize = 64;
+
+/// A cheap, schedule-free proxy for the `P_success` a device can
+/// sustain, built from calibration data alone — no program, no compiled
+/// schedule, no density simulation.
+///
+/// Fleet routers rank shards with this score at *registration* time, so
+/// it deliberately uses only static inputs: the device's coherence
+/// times, its coupling structure, and two figures the compiler's
+/// frequency plan fixes up front — the reachable interaction band and
+/// the minimum parking separation between coupled qubits
+/// (`min_parking_separation_ghz`, see
+/// `CompileContext::min_coupled_parking_separation`). The model charges
+/// a nominal program of [`NOMINAL_DEPTH_CYCLES`] cycles (single-qubit
+/// gate + flux settling each):
+///
+/// * **decoherence** — every qubit pays the Eq. 3 product error over the
+///   nominal program duration at its own `T1`/`T2`;
+/// * **idle crosstalk** — every coupling pays the Eq. 5/6 channel error
+///   at the parking detuning over that duration, attenuated by the
+///   coupler's inactive factor on tunable-coupler hardware;
+/// * **active crowding** — every coupling pays the channel error at the
+///   detuning a maximally packed cycle can afford, `band width /
+///   max degree` (more neighbors competing for the same band means
+///   closer interaction frequencies).
+///
+/// The result is clamped to `[0, 1]`, monotone in the right directions
+/// (longer coherence, wider band, larger parking separation, weaker
+/// residual coupling all raise it), and a pure function of its inputs —
+/// two registrations of the same device always score identically. It is
+/// **not** comparable to [`estimate`]'s per-program `p_success`; it only
+/// orders devices against each other.
+pub fn static_success_estimate(
+    device: &Device,
+    band: fastsc_device::Band,
+    min_parking_separation_ghz: f64,
+) -> f64 {
+    let params = *device.params();
+    let summary = device.calibration_summary();
+    let t_ns = NOMINAL_DEPTH_CYCLES as f64 * (params.t_single_ns + params.flux_settle_ns);
+
+    let mut survival = 1.0f64;
+    for spec in device.qubits() {
+        survival *= 1.0 - DecoherenceModel::PaperProduct.error(spec.t1_us, spec.t2_us, t_ns);
+    }
+
+    // Both detunings are clamped to a small positive floor so degenerate
+    // frequency plans (zero separation, empty band) score near zero
+    // instead of panicking in the channel model.
+    let sanitize = |delta: f64| if delta.is_finite() { delta.abs().max(1e-6) } else { 1e3 };
+    let g_idle = params.g0 * device.coupler().inactive_factor();
+    let idle_eps =
+        coupling::crosstalk_error(g_idle, sanitize(min_parking_separation_ghz), t_ns);
+    let packed_delta = band.width() / summary.max_degree.max(1) as f64;
+    let active_eps = coupling::crosstalk_error(params.g0, sanitize(packed_delta), t_ns);
+    let per_coupling = idle_eps.max(active_eps).max(params.base_two_qubit_error);
+    survival *= (1.0 - per_coupling).powi(summary.couplings as i32);
+
+    survival.clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,5 +629,42 @@ mod tests {
         assert!((r.decoherence_error() - (1.0 - r.decoherence_survival)).abs() < 1e-15);
         let product = r.gate_survival * r.crosstalk_survival * r.decoherence_survival;
         assert!((r.p_success - product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_estimate_is_a_deterministic_probability() {
+        use fastsc_device::Band;
+        let d = device();
+        let band = Band::new(6.2, 6.8);
+        let a = static_success_estimate(&d, band, 0.5);
+        let b = static_success_estimate(&d, band, 0.5);
+        assert_eq!(a.to_bits(), b.to_bits(), "the score must be a pure function");
+        assert!((0.0..=1.0).contains(&a), "score {a} outside [0, 1]");
+        assert!(a > 0.0, "a healthy device must not score zero");
+    }
+
+    #[test]
+    fn static_estimate_orders_devices_by_health() {
+        use fastsc_device::{Band, DeviceBuilder};
+        let band = Band::new(6.2, 6.8);
+        let build = |t1: f64, t2: f64| {
+            let mut b = DeviceBuilder::new(fastsc_graph::topology::grid(3, 3));
+            b.seed(7).coherence(t1, t2);
+            b.build()
+        };
+        let healthy = static_success_estimate(&build(50.0, 40.0), band, 0.5);
+        let noisy = static_success_estimate(&build(5.0, 3.0), band, 0.5);
+        assert!(healthy > noisy, "longer coherence must score higher ({healthy} vs {noisy})");
+        // Wider parking separation means weaker idle channels.
+        let d = device();
+        let separated = static_success_estimate(&d, band, 1.0);
+        let crowded = static_success_estimate(&d, band, 0.02);
+        assert!(separated >= crowded, "tighter parking must never score higher");
+        // A tunable coupler suppresses idle crosstalk entirely.
+        let gmon = d.with_coupler(CouplerKind::tunable(0.0));
+        assert!(static_success_estimate(&gmon, band, 0.02) >= crowded);
+        // Degenerate inputs stay in range instead of panicking.
+        let degenerate = static_success_estimate(&d, Band::new(6.5, 6.5), f64::INFINITY);
+        assert!((0.0..=1.0).contains(&degenerate));
     }
 }

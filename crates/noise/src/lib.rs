@@ -39,5 +39,7 @@ mod estimator;
 mod schedule;
 
 pub use diagnostics::{error_budget, ChannelKind, ErrorBudget};
-pub use estimator::{estimate, NoiseConfig, SuccessReport};
+pub use estimator::{
+    estimate, static_success_estimate, NoiseConfig, SuccessReport, NOMINAL_DEPTH_CYCLES,
+};
 pub use schedule::{Cycle, Schedule, ScheduledGate};

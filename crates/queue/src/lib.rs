@@ -36,6 +36,15 @@
 //!   completion order, and [`QueueService::stats`] snapshots depth,
 //!   lifecycle counters, per-priority latency percentiles, and the
 //!   fleet's cache counters.
+//! * The fleet **scales while serving**:
+//!   [`QueueService::telemetry_feed`] streams per-shard
+//!   [`ShardView`](fastsc_service::ShardView)s (calibration profile +
+//!   live load/latency) and [`QueueStats`] deltas to an operator loop,
+//!   which reacts through
+//!   [`CompileService::add_shard`](fastsc_service::CompileService::add_shard)
+//!   / [`drain_shard`](fastsc_service::CompileService::drain_shard) —
+//!   both safe under the running dispatcher, with draining guaranteed to
+//!   finish (not drop) everything already admitted to that shard.
 //!
 //! # Example
 //!
@@ -71,5 +80,8 @@ pub mod service;
 pub mod stats;
 
 pub use job::{ClientId, JobId, Priority, Submission};
-pub use service::{Backpressure, Completions, JobHandle, JobResult, QueueConfig, QueueService};
-pub use stats::{LatencySummary, QueueStats, LATENCY_WINDOW};
+pub use service::{
+    Backpressure, Completions, FleetSnapshot, JobHandle, JobResult, QueueConfig, QueueService,
+    TelemetryFeed,
+};
+pub use stats::{LatencySummary, QueueDelta, QueueStats, LATENCY_WINDOW};

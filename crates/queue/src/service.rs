@@ -19,10 +19,10 @@
 
 use crate::job::{JobId, Priority, Submission};
 use crate::scheduler::{AdmissionQueue, QueuedJob};
-use crate::stats::{QueueStats, StatsState};
+use crate::stats::{QueueDelta, QueueStats, StatsState};
 use fastsc_core::batch::CompileJob;
 use fastsc_core::CompileError;
-use fastsc_service::{CompileService, ServiceReply};
+use fastsc_service::{CompileService, ServiceReply, ShardView};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -178,10 +178,11 @@ impl QueueService {
     ///
     /// Panics if `config.capacity`, `config.max_batch`, or
     /// `config.subscriber_buffer` is 0, or if `service` has no
-    /// registered shard — devices cannot be added once the service is
-    /// behind the queue, so an empty fleet could never compile anything
-    /// (and would panic the dispatcher on its first batch instead of
-    /// failing fast here).
+    /// registered shard — shards *can* be added later
+    /// ([`CompileService::add_shard`] is safe under the dispatcher), but
+    /// starting a queue over an empty fleet is almost certainly a
+    /// mistake, and the dispatcher would panic on its first batch
+    /// instead of failing fast here.
     pub fn new(service: CompileService, config: QueueConfig) -> Self {
         assert!(config.capacity >= 1, "queue capacity must be at least 1");
         assert!(config.max_batch >= 1, "micro-batch size must be at least 1");
@@ -324,12 +325,26 @@ impl QueueService {
     /// per-priority latency percentiles, and the fleet's schedule-cache
     /// counters.
     pub fn stats(&self) -> QueueStats {
-        let state = self.shared.lock();
-        state.stats.snapshot(
-            state.queue.len(),
-            state.inflight,
-            self.service.cache_stats_total(),
-        )
+        snapshot_stats(&self.shared, &self.service)
+    }
+
+    /// Opens a poll-friendly telemetry stream for operator loops: each
+    /// [`poll`](TelemetryFeed::poll) returns the current per-shard
+    /// [`ShardView`]s, the full [`QueueStats`] snapshot, and the
+    /// [`QueueDelta`] of lifecycle counters since the feed's previous
+    /// poll — everything an autoscaler needs to decide whether to
+    /// [`add_shard`](CompileService::add_shard) against sustained depth
+    /// or [`drain_shard`](CompileService::drain_shard) an idle chip (the
+    /// service behind [`service`](Self::service) accepts both while the
+    /// dispatcher is running). Feeds are independent: each tracks its
+    /// own previous snapshot, and the first poll's delta covers activity
+    /// since the feed was opened.
+    pub fn telemetry_feed(&self) -> TelemetryFeed {
+        TelemetryFeed {
+            previous: self.stats(),
+            shared: Arc::clone(&self.shared),
+            service: Arc::clone(&self.service),
+        }
     }
 
     /// Holds the dispatcher after its current micro-batch: queued jobs
@@ -373,6 +388,57 @@ impl Drop for QueueService {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
+    }
+}
+
+/// Assembles the [`QueueStats`] snapshot (shared by
+/// [`QueueService::stats`] and [`TelemetryFeed::poll`]).
+fn snapshot_stats(shared: &Shared, service: &CompileService) -> QueueStats {
+    let state = shared.lock();
+    state.stats.snapshot(state.queue.len(), state.inflight, service.cache_stats_total())
+}
+
+/// One [`TelemetryFeed::poll`] result: the fleet and the queue in a
+/// single observation.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Per-shard telemetry, in shard-index order (profiles, lifecycle
+    /// state, load, EWMA compile latency, cache counters).
+    pub shards: Vec<ShardView>,
+    /// The full queue snapshot at poll time.
+    pub stats: QueueStats,
+    /// Lifecycle-counter movement since this feed's previous poll.
+    pub delta: QueueDelta,
+}
+
+/// A poll-friendly telemetry stream over a [`QueueService`] (see
+/// [`QueueService::telemetry_feed`]). Outlives the service handle it was
+/// opened from without keeping jobs alive — polling a feed after the
+/// service dropped simply observes the final drained state.
+#[derive(Debug)]
+pub struct TelemetryFeed {
+    shared: Arc<Shared>,
+    service: Arc<CompileService>,
+    previous: QueueStats,
+}
+
+impl TelemetryFeed {
+    /// Takes the next observation: current shard views, current queue
+    /// stats, and the counter delta since this feed's previous poll.
+    pub fn poll(&mut self) -> FleetSnapshot {
+        let stats = snapshot_stats(&self.shared, &self.service);
+        let delta = stats.delta_since(&self.previous);
+        self.previous = stats.clone();
+        FleetSnapshot { shards: self.service.shard_views(), stats, delta }
+    }
+
+    /// The compile service behind the feed — the handle an operator loop
+    /// uses to act on what it observed
+    /// ([`add_shard`](CompileService::add_shard) /
+    /// [`drain_shard`](CompileService::drain_shard) /
+    /// [`remove_shard`](CompileService::remove_shard)).
+    pub fn service(&self) -> &CompileService {
+        &self.service
     }
 }
 
@@ -885,6 +951,124 @@ mod tests {
             .map(|_| completions.next_timeout(Duration::from_secs(10)).expect("buffered").0)
             .collect();
         assert_eq!(buffered, last_ids, "the newest completions survive");
+    }
+
+    #[test]
+    fn telemetry_feed_reports_views_and_deltas() {
+        let queue = queue(QueueConfig::default());
+        let mut feed = queue.telemetry_feed();
+        queue.pause();
+        let handles: Vec<JobHandle> =
+            (0..3).map(|i| queue.submit(bv(4 + i)).expect("admits")).collect();
+        let snapshot = feed.poll();
+        assert_eq!(snapshot.stats.depth, 3, "paused queue holds everything");
+        assert_eq!(snapshot.delta.admitted, 3, "first poll covers activity since open");
+        assert_eq!(snapshot.delta.completed, 0);
+        assert_eq!(snapshot.shards.len(), 1);
+        assert!(snapshot.shards[0].routable());
+        assert!(snapshot.shards[0].profile.estimated_success > 0.0);
+        queue.resume();
+        for handle in &handles {
+            assert!(handle.wait().is_ok());
+        }
+        let snapshot = feed.poll();
+        assert_eq!(snapshot.delta.admitted, 0, "deltas are per-feed, not lifetime");
+        assert_eq!(snapshot.delta.completed, 3);
+        assert_eq!(snapshot.stats.depth, 0);
+        assert!(feed.poll().delta.is_idle(), "an idle queue polls as idle");
+        // The feed hands back the service for acting on observations.
+        assert_eq!(feed.service().shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_added_behind_a_running_queue_serves_traffic() {
+        let queue = queue(QueueConfig::default());
+        let warmup = queue.submit(bv(4)).expect("admits");
+        assert_eq!(warmup.wait().expect("compiles").shard, 0);
+        queue
+            .service()
+            .add_shard(Device::grid(3, 3, 11), CompilerConfig::default())
+            .expect("adds behind the dispatcher");
+        // Distinct programs so round-robin alternates over both shards.
+        let handles: Vec<JobHandle> =
+            (0..4).map(|i| queue.submit(bv(5 + i)).expect("admits")).collect();
+        let shards: Vec<usize> =
+            handles.iter().map(|h| h.wait().expect("compiles").shard).collect();
+        assert!(shards.contains(&1), "the new shard must serve queued traffic: {shards:?}");
+    }
+
+    #[test]
+    fn drain_under_saturation_loses_no_admitted_jobs() {
+        // The acceptance scenario: a saturated queue over two shards,
+        // one of which is drained mid-flood. Every admitted job must
+        // resolve exactly once — compiled on the surviving shard or on
+        // the draining shard before it went idle — and the subscriber
+        // must see each id exactly once.
+        let mut service = CompileService::new(fastsc_service::LeastLoaded::new());
+        for seed in [7, 11] {
+            service
+                .register_device(Device::grid(3, 3, seed), CompilerConfig::default())
+                .expect("registers");
+        }
+        let queue = Arc::new(QueueService::new(
+            service,
+            QueueConfig {
+                capacity: 4,
+                backpressure: Backpressure::Block,
+                max_batch: 3,
+                ..QueueConfig::default()
+            },
+        ));
+        let mut completions = queue.subscribe_all();
+        let producers: Vec<_> = (0..2u64)
+            .map(|client| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    (0..8u64)
+                        .map(|i| {
+                            queue
+                                .submit(
+                                    Submission::new(CompileJob::new(
+                                        Benchmark::Bv(3 + (i as usize % 5))
+                                            .build(client * 100 + i),
+                                        Strategy::ColorDynamic,
+                                    ))
+                                    .client(client),
+                                )
+                                .expect("block mode always admits")
+                        })
+                        .collect::<Vec<JobHandle>>()
+                })
+            })
+            .collect();
+        // Drain shard 0 while the flood is in progress.
+        queue.service().drain_shard(0);
+        let handles: Vec<JobHandle> =
+            producers.into_iter().flat_map(|p| p.join().expect("producer finishes")).collect();
+        assert_eq!(handles.len(), 16);
+        let mut expected: Vec<JobId> = handles.iter().map(JobHandle::id).collect();
+        for handle in &handles {
+            let reply = handle.wait().expect("every admitted job compiles");
+            // Jobs routed after the drain took effect land on shard 1;
+            // earlier ones may have compiled on shard 0. Both are fine —
+            // what matters is that each resolved.
+            assert!(reply.shard < 2);
+        }
+        let mut seen: Vec<JobId> = (0..16)
+            .map(|_| {
+                completions.next_timeout(Duration::from_secs(60)).expect("streams each job").0
+            })
+            .collect();
+        seen.sort();
+        expected.sort();
+        assert_eq!(seen, expected, "each admitted job streams exactly once");
+        assert!(
+            completions.next_timeout(Duration::from_millis(20)).is_none(),
+            "no duplicate deliveries"
+        );
+        let stats = queue.stats();
+        assert_eq!((stats.admitted, stats.completed), (16, 16));
+        assert_eq!(queue.service().shard_views()[0].load, 0, "drained shard ends idle");
     }
 
     #[test]

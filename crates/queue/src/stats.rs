@@ -66,6 +66,57 @@ impl QueueStats {
     pub fn latency(&self, priority: Priority) -> LatencySummary {
         self.latency[priority.rank()]
     }
+
+    /// The lifecycle-counter movement from `earlier` to `self` — what a
+    /// polling operator loop reacts to (see
+    /// [`TelemetryFeed`](crate::TelemetryFeed)). Saturating, so
+    /// comparing snapshots from different services degrades to zeros
+    /// instead of wrapping.
+    pub fn delta_since(&self, earlier: &QueueStats) -> QueueDelta {
+        QueueDelta {
+            admitted: self.admitted.saturating_sub(earlier.admitted),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            shed: self.shed.saturating_sub(earlier.shed),
+            expired: self.expired.saturating_sub(earlier.expired),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+            completed: self.completed.saturating_sub(earlier.completed),
+        }
+    }
+}
+
+/// The movement of the queue's lifecycle counters between two
+/// [`QueueStats`] snapshots ([`QueueStats::delta_since`]): the
+/// poll-friendly signal an autoscaling loop consumes — arrival and
+/// completion *rates* rather than lifetime totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueDelta {
+    /// Jobs admitted since the previous snapshot.
+    pub admitted: u64,
+    /// Submissions rejected outright since the previous snapshot.
+    pub rejected: u64,
+    /// Jobs shed under backpressure since the previous snapshot.
+    pub shed: u64,
+    /// Jobs expired at their deadline since the previous snapshot.
+    pub expired: u64,
+    /// Jobs cancelled since the previous snapshot.
+    pub cancelled: u64,
+    /// Jobs completed since the previous snapshot.
+    pub completed: u64,
+}
+
+impl QueueDelta {
+    /// Whether nothing happened between the two snapshots — the signal
+    /// an operator loop keys "scale down" decisions on.
+    pub fn is_idle(&self) -> bool {
+        *self == QueueDelta::default()
+    }
+
+    /// Jobs the queue turned away or gave up on between the snapshots
+    /// (rejected + shed + expired) — sustained pressure that completions
+    /// cannot absorb, i.e. the "scale up" signal.
+    pub fn turned_away(&self) -> u64 {
+        self.rejected + self.shed + self.expired
+    }
 }
 
 /// Mutable counter state behind the service's lock; snapshots into
@@ -185,6 +236,27 @@ mod tests {
     #[test]
     fn empty_window_summarizes_to_zero() {
         assert_eq!(LatencyWindow::default().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn delta_since_tracks_counter_movement() {
+        let mut state =
+            StatsState { admitted: 5, completed: 3, shed: 1, ..StatsState::default() };
+        let earlier = state.snapshot(2, 0, CacheStats::zero());
+        state.admitted += 4;
+        state.completed += 2;
+        state.expired += 1;
+        let later = state.snapshot(3, 1, CacheStats::zero());
+        let delta = later.delta_since(&earlier);
+        assert_eq!(
+            delta,
+            QueueDelta { admitted: 4, completed: 2, expired: 1, ..QueueDelta::default() }
+        );
+        assert!(!delta.is_idle());
+        assert_eq!(delta.turned_away(), 1);
+        assert!(later.delta_since(&later).is_idle());
+        // Snapshots out of order saturate to zero instead of wrapping.
+        assert!(earlier.delta_since(&later).is_idle());
     }
 
     #[test]

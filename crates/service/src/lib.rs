@@ -12,7 +12,17 @@
 //!   submitted [`CompileJob`](fastsc_core::batch::CompileJob) to a shard
 //!   via a pluggable [`policy::ShardPolicy`], fans all routed jobs out
 //!   over the work-stealing rayon pool as one flat batch, and reassembles
-//!   results in submission order with per-job error isolation.
+//!   results in submission order with per-job error isolation. The fleet
+//!   is **dynamic**: `add_shard` / `drain_shard` / `remove_shard` are
+//!   `&self` and safe while batches are compiling.
+//! * [`telemetry`] — what placement decisions consume: an immutable
+//!   [`ShardProfile`](telemetry::ShardProfile) per shard (calibration
+//!   summary + static `estimated_success` score from the device's noise
+//!   characteristics) plus live [`ShardView`](telemetry::ShardView)
+//!   snapshots (lifecycle state, load, EWMA compile latency, cache
+//!   counters). Policies read them through `RouteRequest::shards`;
+//!   fidelity-aware placement ([`FidelityAware`](policy::FidelityAware),
+//!   [`Composite`](policy::Composite)) ranks shards by profile.
 //! * [`cache::ScheduleCache`] — a bounded whole-schedule result cache
 //!   per shard, keyed by `(device fingerprint, program structural hash,
 //!   strategy, config fingerprint)`; identical repeat jobs skip the
@@ -36,9 +46,12 @@
 pub mod cache;
 pub mod policy;
 pub mod router;
+pub mod telemetry;
 
 pub use cache::{device_fingerprint, CacheKey, CacheStats, ScheduleCache};
 pub use policy::{
-    CapacityAware, LeastLoaded, ProgramAffinity, RoundRobin, RouteRequest, ShardPolicy,
+    CapacityAware, Composite, FidelityAware, LeastLoaded, ProgramAffinity, RoundRobin,
+    RouteRequest, ShardPolicy, Stage,
 };
 pub use router::{CompileService, ServiceReply};
+pub use telemetry::{ShardProfile, ShardState, ShardView};

@@ -3,16 +3,24 @@
 //! The router calls its policy once per job, **sequentially in
 //! submission order**, before any job starts compiling — so a policy is
 //! a deterministic function of its own state and the submission stream,
-//! and routing never depends on worker timing. The load figures a policy
-//! sees combine jobs already routed in the current batch with jobs still
-//! in flight from overlapping batches.
+//! and routing never depends on worker timing. Every policy reads the
+//! same surface: [`RouteRequest::shards`], a slice of per-shard
+//! [`ShardView`] snapshots combining the immutable registration-time
+//! [`ShardProfile`](crate::telemetry::ShardProfile) (size, degree stats,
+//! coherence figures, static `estimated_success`) with live telemetry
+//! (lifecycle state, routed-but-unfinished load, EWMA compile latency,
+//! cache counters). The load figures combine jobs already routed in the
+//! current batch with jobs still in flight from overlapping batches.
 //!
-//! Routing is fallible: a policy that inspects device capacity (e.g.
-//! [`CapacityAware`]) may conclude that **no** shard can serve a job and
-//! return a [`CompileError`] instead of an index. The router isolates
-//! that error to the job's own result slot — it never panics and never
-//! poisons the rest of the batch.
+//! Shards that are draining or retired are present in the slice (indices
+//! are stable) but not [`routable`](ShardView::routable); every built-in
+//! policy skips them. Routing is fallible: a policy that finds no
+//! candidate (nothing fits, or the whole fleet is draining) returns a
+//! [`CompileError`] instead of an index. The router isolates that error
+//! to the job's own result slot — it never panics and never poisons the
+//! rest of the batch.
 
+use crate::telemetry::ShardView;
 use fastsc_core::{CompileError, Strategy};
 
 /// Everything a policy may consult for one routing decision.
@@ -24,23 +32,43 @@ pub struct RouteRequest<'a> {
     pub strategy: Strategy,
     /// Qubit count of the job's program.
     pub program_qubits: usize,
-    /// Per-shard load: jobs routed-but-unfinished (this batch, in
-    /// submission order so far, plus in-flight jobs of other batches).
-    pub loads: &'a [usize],
-    /// Per-shard device capacity in qubits, in registration order.
-    pub shard_qubits: &'a [usize],
+    /// One snapshot per shard, in registration order (see the
+    /// [module docs](self)).
+    pub shards: &'a [ShardView],
 }
 
 impl RouteRequest<'_> {
-    /// Number of shards available to route to.
+    /// Number of shards registered (routable or not).
     pub fn shard_count(&self) -> usize {
-        self.loads.len()
+        self.shards.len()
+    }
+
+    /// The shards a policy may route to: active, in index order.
+    pub fn routable(&self) -> impl Iterator<Item = &ShardView> {
+        self.shards.iter().filter(|view| view.routable())
+    }
+
+    /// The routable shards large enough for this job's program.
+    pub fn fitting(&self) -> impl Iterator<Item = &ShardView> {
+        let qubits = self.program_qubits;
+        self.shards.iter().filter(move |view| view.fits(qubits))
+    }
+
+    /// The refusal a policy returns when no routable shard can serve
+    /// this job: [`CompileError::NoShardFits`] carrying the program
+    /// width against the largest *routable* shard (0 when the whole
+    /// fleet is draining or retired).
+    pub fn refusal(&self) -> CompileError {
+        CompileError::NoShardFits {
+            program: self.program_qubits,
+            max_shard: self.routable().map(ShardView::qubits).max().unwrap_or(0),
+        }
     }
 }
 
 /// Chooses the shard for one job. Implementations must return an index
-/// `< request.shard_count()` or a per-job routing error; the router
-/// asserts the index bound.
+/// `< request.shard_count()` of a routable shard, or a per-job routing
+/// error; the router asserts the index bound.
 pub trait ShardPolicy: Send + std::fmt::Debug {
     /// Routes one job.
     ///
@@ -52,8 +80,10 @@ pub trait ShardPolicy: Send + std::fmt::Debug {
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError>;
 }
 
-/// Cycles through the shards in registration order, independent of job
-/// content — the fairest policy for homogeneous fleets and uniform jobs.
+/// Cycles through the routable shards in registration order, independent
+/// of job content — the fairest policy for homogeneous fleets and
+/// uniform jobs. Draining/retired shards are skipped without consuming a
+/// turn.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
     next: usize,
@@ -68,15 +98,21 @@ impl RoundRobin {
 
 impl ShardPolicy for RoundRobin {
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
-        let shard = self.next % request.shard_count();
-        self.next = (self.next + 1) % request.shard_count();
-        Ok(shard)
+        let count = request.shard_count();
+        for offset in 0..count {
+            let shard = (self.next + offset) % count;
+            if request.shards[shard].routable() {
+                self.next = (shard + 1) % count;
+                return Ok(shard);
+            }
+        }
+        Err(request.refusal())
     }
 }
 
-/// Routes each job to the shard with the fewest routed-but-unfinished
-/// jobs (ties break to the lowest shard index) — absorbs skewed batches
-/// where one shard's jobs run long.
+/// Routes each job to the routable shard with the fewest
+/// routed-but-unfinished jobs (ties break to the lowest shard index) —
+/// absorbs skewed batches where one shard's jobs run long.
 #[derive(Debug, Default)]
 pub struct LeastLoaded;
 
@@ -89,19 +125,19 @@ impl LeastLoaded {
 
 impl ShardPolicy for LeastLoaded {
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
-        let mut best = 0;
-        for (shard, &load) in request.loads.iter().enumerate() {
-            if load < request.loads[best] {
-                best = shard;
-            }
-        }
-        Ok(best)
+        request
+            .routable()
+            .min_by_key(|view| view.load)
+            .map(|view| view.shard)
+            .ok_or_else(|| request.refusal())
     }
 }
 
-/// Pins every program to `program_hash % shard_count`, so resubmissions
-/// of the same circuit always land on the shard whose result cache and
-/// SMT memo are already warm for it.
+/// Pins every program to `program_hash % routable_count`, so
+/// resubmissions of the same circuit always land on the shard whose
+/// result cache and SMT memo are already warm for it (stable as long as
+/// the fleet's routable set is stable; draining a shard re-homes its
+/// programs).
 #[derive(Debug, Default)]
 pub struct ProgramAffinity;
 
@@ -114,16 +150,21 @@ impl ProgramAffinity {
 
 impl ShardPolicy for ProgramAffinity {
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
-        Ok((request.program_hash % request.shard_count() as u64) as usize)
+        let count = request.routable().count();
+        if count == 0 {
+            return Err(request.refusal());
+        }
+        let pick = (request.program_hash % count as u64) as usize;
+        Ok(request.routable().nth(pick).expect("pick < routable count").shard)
     }
 }
 
 /// Capacity-aware least-loaded placement for heterogeneous fleets: only
-/// shards with at least `program_qubits` qubits are candidates; among
-/// them the least-loaded wins, with load ties broken to the **larger**
-/// shard (headroom for the next wide job on *its* rival is worth more
-/// than on a chip every job fits) and equal-capacity ties to the lowest
-/// index.
+/// routable shards with at least `program_qubits` qubits are candidates;
+/// among them the least-loaded wins, with load ties broken to the
+/// **larger** shard (headroom for the next wide job on *its* rival is
+/// worth more than on a chip every job fits) and equal-capacity ties to
+/// the lowest index.
 ///
 /// When no shard fits, routing fails with
 /// [`CompileError::NoShardFits`] — the job is rejected up front instead
@@ -140,80 +181,223 @@ impl CapacityAware {
 
 impl ShardPolicy for CapacityAware {
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
-        let mut best: Option<usize> = None;
-        for (shard, (&load, &qubits)) in
-            request.loads.iter().zip(request.shard_qubits).enumerate()
-        {
-            if qubits < request.program_qubits {
-                continue;
-            }
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    let (best_load, best_qubits) = (request.loads[b], request.shard_qubits[b]);
-                    load < best_load || (load == best_load && qubits > best_qubits)
+        request
+            .fitting()
+            .min_by(|a, b| {
+                a.load
+                    .cmp(&b.load)
+                    .then(b.qubits().cmp(&a.qubits()))
+                    .then(a.shard.cmp(&b.shard))
+            })
+            .map(|view| view.shard)
+            .ok_or_else(|| request.refusal())
+    }
+}
+
+/// Fidelity-aware placement: among the routable shards the program
+/// *fits*, pick the one whose profile promises the highest
+/// [`estimated_success`](crate::telemetry::ShardProfile::estimated_success)
+/// — the chip where the paper's crosstalk/coherence trade-off leaves the
+/// most success probability for this job. Score ties (via the total
+/// [`ShardProfile::cmp_estimated_success`]
+/// (crate::telemetry::ShardProfile::cmp_estimated_success) order, so NaN
+/// scores rank worst instead of panicking) break to the lower load, then
+/// to the lowest index.
+///
+/// Like [`CapacityAware`], refuses jobs wider than every routable shard
+/// with [`CompileError::NoShardFits`].
+#[derive(Debug, Default)]
+pub struct FidelityAware;
+
+impl FidelityAware {
+    /// Creates the policy (stateless).
+    pub fn new() -> Self {
+        FidelityAware
+    }
+}
+
+impl ShardPolicy for FidelityAware {
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
+        request
+            .fitting()
+            .min_by(|a, b| {
+                b.profile
+                    .cmp_estimated_success(&a.profile)
+                    .then(a.load.cmp(&b.load))
+                    .then(a.shard.cmp(&b.shard))
+            })
+            .map(|view| view.shard)
+            .ok_or_else(|| request.refusal())
+    }
+}
+
+/// One stage of a [`Composite`] policy pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Filter: keep only shards the program fits (refuse the job when
+    /// none do).
+    Capacity,
+    /// Rank: keep the shards tied for the best static
+    /// `estimated_success` (total order; NaN ranks worst).
+    Fidelity,
+    /// Rank: keep the shards tied for the lowest load.
+    LeastLoaded,
+}
+
+/// A policy pipeline: each [`Stage`] narrows the candidate set — filters
+/// drop shards, rankers keep only the shards tied for best — and
+/// whatever survives every stage resolves to the lowest index. The
+/// [`standard`](Self::standard) pipeline is `capacity → fidelity →
+/// least-loaded`: never place a job where it cannot compile, prefer the
+/// healthiest chip, and only then balance load.
+#[derive(Debug, Clone)]
+pub struct Composite {
+    stages: Vec<Stage>,
+}
+
+impl Composite {
+    /// A pipeline running `stages` in order. An empty pipeline routes
+    /// every job to the lowest-indexed routable shard.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Composite { stages }
+    }
+
+    /// The standard pipeline: `capacity → fidelity → least-loaded`.
+    pub fn standard() -> Self {
+        Composite::new(vec![Stage::Capacity, Stage::Fidelity, Stage::LeastLoaded])
+    }
+
+    /// The stages, in evaluation order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+}
+
+impl Default for Composite {
+    fn default() -> Self {
+        Composite::standard()
+    }
+}
+
+impl ShardPolicy for Composite {
+    fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
+        let mut candidates: Vec<&ShardView> = request.routable().collect();
+        for stage in &self.stages {
+            match stage {
+                Stage::Capacity => {
+                    candidates.retain(|view| view.qubits() >= request.program_qubits);
                 }
-            };
-            if better {
-                best = Some(shard);
+                Stage::Fidelity => {
+                    if let Some(best) = candidates
+                        .iter()
+                        .map(|view| &view.profile)
+                        .max_by(|a, b| a.cmp_estimated_success(b))
+                        .cloned()
+                    {
+                        candidates
+                            .retain(|view| view.profile.cmp_estimated_success(&best).is_eq());
+                    }
+                }
+                Stage::LeastLoaded => {
+                    if let Some(least) = candidates.iter().map(|view| view.load).min() {
+                        candidates.retain(|view| view.load == least);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return Err(request.refusal());
             }
         }
-        best.ok_or(CompileError::NoShardFits {
-            program: request.program_qubits,
-            max_shard: request.shard_qubits.iter().copied().max().unwrap_or(0),
-        })
+        candidates.first().map(|view| view.shard).ok_or_else(|| request.refusal())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheStats;
+    use crate::telemetry::{ShardProfile, ShardState, ShardView};
+    use std::sync::Arc;
+    use std::time::Duration;
 
-    fn request<'a>(hash: u64, loads: &'a [usize], qubits: &'a [usize]) -> RouteRequest<'a> {
+    fn profile(qubits: usize, estimated_success: f64) -> Arc<ShardProfile> {
+        Arc::new(ShardProfile {
+            qubits,
+            couplings: qubits.saturating_sub(1),
+            mean_degree: 2.0,
+            max_degree: 4,
+            mean_t1_us: 25.0,
+            min_t1_us: 25.0,
+            mean_t2_us: 20.0,
+            min_t2_us: 20.0,
+            band_width_ghz: 0.6,
+            min_parking_separation_ghz: 0.5,
+            estimated_success,
+        })
+    }
+
+    /// Builds views from `(qubits, load, estimated_success, state)`.
+    fn views(specs: &[(usize, usize, f64, ShardState)]) -> Vec<ShardView> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(shard, &(qubits, load, score, state))| ShardView {
+                shard,
+                profile: profile(qubits, score),
+                state,
+                load,
+                ewma_compile_latency: Duration::ZERO,
+                cache: CacheStats::zero(),
+            })
+            .collect()
+    }
+
+    fn request<'a>(
+        hash: u64,
+        program_qubits: usize,
+        shards: &'a [ShardView],
+    ) -> RouteRequest<'a> {
         RouteRequest {
             program_hash: hash,
             strategy: Strategy::ColorDynamic,
-            program_qubits: 4,
-            loads,
-            shard_qubits: qubits,
+            program_qubits,
+            shards,
         }
     }
 
+    const A: ShardState = ShardState::Active;
+
     #[test]
-    fn round_robin_cycles() {
+    fn round_robin_cycles_and_skips_drained_shards() {
         let mut p = RoundRobin::new();
-        let loads = [0usize; 3];
-        let qubits = [9usize; 3];
+        let fleet = views(&[(9, 0, 0.9, A), (9, 0, 0.9, A), (9, 0, 0.9, A)]);
         let picks: Vec<usize> =
-            (0..7).map(|i| p.route(&request(i, &loads, &qubits)).expect("routes")).collect();
+            (0..7).map(|i| p.route(&request(i, 4, &fleet)).expect("routes")).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        let drained =
+            views(&[(9, 0, 0.9, A), (9, 0, 0.9, ShardState::Draining), (9, 0, 0.9, A)]);
+        let mut p = RoundRobin::new();
+        let picks: Vec<usize> =
+            (0..4).map(|i| p.route(&request(i, 4, &drained)).expect("routes")).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2], "draining shards are skipped without a turn");
     }
 
     #[test]
     fn least_loaded_picks_minimum_with_low_tie_break() {
         let mut p = LeastLoaded::new();
-        let qubits = [9usize; 3];
-        assert_eq!(p.route(&request(0, &[3, 1, 2], &qubits)), Ok(1));
-        assert_eq!(
-            p.route(&request(0, &[2, 2, 2], &qubits)),
-            Ok(0),
-            "ties break to the lowest index"
-        );
-        assert_eq!(p.route(&request(0, &[5, 4, 0], &qubits)), Ok(2));
+        let fleet = views(&[(9, 3, 0.9, A), (9, 1, 0.9, A), (9, 2, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
+        let tied = views(&[(9, 2, 0.9, A), (9, 2, 0.9, A), (9, 2, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &tied)), Ok(0), "ties break to the lowest index");
     }
 
     #[test]
     fn affinity_is_a_pure_function_of_the_hash() {
         let mut p = ProgramAffinity::new();
-        let loads = [100usize, 0]; // load must not matter
-        let qubits = [9usize; 2];
-        assert_eq!(p.route(&request(6, &loads, &qubits)), Ok(0));
-        assert_eq!(p.route(&request(7, &loads, &qubits)), Ok(1));
-        assert_eq!(
-            p.route(&request(7, &loads, &qubits)),
-            Ok(1),
-            "same program, same shard, every time"
-        );
+        let fleet = views(&[(9, 100, 0.9, A), (9, 0, 0.9, A)]); // load must not matter
+        assert_eq!(p.route(&request(6, 4, &fleet)), Ok(0));
+        assert_eq!(p.route(&request(7, 4, &fleet)), Ok(1));
+        assert_eq!(p.route(&request(7, 4, &fleet)), Ok(1), "same program, same shard");
     }
 
     #[test]
@@ -221,30 +405,117 @@ mod tests {
         let mut p = CapacityAware::new();
         // Program needs 4 qubits; shard 0 only has 2, so even though it
         // is idle the job must go to a fitting shard.
-        let loads = [0usize, 5, 6];
-        let qubits = [2usize, 9, 16];
-        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(1));
+        let fleet = views(&[(2, 0, 0.9, A), (9, 5, 0.9, A), (16, 6, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
     }
 
     #[test]
     fn capacity_aware_breaks_load_ties_to_the_larger_shard() {
         let mut p = CapacityAware::new();
-        let loads = [1usize, 1, 1];
-        let qubits = [9usize, 16, 9];
-        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(1));
-        // Equal capacity and load: lowest index.
-        let qubits = [9usize, 9, 9];
-        assert_eq!(p.route(&request(0, &loads, &qubits)), Ok(0));
+        let fleet = views(&[(9, 1, 0.9, A), (16, 1, 0.9, A), (9, 1, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
+        let uniform = views(&[(9, 1, 0.9, A), (9, 1, 0.9, A), (9, 1, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &uniform)), Ok(0), "equal everything: lowest index");
     }
 
     #[test]
     fn capacity_aware_refuses_unplaceable_jobs() {
         let mut p = CapacityAware::new();
-        let loads = [0usize, 0];
-        let qubits = [2usize, 3];
+        let fleet = views(&[(2, 0, 0.9, A), (3, 0, 0.9, A)]);
         assert_eq!(
-            p.route(&request(0, &loads, &qubits)),
+            p.route(&request(0, 4, &fleet)),
             Err(CompileError::NoShardFits { program: 4, max_shard: 3 })
         );
+    }
+
+    #[test]
+    fn fidelity_aware_prefers_the_healthier_shard_over_the_emptier_one() {
+        let mut p = FidelityAware::new();
+        // Shard 0 is idle but noisy; shard 1 is loaded but much
+        // healthier. LeastLoaded would pick 0; FidelityAware must pick 1.
+        let fleet = views(&[(9, 0, 0.3, A), (9, 3, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
+        assert_eq!(LeastLoaded::new().route(&request(0, 4, &fleet)), Ok(0));
+    }
+
+    #[test]
+    fn fidelity_aware_filters_capacity_then_ties_by_load() {
+        let mut p = FidelityAware::new();
+        // The healthiest shard is too small for the job.
+        let fleet = views(&[(2, 0, 0.99, A), (9, 2, 0.8, A), (9, 1, 0.8, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(2), "score tie breaks to lower load");
+        // Score-tied shards of *different sizes*: load (the documented
+        // tie-break) must decide — capacity never outranks an idle twin.
+        let sized = views(&[(16, 10, 0.8, A), (9, 0, 0.8, A)]);
+        assert_eq!(
+            p.route(&request(0, 4, &sized)),
+            Ok(1),
+            "a bigger but busier shard must not beat an idle score-tied one"
+        );
+        let none = views(&[(2, 0, 0.99, A), (3, 0, 0.9, A)]);
+        assert_eq!(
+            p.route(&request(0, 4, &none)),
+            Err(CompileError::NoShardFits { program: 4, max_shard: 3 })
+        );
+    }
+
+    #[test]
+    fn fidelity_aware_survives_nan_scores() {
+        let mut p = FidelityAware::new();
+        let fleet = views(&[(9, 0, f64::NAN, A), (9, 5, 0.1, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1), "NaN ranks worst, never panics");
+        let all_nan = views(&[(9, 1, f64::NAN, A), (9, 0, f64::NAN, A)]);
+        assert_eq!(p.route(&request(0, 4, &all_nan)), Ok(1), "NaN ties fall back to load");
+    }
+
+    #[test]
+    fn composite_standard_runs_capacity_then_fidelity_then_load() {
+        let mut p = Composite::standard();
+        // Shard 0: too small. Shards 1 and 2 tie on score; 2 is emptier.
+        let fleet = views(&[(2, 0, 0.99, A), (9, 2, 0.8, A), (9, 1, 0.8, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(2));
+        // Distinct scores: fidelity decides before load is consulted.
+        let fleet = views(&[(9, 0, 0.3, A), (9, 3, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
+        // Nothing fits: the capacity stage refuses.
+        let none = views(&[(2, 0, 0.9, A), (3, 0, 0.9, A)]);
+        assert_eq!(
+            p.route(&request(0, 4, &none)),
+            Err(CompileError::NoShardFits { program: 4, max_shard: 3 })
+        );
+    }
+
+    #[test]
+    fn composite_custom_pipelines_and_empty_pipeline() {
+        // Load-only pipeline ignores fidelity.
+        let mut p = Composite::new(vec![Stage::LeastLoaded]);
+        let fleet = views(&[(9, 2, 0.1, A), (9, 1, 0.9, A)]);
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(1));
+        // Empty pipeline: lowest routable index.
+        let mut p = Composite::new(Vec::new());
+        assert_eq!(p.route(&request(0, 4, &fleet)), Ok(0));
+        assert_eq!(Composite::default().stages(), Composite::standard().stages());
+    }
+
+    #[test]
+    fn every_policy_refuses_a_fully_drained_fleet() {
+        let drained =
+            views(&[(9, 0, 0.9, ShardState::Draining), (9, 0, 0.9, ShardState::Retired)]);
+        let request = request(0, 4, &drained);
+        let policies: Vec<Box<dyn ShardPolicy>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(LeastLoaded::new()),
+            Box::new(ProgramAffinity::new()),
+            Box::new(CapacityAware::new()),
+            Box::new(FidelityAware::new()),
+            Box::new(Composite::standard()),
+        ];
+        for mut policy in policies {
+            assert_eq!(
+                policy.route(&request),
+                Err(CompileError::NoShardFits { program: 4, max_shard: 0 }),
+                "{policy:?} routed into a drained fleet"
+            );
+        }
     }
 }

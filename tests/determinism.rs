@@ -8,7 +8,10 @@ use fastsc::compiler::batch::{BatchCompiler, CompileJob};
 use fastsc::compiler::{CompileContext, Compiler, CompilerConfig, Strategy};
 use fastsc::device::Device;
 use fastsc::noise::{estimate, NoiseConfig};
-use fastsc::service::{CompileService, LeastLoaded, ProgramAffinity, RoundRobin};
+use fastsc::service::{
+    CapacityAware, CompileService, Composite, FidelityAware, LeastLoaded, ProgramAffinity,
+    RoundRobin, ShardPolicy,
+};
 use fastsc::workloads::Benchmark;
 use std::sync::Arc;
 
@@ -123,7 +126,9 @@ fn sharded_service_compiles_are_bit_identical_to_fresh_single_device_compiles() 
     // cache, work-stealing dispatch — must be invisible in the output:
     // every reply equals a fresh, cold, sequential compile of the same
     // job on the device it was routed to, for all five strategies and
-    // every built-in policy.
+    // every built-in policy (including the telemetry-driven
+    // FidelityAware and Composite — placement by calibration data must
+    // not touch what gets compiled, only where).
     let devices = [Device::grid(3, 3, 7), Device::grid(3, 3, 11)];
     let jobs: Vec<CompileJob> = Strategy::all()
         .into_iter()
@@ -131,18 +136,22 @@ fn sharded_service_compiles_are_bit_identical_to_fresh_single_device_compiles() 
         .map(|(i, s)| CompileJob::new(Benchmark::Xeb(9, 4).build(i as u64), s))
         .collect();
 
-    for round in 0..3 {
+    let policies: Vec<Box<dyn ShardPolicy>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(LeastLoaded::new()),
+        Box::new(ProgramAffinity::new()),
+        Box::new(CapacityAware::new()),
+        Box::new(FidelityAware::new()),
+        Box::new(Composite::standard()),
+    ];
+    for (round, policy) in policies.into_iter().enumerate() {
         let mut service = CompileService::new(RoundRobin::new());
         for device in &devices {
             service
                 .register_device(device.clone(), CompilerConfig::default())
                 .expect("registers");
         }
-        match round {
-            0 => {}
-            1 => service.set_policy(LeastLoaded::new()),
-            _ => service.set_policy(ProgramAffinity::new()),
-        }
+        service.set_policy_boxed(policy);
         let replies = service.compile_batch(jobs.clone());
         for (i, (reply, job)) in replies.iter().zip(&jobs).enumerate() {
             let reply = reply.as_ref().expect("compiles");
@@ -164,6 +173,37 @@ fn sharded_service_compiles_are_bit_identical_to_fresh_single_device_compiles() 
                 .p_success;
             assert_eq!(pr.to_bits(), pf.to_bits(), "job {i} p_success not bit-identical");
         }
+    }
+}
+
+#[test]
+fn fidelity_routed_compiles_repeat_bit_identically_across_services() {
+    // FidelityAware consumes floating-point calibration scores; the
+    // whole pipeline from profile construction to routed schedule must
+    // still be reproducible run to run (same fleet, same jobs, same
+    // shards, same bits).
+    let build_service = || {
+        let mut service = CompileService::new(FidelityAware::new());
+        service
+            .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+            .expect("registers");
+        service
+            .register_device(Device::grid(3, 3, 11), CompilerConfig::default())
+            .expect("registers");
+        service
+    };
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| CompileJob::new(Benchmark::Bv(4 + i).build(3), s))
+        .collect();
+    let a = build_service().compile_batch_sequential(jobs.clone());
+    let b = build_service().compile_batch(jobs);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        let x = x.as_ref().expect("compiles");
+        let y = y.as_ref().expect("compiles");
+        assert_eq!(x.shard, y.shard, "slot {i}: fidelity routing not reproducible");
+        assert_eq!(x.compiled.schedule, y.compiled.schedule, "slot {i} diverged");
     }
 }
 
