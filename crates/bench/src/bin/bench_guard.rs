@@ -7,7 +7,7 @@
 //! $ cargo run --release -p fastsc-bench --bin bench_guard
 //! ```
 //!
-//! Four gates:
+//! Five gates:
 //!
 //! 1. **Absolute** — the fresh skewed-batch `parallel` median must stay
 //!    within 2x the committed `post` baseline (`BENCH_GUARD_MAX_RATIO`
@@ -27,6 +27,11 @@
 //!    1.5x `RoundRobin` on the identical warm 8-shard batch
 //!    (`BENCH_GUARD_ROUTE_RATIO` overrides): consulting calibration
 //!    profiles may cost something, but never an order of magnitude.
+//! 5. **Relative, same-run** — socket end-to-end (`server_roundtrip`
+//!    `socket`) must stay within 3x direct queue submission on the same
+//!    jobs and fleet (`BENCH_GUARD_SOCKET_RATIO` overrides): framing,
+//!    JSON, QASM parsing, and session accounting cannot silently come to
+//!    dominate compile time.
 //!
 //! Exits non-zero when any gate fails.
 
@@ -68,12 +73,20 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_ROUTE_RATIO", 1.5),
     };
+    let socket = RelativeGate {
+        workload: "server_roundtrip",
+        subject_strategy: "socket",
+        reference_strategy: "direct",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_SOCKET_RATIO", 3.0),
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
         check_relative(&records, &relative),
         check_relative(&records, &queue),
         check_relative(&records, &route),
+        check_relative(&records, &socket),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

@@ -92,6 +92,45 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+/// A strategy name that [`Strategy::from_str`](std::str::FromStr) did
+/// not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown strategy '{}' (expected BaselineN, BaselineG, BaselineU, BaselineS, \
+             or ColorDynamic)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses a strategy from its wire/CLI name. Accepts the compact
+    /// token form (`BaselineN`, …, `ColorDynamic`) and the paper-legend
+    /// [`label`](Strategy::label) form (`Baseline N`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "BaselineN" | "Baseline N" => Ok(Strategy::BaselineN),
+            "BaselineG" | "Baseline G" => Ok(Strategy::BaselineG),
+            "BaselineU" | "Baseline U" => Ok(Strategy::BaselineU),
+            "BaselineS" | "Baseline S" => Ok(Strategy::BaselineS),
+            "ColorDynamic" => Ok(Strategy::ColorDynamic),
+            other => Err(ParseStrategyError { input: other.to_string() }),
+        }
+    }
+}
+
 /// Bookkeeping produced alongside a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileStats {

@@ -47,5 +47,5 @@ pub mod router;
 
 pub use config::CompilerConfig;
 pub use context::{CompileContext, StaticAssignment};
-pub use engine::{CompileStats, CompiledProgram, Compiler, Strategy};
+pub use engine::{CompileStats, CompiledProgram, Compiler, ParseStrategyError, Strategy};
 pub use error::CompileError;

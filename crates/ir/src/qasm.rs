@@ -5,32 +5,216 @@
 //! self-contained OpenQASM 2.0 program for any [`Circuit`], and
 //! [`from_qasm`] parses the subset this workspace emits (one quantum
 //! register, the gate set of [`Gate`], no classical control).
+//!
+//! QASM is also the **wire format** of the network serving layer
+//! (`fastsc_server`): programs submitted over a socket arrive as QASM
+//! source and are parsed on the submission path. Parse failures there
+//! must become structured error frames, so every error path here is a
+//! typed [`QasmError`] variant carrying the offending 1-based line,
+//! column, and token — never an ad-hoc string.
 
-use crate::circuit::{Circuit, Operands};
+use crate::circuit::{Circuit, IrError, Operands};
 use crate::gate::Gate;
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
 /// Errors from [`from_qasm`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every variant that points at source text carries the 1-based `line`
+/// and `column` of the offending token (and the token itself where one
+/// exists), so error surfaces — CLI diagnostics, wire protocol error
+/// frames — can report the exact location without re-parsing. The
+/// uniform accessors [`line`](Self::line), [`column`](Self::column),
+/// [`token`](Self::token), and [`code`](Self::code) exist for exactly
+/// that serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QasmError {
-    /// A line could not be parsed.
-    Syntax {
+    /// A statement is missing its trailing semicolon. The column points
+    /// just past the statement text, where the `;` belongs.
+    MissingSemicolon {
         /// 1-based line number.
         line: usize,
-        /// Explanation.
-        message: String,
+        /// 1-based column where the semicolon was expected.
+        column: usize,
     },
-    /// The program never declared a quantum register.
+    /// A `qreg` declaration that does not have the form `qreg q[N]`.
+    BadRegister {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the declaration.
+        column: usize,
+        /// The malformed declaration text.
+        token: String,
+    },
+    /// A second `qreg` declaration; the subset allows exactly one.
+    DuplicateRegister {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the second declaration.
+        column: usize,
+    },
+    /// A statement head that is not a supported gate (or not a gate at
+    /// all).
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the head.
+        column: usize,
+        /// The unrecognized head, e.g. `ccx`.
+        token: String,
+    },
+    /// An operand that does not have the form `q[N]`.
+    BadOperand {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the operand.
+        column: usize,
+        /// The malformed operand text.
+        token: String,
+    },
+    /// A gate parameter that is not a finite decimal angle.
+    BadAngle {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the parameter.
+        column: usize,
+        /// The malformed parameter text, e.g. `rx(nope`.
+        token: String,
+    },
+    /// A gate applied to the wrong number of operands.
+    WrongArity {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the gate head.
+        column: usize,
+        /// The gate name.
+        gate: String,
+        /// Operands the gate requires.
+        expected: usize,
+        /// Operands the statement supplied.
+        got: usize,
+    },
+    /// An operand index at or past the declared register size.
+    QubitOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the offending operand.
+        column: usize,
+        /// The out-of-range qubit index.
+        qubit: usize,
+        /// The declared register size.
+        register: usize,
+    },
+    /// A two-qubit gate applied to the same qubit twice.
+    DuplicateOperand {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the repeated operand.
+        column: usize,
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// The program never declared a quantum register (or applied a gate
+    /// before declaring it).
     MissingRegister,
+}
+
+impl QasmError {
+    /// The 1-based source line, when the error points at source text.
+    pub fn line(&self) -> Option<usize> {
+        match *self {
+            QasmError::MissingSemicolon { line, .. }
+            | QasmError::BadRegister { line, .. }
+            | QasmError::DuplicateRegister { line, .. }
+            | QasmError::UnsupportedGate { line, .. }
+            | QasmError::BadOperand { line, .. }
+            | QasmError::BadAngle { line, .. }
+            | QasmError::WrongArity { line, .. }
+            | QasmError::QubitOutOfRange { line, .. }
+            | QasmError::DuplicateOperand { line, .. } => Some(line),
+            QasmError::MissingRegister => None,
+        }
+    }
+
+    /// The 1-based source column, when the error points at source text.
+    pub fn column(&self) -> Option<usize> {
+        match *self {
+            QasmError::MissingSemicolon { column, .. }
+            | QasmError::BadRegister { column, .. }
+            | QasmError::DuplicateRegister { column, .. }
+            | QasmError::UnsupportedGate { column, .. }
+            | QasmError::BadOperand { column, .. }
+            | QasmError::BadAngle { column, .. }
+            | QasmError::WrongArity { column, .. }
+            | QasmError::QubitOutOfRange { column, .. }
+            | QasmError::DuplicateOperand { column, .. } => Some(column),
+            QasmError::MissingRegister => None,
+        }
+    }
+
+    /// The offending token, for the variants that carry one.
+    pub fn token(&self) -> Option<&str> {
+        match self {
+            QasmError::BadRegister { token, .. }
+            | QasmError::UnsupportedGate { token, .. }
+            | QasmError::BadOperand { token, .. }
+            | QasmError::BadAngle { token, .. } => Some(token),
+            QasmError::WrongArity { gate, .. } => Some(gate),
+            _ => None,
+        }
+    }
+
+    /// A stable machine-readable discriminant (the wire protocol's
+    /// `detail` field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            QasmError::MissingSemicolon { .. } => "missing_semicolon",
+            QasmError::BadRegister { .. } => "bad_register",
+            QasmError::DuplicateRegister { .. } => "duplicate_register",
+            QasmError::UnsupportedGate { .. } => "unsupported_gate",
+            QasmError::BadOperand { .. } => "bad_operand",
+            QasmError::BadAngle { .. } => "bad_angle",
+            QasmError::WrongArity { .. } => "wrong_arity",
+            QasmError::QubitOutOfRange { .. } => "qubit_out_of_range",
+            QasmError::DuplicateOperand { .. } => "duplicate_operand",
+            QasmError::MissingRegister => "missing_register",
+        }
+    }
 }
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let (Some(line), Some(column)) = (self.line(), self.column()) {
+            write!(f, "QASM syntax error on line {line}, column {column}: ")?;
+        }
         match self {
-            QasmError::Syntax { line, message } => {
-                write!(f, "QASM syntax error on line {line}: {message}")
+            QasmError::MissingSemicolon { .. } => {
+                write!(f, "missing trailing semicolon")
+            }
+            QasmError::BadRegister { token, .. } => {
+                write!(f, "bad qreg declaration '{token}'")
+            }
+            QasmError::DuplicateRegister { .. } => {
+                write!(f, "duplicate qreg declaration (the subset allows exactly one)")
+            }
+            QasmError::UnsupportedGate { token, .. } => {
+                write!(f, "unsupported gate '{token}'")
+            }
+            QasmError::BadOperand { token, .. } => {
+                write!(f, "bad operand '{token}' (expected q[N])")
+            }
+            QasmError::BadAngle { token, .. } => {
+                write!(f, "bad angle in '{token}'")
+            }
+            QasmError::WrongArity { gate, expected, got, .. } => {
+                write!(f, "gate '{gate}' expects {expected} operands, got {got}")
+            }
+            QasmError::QubitOutOfRange { qubit, register, .. } => {
+                write!(f, "qubit q[{qubit}] out of range for qreg q[{register}]")
+            }
+            QasmError::DuplicateOperand { qubit, .. } => {
+                write!(f, "two-qubit gate applied twice to q[{qubit}]")
             }
             QasmError::MissingRegister => {
                 write!(f, "QASM program declares no qreg")
@@ -46,6 +230,11 @@ impl Error for QasmError {}
 /// Gates outside the OpenQASM standard header (`iswap`, `sqiswap`) are
 /// declared as opaque gates so the output round-trips through
 /// [`from_qasm`] and remains readable by tools that ignore opaque bodies.
+///
+/// Rotation angles are printed with Rust's shortest round-trip `f64`
+/// formatting, so `from_qasm(to_qasm(c))` reconstructs every angle
+/// **bit-exactly** (the structural-hash round-trip property suite pins
+/// this).
 pub fn to_qasm(circuit: &Circuit) -> String {
     let mut out = String::new();
     out.push_str("OPENQASM 2.0;\n");
@@ -64,9 +253,9 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             (Gate::Sdg, Operands::One(q)) => format!("sdg q[{q}];"),
             (Gate::T, Operands::One(q)) => format!("t q[{q}];"),
             (Gate::Tdg, Operands::One(q)) => format!("tdg q[{q}];"),
-            (Gate::Rx(a), Operands::One(q)) => format!("rx({a:.17}) q[{q}];"),
-            (Gate::Ry(a), Operands::One(q)) => format!("ry({a:.17}) q[{q}];"),
-            (Gate::Rz(a), Operands::One(q)) => format!("rz({a:.17}) q[{q}];"),
+            (Gate::Rx(a), Operands::One(q)) => format!("rx({a}) q[{q}];"),
+            (Gate::Ry(a), Operands::One(q)) => format!("ry({a}) q[{q}];"),
+            (Gate::Rz(a), Operands::One(q)) => format!("rz({a}) q[{q}];"),
             (Gate::Cnot, Operands::Two(c, t)) => format!("cx q[{c}], q[{t}];"),
             (Gate::Cz, Operands::Two(a, b)) => format!("cz q[{a}], q[{b}];"),
             (Gate::Swap, Operands::Two(a, b)) => format!("swap q[{a}], q[{b}];"),
@@ -80,6 +269,18 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out
 }
 
+/// The 1-based column of `token` within the source line `raw` it was
+/// sliced from. Falls back to column 1 if `token` is not a subslice
+/// (never the case for the parser's own slices).
+fn column_of(raw: &str, token: &str) -> usize {
+    let offset = (token.as_ptr() as usize).wrapping_sub(raw.as_ptr() as usize);
+    if offset <= raw.len() {
+        offset + 1
+    } else {
+        1
+    }
+}
+
 /// Parses the OpenQASM 2.0 subset emitted by [`to_qasm`].
 ///
 /// Accepted statements: the version header, `include`, `opaque`/`barrier`
@@ -89,19 +290,23 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 /// # Errors
 ///
 /// Returns [`QasmError`] on unknown statements, malformed operands, or a
-/// missing register declaration.
+/// missing register declaration — each variant locating the offending
+/// line, column, and token.
 pub fn from_qasm(source: &str) -> Result<Circuit, QasmError> {
     let mut circuit: Option<Circuit> = None;
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split("//").next().unwrap_or("").trim();
+        let code = raw.split("//").next().unwrap_or("");
+        let line = code.trim();
         if line.is_empty() {
             continue;
         }
-        let stmt = line.strip_suffix(';').ok_or_else(|| QasmError::Syntax {
-            line: line_no,
-            message: "missing trailing semicolon".into(),
-        })?;
+        let Some(stmt) = line.strip_suffix(';') else {
+            return Err(QasmError::MissingSemicolon {
+                line: line_no,
+                column: column_of(raw, line) + line.len(),
+            });
+        };
         let stmt = stmt.trim();
         if stmt.starts_with("OPENQASM")
             || stmt.starts_with("include")
@@ -111,16 +316,22 @@ pub fn from_qasm(source: &str) -> Result<Circuit, QasmError> {
             continue;
         }
         if let Some(rest) = stmt.strip_prefix("qreg") {
-            let n = parse_register_size(rest).ok_or_else(|| QasmError::Syntax {
+            if circuit.is_some() {
+                return Err(QasmError::DuplicateRegister {
+                    line: line_no,
+                    column: column_of(raw, stmt),
+                });
+            }
+            let n = parse_register_size(rest).ok_or_else(|| QasmError::BadRegister {
                 line: line_no,
-                message: format!("bad qreg declaration '{stmt}'"),
+                column: column_of(raw, stmt),
+                token: stmt.to_string(),
             })?;
             circuit = Some(Circuit::new(n));
             continue;
         }
         let circuit = circuit.as_mut().ok_or(QasmError::MissingRegister)?;
-        parse_gate_statement(stmt, circuit)
-            .map_err(|message| QasmError::Syntax { line: line_no, message })?;
+        parse_gate_statement(stmt, raw, line_no, circuit)?;
     }
     circuit.ok_or(QasmError::MissingRegister)
 }
@@ -141,24 +352,47 @@ fn parse_qubit(token: &str) -> Option<usize> {
     token[open + 1..close].parse().ok()
 }
 
-fn parse_gate_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), String> {
-    let (head, args) =
-        stmt.split_once(' ').ok_or_else(|| format!("cannot split gate statement '{stmt}'"))?;
-    let operands: Vec<usize> = args
-        .split(',')
-        .map(parse_qubit)
-        .collect::<Option<Vec<_>>>()
-        .ok_or_else(|| format!("bad operand list '{args}'"))?;
+/// Parses and applies one gate statement. `stmt` and every token the
+/// errors point at are subslices of `raw`, so columns are exact.
+fn parse_gate_statement(
+    stmt: &str,
+    raw: &str,
+    line: usize,
+    circuit: &mut Circuit,
+) -> Result<(), QasmError> {
+    let Some((head, args)) = stmt.split_once(' ') else {
+        // No operand list at all, e.g. `measure;` — the head is the
+        // whole statement and it is not a gate application we know.
+        return Err(QasmError::UnsupportedGate {
+            line,
+            column: column_of(raw, stmt),
+            token: stmt.to_string(),
+        });
+    };
 
-    // Parameterized heads look like `rx(1.5707)`.
+    let mut operands = Vec::new();
+    let mut operand_tokens = Vec::new();
+    for token in args.split(',') {
+        let qubit = parse_qubit(token).ok_or_else(|| QasmError::BadOperand {
+            line,
+            column: column_of(raw, token.trim_start()),
+            token: token.trim().to_string(),
+        })?;
+        operands.push(qubit);
+        operand_tokens.push(token);
+    }
+
+    // Parameterized heads look like `rx(1.5707963267948966)`.
     let (name, angle) = match head.split_once('(') {
         Some((name, rest)) => {
             let angle: f64 = rest
                 .strip_suffix(')')
-                .ok_or_else(|| format!("unterminated parameter in '{head}'"))?
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad angle in '{head}'"))?;
+                .and_then(|inner| inner.trim().parse().ok())
+                .ok_or_else(|| QasmError::BadAngle {
+                    line,
+                    column: column_of(raw, rest),
+                    token: head.to_string(),
+                })?;
             (name.trim(), Some(angle))
         }
         None => (head.trim(), None),
@@ -182,16 +416,82 @@ fn parse_gate_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), String>
         ("swap", None) => Gate::Swap,
         ("iswap", None) => Gate::ISwap,
         ("sqiswap", None) => Gate::SqrtISwap,
-        _ => return Err(format!("unsupported gate '{head}'")),
+        _ => {
+            return Err(QasmError::UnsupportedGate {
+                line,
+                column: column_of(raw, head),
+                token: head.to_string(),
+            })
+        }
     };
 
-    match (gate.arity(), operands.as_slice()) {
-        (1, &[q]) => circuit.push1(gate, q).map(|_| ()).map_err(|e| e.to_string()),
-        (2, &[a, b]) => circuit.push2(gate, a, b).map(|_| ()).map_err(|e| e.to_string()),
+    let pushed = match (gate.arity(), operands.as_slice()) {
+        (1, &[q]) => circuit.push1(gate, q).map(|_| ()),
+        (2, &[a, b]) => circuit.push2(gate, a, b).map(|_| ()),
         (arity, ops) => {
-            Err(format!("gate '{name}' expects {arity} operands, got {}", ops.len()))
+            return Err(QasmError::WrongArity {
+                line,
+                column: column_of(raw, head),
+                gate: name.to_string(),
+                expected: arity,
+                got: ops.len(),
+            })
         }
-    }
+    };
+    pushed.map_err(|e| {
+        // Locate the operand the circuit rejected so the column points at
+        // it, not at the whole statement.
+        let column_of_qubit = |qubit: usize| {
+            operands
+                .iter()
+                .position(|&q| q == qubit)
+                .map(|i| column_of(raw, operand_tokens[i].trim_start()))
+                .unwrap_or_else(|| column_of(raw, stmt))
+        };
+        match e {
+            IrError::QubitOutOfRange { qubit, n_qubits } => QasmError::QubitOutOfRange {
+                line,
+                column: column_of_qubit(qubit),
+                qubit,
+                register: n_qubits,
+            },
+            IrError::DuplicateOperand { qubit } => {
+                QasmError::DuplicateOperand { line, column: column_of_qubit(qubit), qubit }
+            }
+        }
+    })
+}
+
+/// A corpus of malformed QASM programs, one `(name, source)` pair per
+/// known failure mode. Every entry must fail [`from_qasm`] with a typed
+/// [`QasmError`] — the parser's own error-path tests iterate it, and the
+/// network serving layer's frame-decode tests replay each entry over a
+/// live socket to prove malformed submissions produce structured error
+/// frames without killing the connection. Shared here so the two suites
+/// can never drift apart.
+pub fn malformed_corpus() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("empty", ""),
+        ("only_comment", "// nothing here\n"),
+        ("no_register", "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"),
+        ("gate_before_register", "OPENQASM 2.0;\nh q[0];\n"),
+        ("missing_semicolon", "qreg q[1]\n"),
+        ("comment_swallows_semicolon", "qreg q[1];\nh q[0] // ;\n"),
+        ("bad_register_empty_size", "qreg q[];\n"),
+        ("bad_register_no_brackets", "qreg q;\n"),
+        ("bad_register_negative", "qreg q[-3];\n"),
+        ("duplicate_register", "qreg q[2];\nqreg r[2];\n"),
+        ("unknown_gate", "qreg q[2];\nccx q[0], q[1];\n"),
+        ("unknown_statement", "qreg q[2];\nmeasure;\n"),
+        ("bad_arity_cx_one_operand", "qreg q[2];\ncx q[0];\n"),
+        ("bad_arity_h_two_operands", "qreg q[2];\nh q[0], q[1];\n"),
+        ("out_of_range_operand", "qreg q[1];\nh q[4];\n"),
+        ("duplicate_operand", "qreg q[2];\ncx q[1], q[1];\n"),
+        ("bad_angle_not_a_number", "qreg q[1];\nrx(nope) q[0];\n"),
+        ("bad_angle_unterminated", "qreg q[1];\nrx(1.0 q[0];\n"),
+        ("bad_operand_not_indexed", "qreg q[2];\ncx q[0], nope;\n"),
+        ("truncated_mid_operand", "qreg q[2];\ncx q[0], q[;\n"),
+    ]
 }
 
 #[cfg(test)]
@@ -251,45 +551,120 @@ mod tests {
     }
 
     #[test]
+    fn comment_markers_inside_a_statement_strip_the_rest() {
+        // `//` strips to end of line even when glued to the semicolon,
+        // and a commented-out gate after a real one must not parse.
+        let c = from_qasm("qreg q[2];\nrz(1.5) q[0];// x q[1];\n").expect("parses");
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.instructions()[0].gate, Gate::Rz(_)));
+    }
+
+    #[test]
     fn rejects_gate_before_register() {
         let err = from_qasm("OPENQASM 2.0;\nh q[0];\n").expect_err("no qreg");
         assert_eq!(err, QasmError::MissingRegister);
+        assert_eq!(err.to_string(), "QASM program declares no qreg");
+        assert_eq!((err.line(), err.column(), err.token()), (None, None, None));
     }
 
     #[test]
-    fn rejects_unknown_gate() {
+    fn rejects_unknown_gate_with_location() {
         let err = from_qasm("qreg q[2];\nccx q[0], q[1];\n").expect_err("ccx unsupported");
-        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+        assert_eq!(err, QasmError::UnsupportedGate { line: 2, column: 1, token: "ccx".into() });
+        assert_eq!(
+            err.to_string(),
+            "QASM syntax error on line 2, column 1: unsupported gate 'ccx'"
+        );
+        assert_eq!(err.code(), "unsupported_gate");
     }
 
     #[test]
-    fn rejects_missing_semicolon() {
+    fn rejects_missing_semicolon_pointing_past_the_statement() {
         let err = from_qasm("qreg q[1]\n").expect_err("no semicolon");
-        assert!(matches!(err, QasmError::Syntax { line: 1, .. }));
+        assert_eq!(err, QasmError::MissingSemicolon { line: 1, column: 10 });
     }
 
     #[test]
-    fn rejects_out_of_range_operand() {
+    fn rejects_out_of_range_operand_with_the_operand_column() {
         let err = from_qasm("qreg q[1];\nh q[4];\n").expect_err("q4 out of range");
-        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+        assert_eq!(
+            err,
+            QasmError::QubitOutOfRange { line: 2, column: 3, qubit: 4, register: 1 }
+        );
     }
 
     #[test]
-    fn rejects_wrong_arity() {
+    fn rejects_wrong_arity_with_counts() {
         let err = from_qasm("qreg q[2];\ncx q[0];\n").expect_err("cx needs 2");
-        assert!(matches!(err, QasmError::Syntax { line: 2, .. }));
+        assert_eq!(
+            err,
+            QasmError::WrongArity {
+                line: 2,
+                column: 1,
+                gate: "cx".into(),
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
-    fn angle_precision_survives_roundtrip() {
-        let mut c = Circuit::new(1);
-        c.push1(Gate::Rx(std::f64::consts::PI / 7.0), 0).expect("valid");
-        let parsed = from_qasm(&to_qasm(&c)).expect("parses");
-        match parsed.instructions()[0].gate {
-            Gate::Rx(a) => {
-                assert!((a - std::f64::consts::PI / 7.0).abs() < 1e-15)
+    fn rejects_duplicate_operand() {
+        let err = from_qasm("qreg q[2];\ncx q[1], q[1];\n").expect_err("repeated operand");
+        assert_eq!(err, QasmError::DuplicateOperand { line: 2, column: 4, qubit: 1 });
+    }
+
+    #[test]
+    fn rejects_duplicate_register() {
+        let err = from_qasm("qreg q[2];\nqreg r[3];\n").expect_err("one register only");
+        assert_eq!(err, QasmError::DuplicateRegister { line: 2, column: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_angle_with_the_parameter_token() {
+        let err = from_qasm("qreg q[1];\nrx(nope) q[0];\n").expect_err("bad angle");
+        assert_eq!(err, QasmError::BadAngle { line: 2, column: 4, token: "rx(nope)".into() });
+    }
+
+    #[test]
+    fn rejects_bad_operand_with_its_column() {
+        let err = from_qasm("qreg q[2];\ncx q[0], nope;\n").expect_err("bad operand");
+        assert_eq!(err, QasmError::BadOperand { line: 2, column: 10, token: "nope".into() });
+    }
+
+    #[test]
+    fn every_corpus_entry_fails_with_a_typed_error() {
+        for (name, source) in malformed_corpus() {
+            let err = from_qasm(source)
+                .map(|_| ())
+                .expect_err(&format!("corpus entry '{name}' must fail"));
+            // Every error renders and exposes its stable code; location
+            // accessors agree with the variant's payload.
+            assert!(!err.to_string().is_empty(), "{name}");
+            assert!(!err.code().is_empty(), "{name}");
+            if let Some(line) = err.line() {
+                assert!(line >= 1, "{name}: lines are 1-based");
+                assert!(err.column().is_some_and(|c| c >= 1), "{name}: columns are 1-based");
             }
-            ref g => panic!("expected rx, got {g}"),
+        }
+    }
+
+    #[test]
+    fn angle_precision_survives_roundtrip_bit_exactly() {
+        let angles =
+            [std::f64::consts::PI / 7.0, 1.23e-17, -0.0, 2.9999999999999996, f64::MIN_POSITIVE];
+        for angle in angles {
+            let mut c = Circuit::new(1);
+            c.push1(Gate::Rx(angle), 0).expect("valid");
+            let parsed = from_qasm(&to_qasm(&c)).expect("parses");
+            match parsed.instructions()[0].gate {
+                Gate::Rx(a) => assert_eq!(
+                    a.to_bits(),
+                    angle.to_bits(),
+                    "angle {angle:e} must round-trip bit-exactly"
+                ),
+                ref g => panic!("expected rx, got {g}"),
+            }
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Property tests of the QASM boundary: `to_qasm` → `from_qasm` must be
+//! the identity on circuit structure (bit-exact angles included), and
+//! every entry of the shared malformed corpus must fail with a typed,
+//! located error — the same corpus the network serving layer's tests
+//! replay over a socket.
+
+use fastsc_ir::qasm::{from_qasm, malformed_corpus, to_qasm, QasmError};
+use fastsc_ir::{Circuit, Gate};
+use proptest::prelude::*;
+
+/// One arbitrary gate over all 17 supported constructors, with operands
+/// and a raw angle-bit recipe. Angles are built from raw `u64` bit
+/// patterns (filtered to finite values) so the round-trip is exercised
+/// on awkward floats — subnormals, huge magnitudes, negative zero — not
+/// just round decimals.
+fn arb_gate(n: usize) -> impl Strategy<Value = (u8, usize, usize, u64)> {
+    (0u8..17, 0..n, 0..n, any::<u64>())
+}
+
+fn angle_from_bits(bits: u64) -> f64 {
+    let a = f64::from_bits(bits);
+    if a.is_finite() {
+        a
+    } else {
+        // Map NaN/inf bit patterns to a representative ordinary angle.
+        1.234_567_890_123_456_7
+    }
+}
+
+fn build_circuit(n: usize, raw: &[(u8, usize, usize, u64)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b, bits) in raw {
+        let angle = angle_from_bits(bits);
+        let one = |g: Gate| -> Option<Gate> { Some(g) };
+        let gate = match kind {
+            0 => one(Gate::Id),
+            1 => one(Gate::X),
+            2 => one(Gate::Y),
+            3 => one(Gate::Z),
+            4 => one(Gate::H),
+            5 => one(Gate::S),
+            6 => one(Gate::Sdg),
+            7 => one(Gate::T),
+            8 => one(Gate::Tdg),
+            9 => one(Gate::Rx(angle)),
+            10 => one(Gate::Ry(angle)),
+            11 => one(Gate::Rz(angle)),
+            _ => None,
+        };
+        match gate {
+            Some(g) => {
+                c.push1(g, a).expect("valid single-qubit push");
+            }
+            None if a != b => {
+                let g = match kind {
+                    12 => Gate::Cnot,
+                    13 => Gate::Cz,
+                    14 => Gate::Swap,
+                    15 => Gate::ISwap,
+                    _ => Gate::SqrtISwap,
+                };
+                c.push2(g, a, b).expect("valid two-qubit push");
+            }
+            None => {}
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The serving layer's contract: a circuit serialized to QASM and
+    /// parsed back is structurally identical — same pinned hash, so the
+    /// compiler will produce a bit-identical schedule for it.
+    #[test]
+    fn to_qasm_from_qasm_preserves_the_structural_hash(
+        n in 1usize..6,
+        raw in proptest::collection::vec(arb_gate(5), 0..24),
+    ) {
+        let raw: Vec<_> = raw.into_iter()
+            .map(|(k, a, b, bits)| (k, a % n, b % n, bits))
+            .collect();
+        let original = build_circuit(n, &raw);
+        let text = to_qasm(&original);
+        let parsed = from_qasm(&text).expect("emitted QASM parses");
+        prop_assert_eq!(
+            original.structural_hash(),
+            parsed.structural_hash(),
+            "round-trip changed the circuit:\n{}",
+            text
+        );
+        prop_assert_eq!(original.n_qubits(), parsed.n_qubits());
+        prop_assert_eq!(original.len(), parsed.len());
+    }
+
+    /// Angles must survive bit-exactly, not approximately.
+    #[test]
+    fn rotation_angles_round_trip_bit_exactly(bits in any::<u64>()) {
+        let angle = angle_from_bits(bits);
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rz(angle), 0).expect("valid");
+        let parsed = from_qasm(&to_qasm(&c)).expect("parses");
+        let Gate::Rz(back) = parsed.instructions()[0].gate else {
+            panic!("gate identity changed");
+        };
+        prop_assert_eq!(angle.to_bits(), back.to_bits());
+    }
+}
+
+/// Every shared-corpus entry fails with a typed error, and entries past
+/// the preamble stage locate the failure on a real line of the source.
+#[test]
+fn malformed_corpus_errors_are_typed_and_located() {
+    for (name, source) in malformed_corpus() {
+        let err = match from_qasm(source) {
+            Err(e) => e,
+            Ok(c) => {
+                panic!("corpus entry {name:?} parsed into a {}-qubit circuit", c.n_qubits())
+            }
+        };
+        // The stable code is what travels in server error frames.
+        assert!(!err.code().is_empty(), "{name}: empty error code");
+        if let Some(line) = err.line() {
+            let max = source.lines().count().max(1);
+            assert!((1..=max).contains(&line), "{name}: line {line} outside 1..={max}");
+            assert!(err.column().is_some(), "{name}: located line but no column");
+        } else {
+            assert!(
+                matches!(err, QasmError::MissingRegister),
+                "{name}: only MissingRegister may omit a location, got {err:?}"
+            );
+        }
+    }
+}
+
+/// The corpus is the shared contract with the server tests: pin its
+/// shape so an accidental rename or removal breaks loudly here rather
+/// than silently weakening the wire tests.
+#[test]
+fn malformed_corpus_covers_every_error_family() {
+    let corpus = malformed_corpus();
+    assert!(corpus.len() >= 20, "corpus shrank to {} entries", corpus.len());
+    let codes: std::collections::BTreeSet<&'static str> = corpus
+        .iter()
+        .map(|(_, source)| from_qasm(source).expect_err("corpus must fail").code())
+        .collect();
+    for family in [
+        "missing_semicolon",
+        "bad_register",
+        "duplicate_register",
+        "unsupported_gate",
+        "bad_operand",
+        "bad_angle",
+        "wrong_arity",
+        "qubit_out_of_range",
+        "duplicate_operand",
+        "missing_register",
+    ] {
+        assert!(codes.contains(family), "no corpus entry exercises {family:?}");
+    }
+}

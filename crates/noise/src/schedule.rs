@@ -120,6 +120,69 @@ impl Schedule {
             .count()
     }
 
+    /// A pinned 64-bit digest of **everything** in the schedule: qubit
+    /// count, cycle count, and for every cycle its gates (gate
+    /// identity, parameters, operands, and interaction frequency bits),
+    /// the full per-qubit frequency vector, active couplings, and
+    /// duration — all folded through the workspace's stable FNV-1a
+    /// [`StableHasher`](fastsc_ir::hash::StableHasher) with exact
+    /// IEEE-754 bit patterns for every float.
+    ///
+    /// Two schedules hash equal iff they are bit-identical, so this is
+    /// the digest the network serving layer returns in compile-result
+    /// frames: a client (or the determinism suite) can prove a schedule
+    /// compiled behind a socket is bit-identical to a local sequential
+    /// compile without shipping the schedule itself.
+    ///
+    /// Exhaustive destructuring makes adding a field to [`Cycle`] or
+    /// [`ScheduledGate`] a compile error here — the digest can never
+    /// silently ignore new schedule state.
+    pub fn stable_hash(&self) -> u64 {
+        use fastsc_ir::hash::StableHasher;
+        let mut h = StableHasher::new();
+        h.write_usize(self.n_qubits);
+        h.write_usize(self.cycles.len());
+        for cycle in &self.cycles {
+            let Cycle { gates, frequencies, active_couplings, duration_ns } = cycle;
+            h.write_usize(gates.len());
+            for gate in gates {
+                let ScheduledGate { instruction, interaction_freq } = gate;
+                let (tag, params) = instruction.gate.stable_code();
+                h.write_u8(tag);
+                h.write_u64(params);
+                match instruction.operands {
+                    Operands::One(q) => {
+                        h.write_u8(1);
+                        h.write_usize(q);
+                    }
+                    Operands::Two(a, b) => {
+                        h.write_u8(2);
+                        h.write_usize(a);
+                        h.write_usize(b);
+                    }
+                }
+                match interaction_freq {
+                    Some(f) => {
+                        h.write_u8(1);
+                        h.write_f64(*f);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
+            h.write_usize(frequencies.len());
+            for f in frequencies {
+                h.write_f64(*f);
+            }
+            h.write_usize(active_couplings.len());
+            for (a, b) in active_couplings {
+                h.write_usize(*a);
+                h.write_usize(*b);
+            }
+            h.write_f64(*duration_ns);
+        }
+        h.finish()
+    }
+
     /// A canonical multiset of `(gate name, operands)` for
     /// schedule-preserves-program tests.
     pub fn gate_multiset(&self) -> Vec<(String, Vec<usize>)> {
@@ -192,6 +255,41 @@ mod tests {
         assert_eq!(s.gate_count(), 3);
         assert_eq!(s.two_qubit_count(), 1);
         assert!((s.total_duration_ns() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_hash_is_sensitive_to_every_field() {
+        let build = || {
+            let mut s = Schedule::new(3);
+            s.push_cycle(cycle(vec![gate1(Gate::H, 0)], 3, 25.0));
+            s.push_cycle(cycle(vec![gate2(Gate::Cz, 0, 1, 6.5)], 3, 70.0));
+            s
+        };
+        assert_eq!(build().stable_hash(), build().stable_hash(), "deterministic");
+
+        // Any single-field perturbation must change the digest.
+        let mut freq = build();
+        freq.cycles[1].gates[0].interaction_freq = Some(6.5000000001);
+        assert_ne!(build().stable_hash(), freq.stable_hash());
+
+        let mut parked = build();
+        parked.cycles[0].frequencies[2] = 5.25;
+        assert_ne!(build().stable_hash(), parked.stable_hash());
+
+        let mut coupling = build();
+        coupling.cycles[1].active_couplings.push((0, 1));
+        assert_ne!(build().stable_hash(), coupling.stable_hash());
+
+        let mut duration = build();
+        duration.cycles[0].duration_ns = 25.000001;
+        assert_ne!(build().stable_hash(), duration.stable_hash());
+
+        // Bit-exact float hashing: -0.0 and 0.0 are different schedules.
+        let mut zero = build();
+        zero.cycles[0].duration_ns = 0.0;
+        let mut negzero = build();
+        negzero.cycles[0].duration_ns = -0.0;
+        assert_ne!(zero.stable_hash(), negzero.stable_hash());
     }
 
     #[test]

@@ -81,6 +81,41 @@ impl std::fmt::Display for Priority {
     }
 }
 
+/// A priority name that [`Priority::from_str`](std::str::FromStr) did
+/// not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePriorityError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParsePriorityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown priority '{}' (expected interactive, batch, or speculative)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePriorityError {}
+
+impl std::str::FromStr for Priority {
+    type Err = ParsePriorityError;
+
+    /// Parses the wire names used by the network serving layer — exactly
+    /// the [`Display`](std::fmt::Display) forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "interactive" => Ok(Priority::Interactive),
+            "batch" => Ok(Priority::Batch),
+            "speculative" => Ok(Priority::Speculative),
+            other => Err(ParsePriorityError { input: other.to_string() }),
+        }
+    }
+}
+
 /// One submission: the compile job plus its queueing metadata. Built
 /// fluently and handed to [`QueueService::submit`]
 /// (crate::QueueService::submit).

@@ -85,8 +85,9 @@ impl Default for QueueConfig {
 /// Where one job is in its lifecycle.
 #[derive(Debug)]
 enum Slot {
-    /// Admitted, waiting in the queue (metadata locates it for cancel).
-    Queued { client: crate::job::ClientId, priority: Priority },
+    /// Admitted, waiting in the queue (metadata locates it for cancel
+    /// and lets handle-side deadline expiry remove it promptly).
+    Queued { client: crate::job::ClientId, priority: Priority, deadline: Option<Instant> },
     /// Drained into a micro-batch, compiling now.
     Running,
     /// Finished; the result waits for its handle.
@@ -158,6 +159,37 @@ fn complete(state: &mut State, id: JobId, result: JobResult) {
         Some(Slot::Done(_)) => unreachable!("job {id} completed twice"),
         None => {}
     }
+}
+
+/// Expires `id` **now** if it is still queued past its deadline: removes
+/// it from the admission queue, counts it, and resolves it to
+/// [`CompileError::Deadline`] exactly once. Returns whether it expired.
+///
+/// Deadline expiry used to be checked only when the dispatcher drained a
+/// micro-batch, so on a paused or saturated queue an expired job sat
+/// admitted and its waiters blocked arbitrarily past the deadline. The
+/// handle paths ([`JobHandle::poll`] / [`wait`](JobHandle::wait) /
+/// [`wait_timeout`](JobHandle::wait_timeout)) now call this too, so an
+/// expired job fails promptly wherever it is observed first — here or at
+/// drain — and the `Queued → Done` slot transition under the one state
+/// lock guarantees it resolves exactly once either way. Jobs already
+/// drained into a micro-batch (`Running`) are past expiry on purpose:
+/// their compile result stands, matching the dispatcher's contract.
+fn expire_if_due(state: &mut State, id: JobId, now: Instant) -> bool {
+    let Some(Slot::Queued { client, priority, deadline: Some(deadline) }) =
+        state.slots.get(&id)
+    else {
+        return false;
+    };
+    if *deadline > now {
+        return false;
+    }
+    let (client, priority) = (*client, *priority);
+    let removed = state.queue.remove(id, client, priority);
+    debug_assert!(removed.is_some(), "queued slot implies a queued job");
+    state.stats.expired += 1;
+    complete(state, id, Err(CompileError::Deadline));
+    true
 }
 
 /// The asynchronous front end over a sharded [`CompileService`] (see the
@@ -283,13 +315,13 @@ impl QueueService {
         state.stats.admitted += 1;
         if shed_self {
             state.stats.shed += 1;
-            state.slots.insert(id, Slot::Queued { client, priority });
+            state.slots.insert(id, Slot::Queued { client, priority, deadline: None });
             complete(&mut state, id, Err(CompileError::QueueFull));
             self.shared.done.notify_all();
         } else {
             let seq = state.next_seq;
             state.next_seq += 1;
-            state.slots.insert(id, Slot::Queued { client, priority });
+            state.slots.insert(id, Slot::Queued { client, priority, deadline });
             state.queue.push(QueuedJob {
                 id,
                 client,
@@ -539,48 +571,93 @@ impl JobHandle {
     }
 
     /// The job's result if it has completed, without blocking.
+    ///
+    /// Observing a job whose deadline has already passed while it is
+    /// still queued expires it on the spot (exactly once, counted in
+    /// [`QueueStats::expired`](crate::QueueStats::expired)) and returns
+    /// [`CompileError::Deadline`] — a paused or saturated queue cannot
+    /// make an expired job look merely "not done yet".
     pub fn poll(&self) -> Option<JobResult> {
-        match self.shared.lock().slots.get(&self.id) {
+        let mut state = self.shared.lock();
+        if expire_if_due(&mut state, self.id, Instant::now()) {
+            self.shared.space.notify_all();
+            self.shared.done.notify_all();
+        }
+        match state.slots.get(&self.id) {
             Some(Slot::Done(result)) => Some(result.clone()),
             _ => None,
         }
     }
 
-    /// Blocks until the job completes.
+    /// Blocks until the job completes. A queued job whose deadline
+    /// passes while waiting resolves promptly to
+    /// [`CompileError::Deadline`] — the wait wakes **at** the deadline
+    /// instead of blocking until the dispatcher next drains.
     pub fn wait(&self) -> JobResult {
         let mut state = self.shared.lock();
         loop {
-            match state.slots.get(&self.id) {
+            if expire_if_due(&mut state, self.id, Instant::now()) {
+                self.shared.space.notify_all();
+                self.shared.done.notify_all();
+            }
+            let job_deadline = match state.slots.get(&self.id) {
                 Some(Slot::Done(result)) => return result.clone(),
                 // The slot is gone or the drain already passed the job
                 // by: resolve rather than hang. Unreachable under the
                 // normal lifecycle.
                 None => return Err(CompileError::Cancelled),
-                _ => {}
-            }
-            state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+                Some(Slot::Queued { deadline, .. }) => *deadline,
+                _ => None,
+            };
+            state = match job_deadline {
+                // Wake at the job's own deadline so expiry is prompt
+                // even when nothing else signals `done`.
+                Some(at) => {
+                    let left = at.saturating_duration_since(Instant::now());
+                    self.shared
+                        .done
+                        .wait_timeout(state, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+                None => self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner),
+            };
         }
     }
 
     /// [`wait`](Self::wait) bounded by `timeout`; `None` when the job is
-    /// still outstanding at the end of it.
+    /// still outstanding at the end of it. A queued job whose deadline
+    /// falls inside `timeout` resolves promptly to
+    /// [`CompileError::Deadline`] at that deadline.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
-        let deadline = Instant::now() + timeout;
+        let until = Instant::now() + timeout;
         let mut state = self.shared.lock();
         loop {
-            match state.slots.get(&self.id) {
+            if expire_if_due(&mut state, self.id, Instant::now()) {
+                self.shared.space.notify_all();
+                self.shared.done.notify_all();
+            }
+            let job_deadline = match state.slots.get(&self.id) {
                 Some(Slot::Done(result)) => return Some(result.clone()),
                 None => return Some(Err(CompileError::Cancelled)),
-                _ => {}
-            }
-            let left = deadline.saturating_duration_since(Instant::now());
+                Some(Slot::Queued { deadline, .. }) => *deadline,
+                _ => None,
+            };
+            let now = Instant::now();
+            let left = until.saturating_duration_since(now);
             if left.is_zero() {
                 return None;
             }
+            // Sleep to whichever comes first: the caller's timeout or
+            // the job's own deadline.
+            let sleep = match job_deadline {
+                Some(at) => left.min(at.saturating_duration_since(now)),
+                None => left,
+            };
             let (guard, _) = self
                 .shared
                 .done
-                .wait_timeout(state, left)
+                .wait_timeout(state, sleep)
                 .unwrap_or_else(PoisonError::into_inner);
             state = guard;
         }
@@ -592,7 +669,7 @@ impl JobHandle {
     /// compiling or done, and its real result stands.
     pub fn cancel(&self) -> bool {
         let mut state = self.shared.lock();
-        let Some(Slot::Queued { client, priority }) = state.slots.get(&self.id) else {
+        let Some(Slot::Queued { client, priority, .. }) = state.slots.get(&self.id) else {
             return false;
         };
         let (client, priority) = (*client, *priority);
@@ -778,6 +855,90 @@ mod tests {
         assert_eq!((stats.expired, stats.completed), (1, 1));
         // The expired job never reached a compiler: one miss, no hit.
         assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn wait_fails_at_the_deadline_on_a_paused_queue() {
+        // The dispatcher never drains while paused, so expiry must fire
+        // from the handle's wait itself — promptly, not "whenever the
+        // queue next moves".
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let doomed =
+            queue.submit(bv(4).deadline_in(Duration::from_millis(50))).expect("admits");
+        let started = Instant::now();
+        assert!(matches!(doomed.wait(), Err(CompileError::Deadline)));
+        let waited = started.elapsed();
+        assert!(waited >= Duration::from_millis(45), "woke before the deadline: {waited:?}");
+        assert!(waited < Duration::from_secs(10), "expiry was not prompt: {waited:?}");
+        let stats = queue.stats();
+        assert_eq!((stats.expired, stats.depth), (1, 0), "expired job left the queue");
+        // Exactly once: the resolved slot is terminal.
+        assert!(matches!(doomed.wait(), Err(CompileError::Deadline)));
+        assert!(!doomed.cancel(), "already resolved");
+        queue.resume();
+    }
+
+    #[test]
+    fn poll_resolves_an_expired_job_in_place() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let doomed = queue
+            .submit(bv(4).deadline_at(Instant::now() - Duration::from_millis(1)))
+            .expect("admits");
+        let alive = queue.submit(bv(5)).expect("admits");
+        assert!(matches!(doomed.poll(), Some(Err(CompileError::Deadline))));
+        assert!(alive.poll().is_none(), "unexpired neighbors are untouched");
+        assert_eq!(queue.stats().expired, 1);
+        queue.resume();
+        assert!(alive.wait().is_ok());
+        // The expired job never reached a compiler.
+        assert_eq!(queue.stats().completed, 1);
+    }
+
+    #[test]
+    fn wait_timeout_respects_both_deadlines() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        // Caller timeout shorter than the job deadline: times out without
+        // expiring the job.
+        let patient =
+            queue.submit(bv(4).deadline_in(Duration::from_secs(120))).expect("admits");
+        assert!(patient.wait_timeout(Duration::from_millis(20)).is_none());
+        assert_eq!(queue.stats().expired, 0, "a caller timeout must not expire the job");
+        // Job deadline inside the caller timeout: resolves to Deadline at
+        // the deadline, well before the caller timeout.
+        let doomed =
+            queue.submit(bv(5).deadline_in(Duration::from_millis(40))).expect("admits");
+        let started = Instant::now();
+        match doomed.wait_timeout(Duration::from_secs(60)) {
+            Some(Err(CompileError::Deadline)) => {}
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(30), "expiry was not prompt");
+        assert_eq!(queue.stats().expired, 1);
+        queue.resume();
+        assert!(patient.wait().is_ok(), "the timed-out handle still resolves normally");
+    }
+
+    #[test]
+    fn handle_side_expiry_streams_to_subscribers_exactly_once() {
+        let queue = queue(QueueConfig::default());
+        queue.pause();
+        let mut completions = queue.subscribe_all();
+        let doomed = queue
+            .submit(bv(4).deadline_at(Instant::now() - Duration::from_millis(1)))
+            .expect("admits");
+        assert!(matches!(doomed.wait(), Err(CompileError::Deadline)));
+        let (id, result) = completions.next_timeout(Duration::from_secs(10)).expect("streamed");
+        assert_eq!(id, doomed.id());
+        assert!(matches!(result, Err(CompileError::Deadline)));
+        queue.resume();
+        assert!(
+            completions.next_timeout(Duration::from_millis(20)).is_none(),
+            "no duplicate delivery from the dispatcher drain"
+        );
+        assert_eq!(queue.stats().expired, 1);
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! The request/response vocabulary of the wire protocol (see
+//! `docs/WIRE.md` for the normative spec).
+//!
+//! Every client frame is a JSON object with a `"type"` and a
+//! client-chosen `"seq"`; the server echoes `seq` in every frame the
+//! request produces — direct responses and streamed frames alike — so a
+//! client can multiplex requests on one connection. Decoding is split
+//! from transport: this module turns [`Json`] into typed [`Request`]s
+//! and typed results back into [`Json`] frames, and never touches a
+//! socket.
+
+use crate::json::Json;
+use fastsc_core::{CompileError, Strategy};
+use fastsc_ir::qasm::QasmError;
+use fastsc_queue::{JobResult, Priority};
+
+/// Upper bound on `wait`'s `timeout_ms` (5 minutes) — a lost client
+/// cannot park a reader thread forever.
+pub const MAX_WAIT_MS: u64 = 300_000;
+
+/// Upper bound on telemetry frames per request.
+pub const MAX_TELEMETRY_COUNT: u64 = 1_000;
+
+/// Upper bound on the telemetry inter-frame interval (10 s).
+pub const MAX_TELEMETRY_INTERVAL_MS: u64 = 10_000;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Authenticate the connection as a tenant. Must be the first
+    /// request (only [`Ping`](Self::Ping) is allowed earlier).
+    Hello {
+        /// The tenant's session token.
+        token: String,
+    },
+    /// Submit a QASM program for compilation.
+    Submit {
+        /// OpenQASM 2.0 source.
+        qasm: String,
+        /// Compilation strategy (wire names are the `Strategy` display
+        /// forms, e.g. `"ColorDynamic"`).
+        strategy: Strategy,
+        /// Priority class (`"interactive"` / `"batch"` /
+        /// `"speculative"`).
+        priority: Priority,
+        /// Optional deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// Non-blocking result check for a job submitted on this connection.
+    Poll {
+        /// The job id from the `submitted` frame.
+        job: u64,
+    },
+    /// Blocking result wait, bounded by `timeout_ms`.
+    Wait {
+        /// The job id from the `submitted` frame.
+        job: u64,
+        /// How long to wait before answering `pending` (capped at
+        /// [`MAX_WAIT_MS`]; that cap is also the default).
+        timeout_ms: Option<u64>,
+    },
+    /// Cancel a queued job.
+    Cancel {
+        /// The job id from the `submitted` frame.
+        job: u64,
+    },
+    /// Stream every completion of this tenant's jobs (from any
+    /// connection) as `completion` frames until the connection closes.
+    Subscribe,
+    /// Stream `count` fleet-telemetry snapshots, `interval_ms` apart.
+    Telemetry {
+        /// Snapshots to stream (capped at [`MAX_TELEMETRY_COUNT`]).
+        count: u64,
+        /// Milliseconds between snapshots (capped at
+        /// [`MAX_TELEMETRY_INTERVAL_MS`]).
+        interval_ms: u64,
+    },
+    /// Liveness check; allowed before authentication.
+    Ping,
+}
+
+/// A request the server refuses at the protocol level (before any
+/// queue or compiler involvement): the error frame's `code` and a
+/// human-readable `message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable discriminant (e.g. `"bad_request"`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn bad(message: impl Into<String>) -> ProtocolError {
+        ProtocolError { code: "bad_request", message: message.into() }
+    }
+}
+
+impl Request {
+    /// Decodes one client frame. Returns the echoed `seq` (0 when the
+    /// client sent none) alongside the request; on failure the `seq` is
+    /// still recovered on a best-effort basis so the error frame can
+    /// carry it.
+    pub fn from_json(frame: &Json) -> Result<(u64, Request), (u64, ProtocolError)> {
+        let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        Self::decode(frame).map(|req| (seq, req)).map_err(|e| (seq, e))
+    }
+
+    fn decode(frame: &Json) -> Result<Request, ProtocolError> {
+        let ty = frame
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtocolError::bad("frame has no string \"type\" field"))?;
+        match ty {
+            "hello" => Ok(Request::Hello { token: required_str(frame, "token")?.to_string() }),
+            "submit" => {
+                let qasm = required_str(frame, "qasm")?.to_string();
+                let strategy_name = required_str(frame, "strategy")?;
+                let strategy = strategy_name
+                    .parse::<Strategy>()
+                    .map_err(|e| ProtocolError::bad(e.to_string()))?;
+                let priority = match frame.get("priority") {
+                    None => Priority::Batch,
+                    Some(v) => {
+                        let name = v.as_str().ok_or_else(|| {
+                            ProtocolError::bad("\"priority\" must be a string")
+                        })?;
+                        name.parse::<Priority>()
+                            .map_err(|e| ProtocolError::bad(e.to_string()))?
+                    }
+                };
+                let deadline_ms = optional_u64(frame, "deadline_ms")?;
+                Ok(Request::Submit { qasm, strategy, priority, deadline_ms })
+            }
+            "poll" => Ok(Request::Poll { job: required_u64(frame, "job")? }),
+            "wait" => Ok(Request::Wait {
+                job: required_u64(frame, "job")?,
+                timeout_ms: optional_u64(frame, "timeout_ms")?.map(|t| t.min(MAX_WAIT_MS)),
+            }),
+            "cancel" => Ok(Request::Cancel { job: required_u64(frame, "job")? }),
+            "subscribe" => Ok(Request::Subscribe),
+            "telemetry" => {
+                let count = optional_u64(frame, "count")?.unwrap_or(1);
+                let interval_ms = optional_u64(frame, "interval_ms")?.unwrap_or(0);
+                if count == 0 || count > MAX_TELEMETRY_COUNT {
+                    return Err(ProtocolError::bad(format!(
+                        "\"count\" must be 1..={MAX_TELEMETRY_COUNT}"
+                    )));
+                }
+                if interval_ms > MAX_TELEMETRY_INTERVAL_MS {
+                    return Err(ProtocolError::bad(format!(
+                        "\"interval_ms\" must be at most {MAX_TELEMETRY_INTERVAL_MS}"
+                    )));
+                }
+                Ok(Request::Telemetry { count, interval_ms })
+            }
+            "ping" => Ok(Request::Ping),
+            other => Err(ProtocolError::bad(format!("unknown request type \"{other}\""))),
+        }
+    }
+}
+
+fn required_str<'a>(frame: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
+    frame
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::bad(format!("missing string field \"{key}\"")))
+}
+
+fn required_u64(frame: &Json, key: &str) -> Result<u64, ProtocolError> {
+    frame
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::bad(format!("missing integer field \"{key}\"")))
+}
+
+fn optional_u64(frame: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match frame.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::bad(format!("\"{key}\" must be a non-negative integer"))
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame builders (server → client)
+// ---------------------------------------------------------------------
+
+/// A generic error frame: `{type:"error", seq, code, message}`.
+pub fn error_frame(seq: u64, code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("error")),
+        ("seq", Json::num(seq as f64)),
+        ("code", Json::str(code)),
+        ("message", Json::str(message)),
+    ])
+}
+
+/// A rate-limit error frame carrying the retry hint.
+pub fn rate_limited_frame(seq: u64, retry_after_ms: u64) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("error")),
+        ("seq", Json::num(seq as f64)),
+        ("code", Json::str("rate_limited")),
+        ("message", Json::str("per-tenant rate limit exceeded")),
+        ("retry_after_ms", Json::num(retry_after_ms as f64)),
+    ])
+}
+
+/// The error frame for a QASM parse failure: `code:"qasm"`, the typed
+/// error's stable sub-code, and — when the variant carries them — the
+/// 1-based `line`/`column` and the offending `token`.
+pub fn qasm_error_frame(seq: u64, err: &QasmError) -> Json {
+    let mut pairs = vec![
+        ("type", Json::str("error")),
+        ("seq", Json::num(seq as f64)),
+        ("code", Json::str("qasm")),
+        ("qasm_code", Json::str(err.code())),
+        ("message", Json::str(err.to_string())),
+    ];
+    if let Some(line) = err.line() {
+        pairs.push(("line", Json::num(line as f64)));
+    }
+    if let Some(column) = err.column() {
+        pairs.push(("column", Json::num(column as f64)));
+    }
+    if let Some(token) = err.token() {
+        pairs.push(("token", Json::str(token)));
+    }
+    Json::obj(pairs)
+}
+
+/// The stable wire code of a [`CompileError`] (used in `result` and
+/// `completion` frames for failed jobs).
+pub fn compile_error_code(err: &CompileError) -> &'static str {
+    match err {
+        CompileError::Deadline => "deadline",
+        CompileError::Cancelled => "cancelled",
+        CompileError::QueueFull => "queue_full",
+        CompileError::ProgramTooWide { .. } => "program_too_wide",
+        CompileError::Unroutable { .. } => "unroutable",
+        CompileError::FrequencyBandExhausted { .. } => "band_exhausted",
+        CompileError::NoShardFits { .. } => "no_shard_fits",
+        CompileError::Internal { .. } => "internal",
+        _ => "compile_error",
+    }
+}
+
+/// The `result` frame delivered by `poll`/`wait`, and (as `completion`)
+/// streamed to subscribers. Success carries the serving metadata and the
+/// schedule's pinned 64-bit digest as 16 hex digits — enough for a
+/// client to prove bit-identity with a local compile without shipping
+/// the schedule.
+pub fn result_frame(frame_type: &str, seq: u64, job: u64, result: &JobResult) -> Json {
+    let mut pairs = vec![
+        ("type", Json::str(frame_type)),
+        ("seq", Json::num(seq as f64)),
+        ("job", Json::num(job as f64)),
+    ];
+    match result {
+        Ok(reply) => {
+            let schedule = &reply.compiled.schedule;
+            pairs.extend([
+                ("ok", Json::Bool(true)),
+                ("shard", Json::num(reply.shard as f64)),
+                ("cache_hit", Json::Bool(reply.cache_hit)),
+                ("schedule_hash", Json::str(format!("{:016x}", schedule.stable_hash()))),
+                ("depth", Json::num(schedule.depth() as f64)),
+                ("gates", Json::num(schedule.gate_count() as f64)),
+                ("duration_ns", Json::num(schedule.total_duration_ns())),
+            ]);
+        }
+        Err(err) => {
+            pairs.extend([
+                ("ok", Json::Bool(false)),
+                ("code", Json::str(compile_error_code(err))),
+                ("message", Json::str(err.to_string())),
+            ]);
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// One streamed `telemetry` frame: per-shard views plus the queue
+/// snapshot and the delta since this stream's previous frame.
+pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json {
+    use fastsc_service::ShardState;
+    let shards = snapshot
+        .shards
+        .iter()
+        .map(|view| {
+            let state = match view.state {
+                ShardState::Active => "active",
+                ShardState::Draining => "draining",
+                ShardState::Retired => "retired",
+            };
+            Json::obj(vec![
+                ("shard", Json::num(view.shard as f64)),
+                ("state", Json::str(state)),
+                ("qubits", Json::num(view.profile.qubits as f64)),
+                ("load", Json::num(view.load as f64)),
+                ("ewma_compile_ns", Json::num(view.ewma_compile_latency.as_nanos() as f64)),
+                ("cache_hits", Json::num(view.cache.hits as f64)),
+                ("cache_misses", Json::num(view.cache.misses as f64)),
+            ])
+        })
+        .collect();
+    let stats = &snapshot.stats;
+    let latency = Priority::all()
+        .iter()
+        .map(|p| {
+            let summary = stats.latency(*p);
+            Json::obj(vec![
+                ("class", Json::str(p.to_string())),
+                ("count", Json::num(summary.count as f64)),
+                ("p50_ns", Json::num(summary.p50.as_nanos() as f64)),
+                ("p90_ns", Json::num(summary.p90.as_nanos() as f64)),
+                ("p99_ns", Json::num(summary.p99.as_nanos() as f64)),
+            ])
+        })
+        .collect();
+    let delta = &snapshot.delta;
+    Json::obj(vec![
+        ("type", Json::str("telemetry")),
+        ("seq", Json::num(seq as f64)),
+        ("shards", Json::Arr(shards)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("depth", Json::num(stats.depth as f64)),
+                ("inflight", Json::num(stats.inflight as f64)),
+                ("admitted", Json::num(stats.admitted as f64)),
+                ("rejected", Json::num(stats.rejected as f64)),
+                ("shed", Json::num(stats.shed as f64)),
+                ("expired", Json::num(stats.expired as f64)),
+                ("cancelled", Json::num(stats.cancelled as f64)),
+                ("completed", Json::num(stats.completed as f64)),
+                ("cache_hits", Json::num(stats.cache.hits as f64)),
+                ("cache_misses", Json::num(stats.cache.misses as f64)),
+                ("latency", Json::Arr(latency)),
+            ]),
+        ),
+        (
+            "delta",
+            Json::obj(vec![
+                ("admitted", Json::num(delta.admitted as f64)),
+                ("rejected", Json::num(delta.rejected as f64)),
+                ("shed", Json::num(delta.shed as f64)),
+                ("expired", Json::num(delta.expired as f64)),
+                ("cancelled", Json::num(delta.cancelled as f64)),
+                ("completed", Json::num(delta.completed as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(text: &str) -> Result<(u64, Request), (u64, ProtocolError)> {
+        Request::from_json(&Json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn decodes_every_request_type() {
+        let (seq, req) = decode(r#"{"type":"hello","seq":1,"token":"t"}"#).unwrap();
+        assert_eq!((seq, req), (1, Request::Hello { token: "t".into() }));
+
+        let (_, req) = decode(
+            r#"{"type":"submit","seq":2,"qasm":"OPENQASM 2.0;","strategy":"ColorDynamic","priority":"interactive","deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                qasm: "OPENQASM 2.0;".into(),
+                strategy: Strategy::ColorDynamic,
+                priority: Priority::Interactive,
+                deadline_ms: Some(250),
+            }
+        );
+
+        assert_eq!(decode(r#"{"type":"poll","job":9}"#).unwrap().1, Request::Poll { job: 9 });
+        assert_eq!(
+            decode(r#"{"type":"wait","job":9,"timeout_ms":50}"#).unwrap().1,
+            Request::Wait { job: 9, timeout_ms: Some(50) }
+        );
+        assert_eq!(
+            decode(r#"{"type":"cancel","job":9}"#).unwrap().1,
+            Request::Cancel { job: 9 }
+        );
+        assert_eq!(decode(r#"{"type":"subscribe"}"#).unwrap().1, Request::Subscribe);
+        assert_eq!(
+            decode(r#"{"type":"telemetry","count":3,"interval_ms":10}"#).unwrap().1,
+            Request::Telemetry { count: 3, interval_ms: 10 }
+        );
+        assert_eq!(decode(r#"{"type":"ping","seq":77}"#).unwrap(), (77, Request::Ping));
+    }
+
+    #[test]
+    fn submit_defaults_priority_to_batch_and_deadline_to_none() {
+        let (_, req) =
+            decode(r#"{"type":"submit","qasm":"x","strategy":"BaselineN"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                qasm: "x".into(),
+                strategy: Strategy::BaselineN,
+                priority: Priority::Batch,
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_keep_the_seq_for_the_error_frame() {
+        for text in [
+            r#"{"seq":5}"#,
+            r#"{"type":"warp","seq":5}"#,
+            r#"{"type":"hello","seq":5}"#,
+            r#"{"type":"submit","seq":5,"qasm":"x","strategy":"Telepathy"}"#,
+            r#"{"type":"submit","seq":5,"qasm":"x","strategy":"BaselineN","priority":"urgent"}"#,
+            r#"{"type":"poll","seq":5,"job":-1}"#,
+            r#"{"type":"wait","seq":5}"#,
+            r#"{"type":"telemetry","seq":5,"count":0}"#,
+            r#"{"type":"telemetry","seq":5,"interval_ms":999999}"#,
+        ] {
+            let (seq, err) = decode(text).expect_err(text);
+            assert_eq!(seq, 5, "{text}");
+            assert_eq!(err.code, "bad_request", "{text}");
+        }
+    }
+
+    #[test]
+    fn wait_timeout_is_capped() {
+        let (_, req) = decode(r#"{"type":"wait","job":1,"timeout_ms":99999999}"#).unwrap();
+        assert_eq!(req, Request::Wait { job: 1, timeout_ms: Some(MAX_WAIT_MS) });
+    }
+
+    #[test]
+    fn qasm_error_frames_carry_location_and_token() {
+        let err = fastsc_ir::qasm::from_qasm("OPENQASM 2.0;\nqreg q[2];\nwarp q[0];")
+            .expect_err("unknown gate");
+        let frame = qasm_error_frame(4, &err);
+        assert_eq!(frame.get("code").unwrap().as_str(), Some("qasm"));
+        assert_eq!(frame.get("qasm_code").unwrap().as_str(), Some("unsupported_gate"));
+        assert_eq!(frame.get("line").unwrap().as_u64(), Some(3));
+        assert!(frame.get("column").unwrap().as_u64().is_some());
+        assert_eq!(frame.get("token").unwrap().as_str(), Some("warp"));
+        assert_eq!(frame.get("seq").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn result_frames_cover_both_arms() {
+        let failed: JobResult = Err(CompileError::Deadline);
+        let frame = result_frame("result", 9, 3, &failed);
+        assert_eq!(frame.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(frame.get("code").unwrap().as_str(), Some("deadline"));
+        assert_eq!(frame.get("job").unwrap().as_u64(), Some(3));
+
+        assert_eq!(compile_error_code(&CompileError::QueueFull), "queue_full");
+        assert_eq!(
+            compile_error_code(&CompileError::ProgramTooWide { program: 9, device: 4 }),
+            "program_too_wide"
+        );
+    }
+}

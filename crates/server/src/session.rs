@@ -1,0 +1,298 @@
+//! Multi-tenant sessions: token authentication, per-tenant rate limits,
+//! and in-flight quotas.
+//!
+//! A **tenant** is a paying identity: it owns a session token, maps to
+//! one [`ClientId`] in the queue's fairness machinery (so the scheduler
+//! already rotates between tenants inside each priority class), and
+//! carries two admission guards the queue itself does not provide:
+//!
+//! * a **rate limit** — a token bucket over submissions, refilled at
+//!   `rate_per_sec` with capacity `burst`, so short spikes pass but a
+//!   sustained flood answers `rate_limited` with a retry hint;
+//! * an **in-flight quota** — a hard cap on unresolved jobs, so one
+//!   tenant cannot occupy the whole admission queue no matter how
+//!   patient its submissions are.
+//!
+//! Both are enforced in the serving layer **before** the queue sees the
+//! submission; the queue's own backpressure remains the global guard.
+
+use fastsc_queue::ClientId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// The session token `hello` must present. Treated as an opaque
+    /// secret; must be unique across tenants.
+    pub token: String,
+    /// Human-readable name, echoed in the `hello_ok` frame.
+    pub name: String,
+    /// The queue-level client identity (per-client fairness key).
+    pub client: ClientId,
+    /// Maximum unresolved (queued or compiling) jobs at once.
+    pub max_inflight: usize,
+    /// Sustained submissions per second the rate limiter refills.
+    pub rate_per_sec: f64,
+    /// Burst capacity of the rate limiter (also its initial fill).
+    pub burst: u32,
+}
+
+impl TenantConfig {
+    /// A permissive tenant for demos and tests: generous burst, high
+    /// sustained rate, deep quota.
+    pub fn generous(
+        token: impl Into<String>,
+        name: impl Into<String>,
+        client: ClientId,
+    ) -> Self {
+        TenantConfig {
+            token: token.into(),
+            name: name.into(),
+            client,
+            max_inflight: 256,
+            rate_per_sec: 1_000.0,
+            burst: 1_000,
+        }
+    }
+}
+
+/// A token bucket: `capacity` tokens, refilled continuously at
+/// `refill_per_sec`. Starts full.
+#[derive(Debug)]
+pub struct RateLimiter {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    /// A bucket holding `burst` tokens, refilled at `rate_per_sec`.
+    /// Non-positive rates disable refill (the burst is all you get);
+    /// a zero burst disables the tenant outright.
+    pub fn new(burst: u32, rate_per_sec: f64) -> Self {
+        RateLimiter {
+            capacity: f64::from(burst),
+            refill_per_sec: rate_per_sec.max(0.0),
+            tokens: f64::from(burst),
+            last: Instant::now(),
+        }
+    }
+
+    /// Takes one token, or reports how long until one will be available.
+    pub fn try_acquire(&mut self) -> Result<(), Duration> {
+        let now = Instant::now();
+        let elapsed = now.saturating_duration_since(self.last);
+        self.last = now;
+        self.acquire_after(elapsed)
+    }
+
+    /// Clock-free core of [`try_acquire`](Self::try_acquire): refills
+    /// for `elapsed`, then takes one token or computes the retry delay.
+    /// Split out so tests can drive the bucket deterministically.
+    fn acquire_after(&mut self, elapsed: Duration) -> Result<(), Duration> {
+        self.tokens =
+            (self.tokens + elapsed.as_secs_f64() * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        if self.refill_per_sec <= 0.0 {
+            // Never refills: signal "retry much later" rather than
+            // dividing by zero. A day is effectively "don't".
+            return Err(Duration::from_secs(86_400));
+        }
+        let deficit = 1.0 - self.tokens;
+        Err(Duration::from_secs_f64(deficit / self.refill_per_sec))
+    }
+}
+
+/// One tenant's runtime state, shared by every connection it opens.
+#[derive(Debug)]
+pub struct Tenant {
+    /// The static configuration.
+    pub config: TenantConfig,
+    limiter: Mutex<RateLimiter>,
+    inflight: AtomicUsize,
+}
+
+/// Why [`Tenant::admit`] refused a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The rate limiter is empty; retry after the given delay.
+    RateLimited(Duration),
+    /// The tenant is at its in-flight quota.
+    QuotaExceeded {
+        /// The configured cap it hit.
+        max_inflight: usize,
+    },
+}
+
+impl Tenant {
+    /// Fresh runtime state for one configured tenant.
+    pub fn new(config: TenantConfig) -> Self {
+        let limiter = RateLimiter::new(config.burst, config.rate_per_sec);
+        Tenant { config, limiter: Mutex::new(limiter), inflight: AtomicUsize::new(0) }
+    }
+
+    /// Charges one submission against the rate limit and reserves one
+    /// in-flight slot. On success the caller **must** balance the
+    /// reservation with [`release`](Self::release) exactly once — when
+    /// the job resolves, or immediately if the submission never reaches
+    /// the queue (parse failure, queue rejection).
+    ///
+    /// Order matters: the rate token is charged even when the quota
+    /// then refuses, so hammering a full quota still drains the bucket
+    /// — a tenant cannot probe for free.
+    pub fn admit(&self) -> Result<(), AdmitError> {
+        self.limiter
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .try_acquire()
+            .map_err(AdmitError::RateLimited)?;
+        let cap = self.config.max_inflight;
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n < cap).then_some(n + 1))
+            .map(|_| ())
+            .map_err(|_| AdmitError::QuotaExceeded { max_inflight: cap })
+    }
+
+    /// Releases one in-flight reservation (see [`admit`](Self::admit)).
+    pub fn release(&self) {
+        let prev = self.inflight.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "release without a matching admit");
+    }
+
+    /// Unresolved jobs currently reserved against the quota.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+}
+
+/// The token → tenant directory, built once at server start.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    by_token: HashMap<String, Arc<Tenant>>,
+}
+
+impl SessionRegistry {
+    /// Builds the directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two tenants share a token — that is a deployment
+    /// configuration error, not a runtime condition.
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        let mut by_token = HashMap::new();
+        for config in tenants {
+            let token = config.token.clone();
+            let duplicate = by_token.insert(token, Arc::new(Tenant::new(config))).is_some();
+            assert!(!duplicate, "two tenants share a session token");
+        }
+        SessionRegistry { by_token }
+    }
+
+    /// Resolves a presented token. Constant-shape lookup; the token is
+    /// the whole credential.
+    pub fn authenticate(&self, token: &str) -> Option<Arc<Tenant>> {
+        self.by_token.get(token).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_spends_burst_then_meters_refill() {
+        let mut rl = RateLimiter::new(3, 10.0);
+        for _ in 0..3 {
+            assert!(rl.acquire_after(Duration::ZERO).is_ok());
+        }
+        // Empty: next token is 100 ms away at 10/s.
+        let wait = rl.acquire_after(Duration::ZERO).unwrap_err();
+        assert!(wait > Duration::from_millis(50) && wait <= Duration::from_millis(100));
+        // After 100 ms one token has dripped in.
+        assert!(rl.acquire_after(Duration::from_millis(100)).is_ok());
+        assert!(rl.acquire_after(Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn bucket_caps_refill_at_capacity() {
+        let mut rl = RateLimiter::new(2, 1000.0);
+        // A long idle period must not bank more than `burst` tokens.
+        assert!(rl.acquire_after(Duration::from_secs(60)).is_ok());
+        assert!(rl.acquire_after(Duration::ZERO).is_ok());
+        assert!(rl.acquire_after(Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let mut rl = RateLimiter::new(1, 0.0);
+        assert!(rl.acquire_after(Duration::ZERO).is_ok());
+        let wait = rl.acquire_after(Duration::from_secs(3600)).unwrap_err();
+        assert!(wait >= Duration::from_secs(86_400));
+    }
+
+    #[test]
+    fn quota_reserves_and_releases() {
+        let tenant = Tenant::new(TenantConfig {
+            token: "t".into(),
+            name: "acme".into(),
+            client: 1,
+            max_inflight: 2,
+            rate_per_sec: 1_000_000.0,
+            burst: 1_000,
+        });
+        assert!(tenant.admit().is_ok());
+        assert!(tenant.admit().is_ok());
+        assert_eq!(
+            tenant.admit(),
+            Err(AdmitError::QuotaExceeded { max_inflight: 2 }),
+            "third concurrent job exceeds the quota"
+        );
+        tenant.release();
+        assert!(tenant.admit().is_ok(), "a released slot is reusable");
+        assert_eq!(tenant.inflight(), 2);
+    }
+
+    #[test]
+    fn rate_limit_fires_before_quota() {
+        let tenant = Tenant::new(TenantConfig {
+            token: "t".into(),
+            name: "acme".into(),
+            client: 1,
+            max_inflight: 0,
+            rate_per_sec: 0.0,
+            burst: 1,
+        });
+        // Burst token available but quota is zero → quota error…
+        assert!(matches!(tenant.admit(), Err(AdmitError::QuotaExceeded { .. })));
+        // …and the probe still consumed the rate token.
+        assert!(matches!(tenant.admit(), Err(AdmitError::RateLimited(_))));
+    }
+
+    #[test]
+    fn registry_authenticates_by_exact_token() {
+        let registry = SessionRegistry::new(vec![
+            TenantConfig::generous("alpha-token", "alpha", 1),
+            TenantConfig::generous("beta-token", "beta", 2),
+        ]);
+        assert_eq!(registry.authenticate("alpha-token").unwrap().config.name, "alpha");
+        assert_eq!(registry.authenticate("beta-token").unwrap().config.client, 2);
+        assert!(registry.authenticate("alpha-token ").is_none(), "no trimming");
+        assert!(registry.authenticate("stolen").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a session token")]
+    fn registry_rejects_duplicate_tokens() {
+        SessionRegistry::new(vec![
+            TenantConfig::generous("same", "a", 1),
+            TenantConfig::generous("same", "b", 2),
+        ]);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`compiler`] | `fastsc-core` | ColorDynamic and the Table I baselines |
 //! | [`service`] | `fastsc-service` | sharded multi-device compile service + result cache |
 //! | [`queue`] | `fastsc-queue` | async admission queue: backpressure, priorities, deadlines, streaming |
+//! | [`server`] | `fastsc-server` | TCP wire protocol, multi-tenant sessions, rate limits and quotas |
 //! | [`sim`] | `fastsc-sim` | noisy state-vector + two-transmon qutrit simulation |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use fastsc_graph as graph;
 pub use fastsc_ir as ir;
 pub use fastsc_noise as noise;
 pub use fastsc_queue as queue;
+pub use fastsc_server as server;
 pub use fastsc_service as service;
 pub use fastsc_sim as sim;
 pub use fastsc_smt as smt;

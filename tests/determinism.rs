@@ -329,6 +329,55 @@ fn queued_compiles_under_contention_match_fresh_sequential_compiles() {
 }
 
 #[test]
+fn socket_compiles_are_bit_identical_to_fresh_sequential_compiles() {
+    // The network serving layer adds QASM serialization, a TCP round
+    // trip, sessions, and the queue — and none of it may touch the
+    // output. For every strategy, a program submitted as QASM over a
+    // loopback socket must report the exact schedule digest of a fresh,
+    // cold, sequential single-device compile of the same program.
+    use fastsc::ir::qasm::{from_qasm, to_qasm};
+    use fastsc::queue::QueueService;
+    use fastsc::server::{Client, Server, TenantConfig};
+
+    let programs = [Benchmark::Xeb(9, 5).build(42), Benchmark::Xeb(4, 3).build(7)];
+    let mut service = CompileService::new(CapacityAware::new());
+    service
+        .register_device(Device::grid(3, 3, 7), CompilerConfig::default())
+        .expect("registers");
+    let queue = QueueService::with_defaults(service);
+    let mut server = Server::start(queue, vec![TenantConfig::generous("suite", "suite", 1)])
+        .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.hello("suite").expect("authenticates");
+
+    for program in &programs {
+        let qasm = to_qasm(program);
+        // The wire format itself must be lossless first.
+        assert_eq!(
+            from_qasm(&qasm).expect("round-trips").structural_hash(),
+            program.structural_hash(),
+            "QASM serialization changed the circuit"
+        );
+        for strategy in Strategy::all() {
+            let job = client
+                .submit(&qasm, &strategy.to_string(), "interactive", None)
+                .expect("submits");
+            let outcome = client.wait(job, 60_000).expect("waits").expect("finishes");
+            assert!(outcome.ok, "{strategy}: socket compile failed: {:?}", outcome.message);
+            let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+                .compile(program, strategy)
+                .expect("compiles");
+            assert_eq!(
+                outcome.schedule_hash,
+                Some(fresh.schedule.stable_hash()),
+                "{strategy}: socket schedule digest diverged from a fresh sequential compile"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
 fn different_device_seeds_change_frequencies() {
     // Counter-test: determinism must come from the seed, not from the
     // model ignoring it. Different fabrication seeds give different
