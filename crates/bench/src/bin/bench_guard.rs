@@ -32,6 +32,11 @@
 //!    jobs and fleet (`BENCH_GUARD_SOCKET_RATIO` overrides): framing,
 //!    JSON, QASM parsing, and session accounting cannot silently come to
 //!    dominate compile time.
+//! 6. **Relative, same-run** — the fault-free flood with the default
+//!    `RetryPolicy` (`fault_free_overhead` `retry`) must stay within
+//!    1.2x the same flood with `RetryPolicy::none()`
+//!    (`BENCH_GUARD_FAULT_RATIO` overrides): attempt histories, shard
+//!    exclusions, and backoff bookkeeping cannot tax healthy fleets.
 //!
 //! Exits non-zero when any gate fails.
 
@@ -80,6 +85,13 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_SOCKET_RATIO", 3.0),
     };
+    let fault = RelativeGate {
+        workload: "fault_free_overhead",
+        subject_strategy: "retry",
+        reference_strategy: "no_retry",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_FAULT_RATIO", 1.2),
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
@@ -87,6 +99,7 @@ fn main() {
         check_relative(&records, &queue),
         check_relative(&records, &route),
         check_relative(&records, &socket),
+        check_relative(&records, &fault),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

@@ -1,5 +1,27 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
+
+/// One failed attempt in a retry chain, recorded by retrying front ends
+/// and carried inside [`CompileError::Exhausted`] so operators can see
+/// exactly where a poison job died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedAttempt {
+    /// Shard the attempt ran on, or `None` when routing itself refused
+    /// the attempt (for example every remaining shard was excluded).
+    pub shard: Option<usize>,
+    /// The error that attempt produced.
+    pub error: CompileError,
+}
+
+impl fmt::Display for FailedAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.shard {
+            Some(shard) => write!(f, "shard {shard}: {}", self.error),
+            None => write!(f, "routing: {}", self.error),
+        }
+    }
+}
 
 /// Errors raised by the compiler.
 ///
@@ -61,6 +83,35 @@ pub enum CompileError {
     /// rejected at submission (`RejectWhenFull` backpressure) or shed
     /// after admission to make room for newer work (`ShedOldest`).
     QueueFull,
+    /// The job failed on every shard its retry policy allowed and was
+    /// quarantined as poison instead of retrying forever. Carries the
+    /// full per-attempt history, in order.
+    Exhausted {
+        /// Every failed attempt, in the order they were made.
+        attempts: Vec<FailedAttempt>,
+    },
+    /// No shard in the fleet is healthy enough to accept work: every
+    /// shard is quarantined by its circuit breaker. Submissions fail
+    /// fast with a suggested retry delay instead of hanging waiters.
+    FleetUnhealthy {
+        /// How long the submitter should wait before retrying.
+        retry_after: Duration,
+    },
+}
+
+impl CompileError {
+    /// Whether a retry — on the same shard later, or on a different
+    /// shard via failover — could plausibly succeed.
+    ///
+    /// Deterministic program errors (too wide, unroutable, band
+    /// exhausted, no shard fits) reproduce identically anywhere, and
+    /// queue outcomes (deadline, cancelled, queue full) are terminal by
+    /// construction, so only [`Internal`](Self::Internal) — a panicked
+    /// or fault-injected compile stage, i.e. a *shard* failure rather
+    /// than a *program* failure — is considered transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CompileError::Internal { .. })
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -91,6 +142,22 @@ impl fmt::Display for CompileError {
             CompileError::QueueFull => {
                 write!(f, "admission queue full; job rejected or shed")
             }
+            CompileError::Exhausted { ref attempts } => {
+                write!(
+                    f,
+                    "job quarantined as poison after {} failed attempts",
+                    attempts.len()
+                )?;
+                for attempt in attempts {
+                    write!(f, "; {attempt}")?;
+                }
+                Ok(())
+            }
+            CompileError::FleetUnhealthy { retry_after } => write!(
+                f,
+                "every shard is quarantined; retry after {}ms",
+                retry_after.as_millis()
+            ),
         }
     }
 }
@@ -114,5 +181,41 @@ mod tests {
         assert!(CompileError::Deadline.to_string().contains("deadline"));
         assert!(CompileError::Cancelled.to_string().contains("cancelled"));
         assert!(CompileError::QueueFull.to_string().contains("queue full"));
+        let e = CompileError::Exhausted {
+            attempts: vec![
+                FailedAttempt {
+                    shard: Some(2),
+                    error: CompileError::Internal { message: "boom".into() },
+                },
+                FailedAttempt {
+                    shard: None,
+                    error: CompileError::NoShardFits { program: 4, max_shard: 0 },
+                },
+            ],
+        };
+        let text = e.to_string();
+        assert!(text.contains("2 failed attempts"));
+        assert!(text.contains("shard 2") && text.contains("boom"));
+        assert!(text.contains("routing:"));
+        let e = CompileError::FleetUnhealthy { retry_after: Duration::from_millis(250) };
+        assert!(e.to_string().contains("250ms"));
+    }
+
+    #[test]
+    fn only_internal_errors_are_transient() {
+        assert!(CompileError::Internal { message: "panicked".into() }.is_transient());
+        for terminal in [
+            CompileError::ProgramTooWide { program: 10, device: 9 },
+            CompileError::Unroutable { a: 0, b: 1 },
+            CompileError::FrequencyBandExhausted { colors: 3 },
+            CompileError::NoShardFits { program: 16, max_shard: 9 },
+            CompileError::Deadline,
+            CompileError::Cancelled,
+            CompileError::QueueFull,
+            CompileError::Exhausted { attempts: Vec::new() },
+            CompileError::FleetUnhealthy { retry_after: Duration::from_secs(1) },
+        ] {
+            assert!(!terminal.is_transient(), "{terminal} must not retry");
+        }
     }
 }

@@ -48,4 +48,4 @@ pub mod router;
 pub use config::CompilerConfig;
 pub use context::{CompileContext, StaticAssignment};
 pub use engine::{CompileStats, CompiledProgram, Compiler, ParseStrategyError, Strategy};
-pub use error::CompileError;
+pub use error::{CompileError, FailedAttempt};

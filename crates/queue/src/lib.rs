@@ -82,6 +82,6 @@ pub mod stats;
 pub use job::{ClientId, JobId, Priority, Submission};
 pub use service::{
     Backpressure, Completions, FleetSnapshot, JobHandle, JobResult, QueueConfig, QueueService,
-    TelemetryFeed,
+    RetryPolicy, TelemetryFeed,
 };
 pub use stats::{LatencySummary, QueueDelta, QueueStats, LATENCY_WINDOW};

@@ -17,12 +17,12 @@
 //! which cannot happen under the graceful drop-drain, but the contract
 //! is defensive). Nothing is lost and nothing is delivered twice.
 
-use crate::job::{JobId, Priority, Submission};
+use crate::job::{ClientId, JobId, Priority, Submission};
 use crate::scheduler::{AdmissionQueue, QueuedJob};
 use crate::stats::{QueueDelta, QueueStats, StatsState};
 use fastsc_core::batch::CompileJob;
-use fastsc_core::CompileError;
-use fastsc_service::{CompileService, ServiceReply, ShardView};
+use fastsc_core::{CompileError, FailedAttempt};
+use fastsc_service::{CompileService, ServiceReply, ShardOutcome, ShardView};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -50,6 +50,59 @@ pub enum Backpressure {
     ShedOldest,
 }
 
+/// How the dispatcher handles compile attempts that fail *transiently*
+/// (see [`CompileError::is_transient`]) on an identified shard.
+///
+/// Deterministic program errors (too wide, unroutable, malformed) are
+/// never retried — they would fail identically everywhere. A transient
+/// failure is re-queued with bounded exponential backoff, and with
+/// `failover` enabled the failed shard is excluded from the retry's
+/// routing, so the job deterministically lands somewhere else. Once
+/// `max_attempts` is spent the job resolves to
+/// [`CompileError::Exhausted`] carrying the full per-attempt history —
+/// the queue-level poison quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total compile attempts per job (first try included). Minimum 1;
+    /// 1 means "never retry".
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the doubled backoff.
+    pub max_backoff: Duration,
+    /// Exclude each failed shard from the retry's routing (`true`) or
+    /// retry in place on the same shard (`false`).
+    pub failover: bool,
+}
+
+impl RetryPolicy {
+    /// Disables retries entirely: every failure is terminal on its
+    /// first attempt, exactly as if the retry layer did not exist.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `retry_index` (0-based):
+    /// `base_backoff * 2^retry_index`, capped at `max_backoff`.
+    pub fn backoff_for(&self, retry_index: u32) -> Duration {
+        let factor = 2u32.saturating_pow(retry_index);
+        self.base_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10ms base backoff doubling to a 1s cap, with
+    /// failover to a different shard on each retry.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            failover: true,
+        }
+    }
+}
+
 /// Tuning knobs for [`QueueService`].
 #[derive(Debug, Clone, Copy)]
 pub struct QueueConfig {
@@ -69,6 +122,12 @@ pub struct QueueConfig {
     /// memory a stalled consumer can pin — the admission queue is
     /// bounded, so unread completion buffers must be too.
     pub subscriber_buffer: usize,
+    /// Retry/failover behavior for transiently failed attempts.
+    pub retry: RetryPolicy,
+    /// The `retry_after` hint carried by
+    /// [`CompileError::FleetUnhealthy`] when a submission is refused
+    /// because every live shard is breaker-quarantined.
+    pub unhealthy_retry_after: Duration,
 }
 
 impl Default for QueueConfig {
@@ -78,6 +137,8 @@ impl Default for QueueConfig {
             backpressure: Backpressure::Block,
             max_batch: 32,
             subscriber_buffer: 4096,
+            retry: RetryPolicy::default(),
+            unhealthy_retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -90,6 +151,10 @@ enum Slot {
     Queued { client: crate::job::ClientId, priority: Priority, deadline: Option<Instant> },
     /// Drained into a micro-batch, compiling now.
     Running,
+    /// Failed transiently; waiting out its backoff before another
+    /// attempt (the job itself lives in `State::retries`). Cancellable,
+    /// and its deadline keeps ticking.
+    Retrying { deadline: Option<Instant> },
     /// Finished; the result waits for its handle.
     Done(JobResult),
     /// The handle was dropped before completion; deliver to subscribers
@@ -104,11 +169,31 @@ struct Subscriber {
     dropped: u64,
 }
 
+/// A job waiting out its retry backoff: everything needed to re-dispatch
+/// it, plus the attempt history accumulated so far.
+#[derive(Debug)]
+struct RetryEntry {
+    id: JobId,
+    client: ClientId,
+    priority: Priority,
+    job: CompileJob,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    /// Earliest re-dispatch time (ignored on shutdown drain).
+    not_before: Instant,
+    /// Every failed attempt so far, in order.
+    attempts: Vec<FailedAttempt>,
+    /// Shards excluded from this job's routing (the ones it failed on,
+    /// when the policy fails over).
+    excluded: Vec<usize>,
+}
+
 #[derive(Debug)]
 struct State {
     subscriber_buffer: usize,
     queue: AdmissionQueue,
     slots: HashMap<JobId, Slot>,
+    retries: Vec<RetryEntry>,
     next_id: u64,
     next_seq: u64,
     next_subscriber: u64,
@@ -151,7 +236,9 @@ fn complete(state: &mut State, id: JobId, result: JobResult) {
         }
     }
     match state.slots.get_mut(&id) {
-        Some(slot @ (Slot::Queued { .. } | Slot::Running)) => *slot = Slot::Done(result),
+        Some(slot @ (Slot::Queued { .. } | Slot::Running | Slot::Retrying { .. })) => {
+            *slot = Slot::Done(result)
+        }
         Some(Slot::Abandoned) => {
             state.slots.remove(&id);
         }
@@ -176,17 +263,21 @@ fn complete(state: &mut State, id: JobId, result: JobResult) {
 /// drained into a micro-batch (`Running`) are past expiry on purpose:
 /// their compile result stands, matching the dispatcher's contract.
 fn expire_if_due(state: &mut State, id: JobId, now: Instant) -> bool {
-    let Some(Slot::Queued { client, priority, deadline: Some(deadline) }) =
-        state.slots.get(&id)
-    else {
-        return false;
-    };
-    if *deadline > now {
-        return false;
+    match state.slots.get(&id) {
+        Some(Slot::Queued { client, priority, deadline: Some(deadline) })
+            if *deadline <= now =>
+        {
+            let (client, priority) = (*client, *priority);
+            let removed = state.queue.remove(id, client, priority);
+            debug_assert!(removed.is_some(), "queued slot implies a queued job");
+        }
+        // A deadline can also pass while the job waits out a retry
+        // backoff; it expires just as promptly there.
+        Some(Slot::Retrying { deadline: Some(deadline) }) if *deadline <= now => {
+            state.retries.retain(|entry| entry.id != id);
+        }
+        _ => return false,
     }
-    let (client, priority) = (*client, *priority);
-    let removed = state.queue.remove(id, client, priority);
-    debug_assert!(removed.is_some(), "queued slot implies a queued job");
     state.stats.expired += 1;
     complete(state, id, Err(CompileError::Deadline));
     true
@@ -219,6 +310,7 @@ impl QueueService {
         assert!(config.capacity >= 1, "queue capacity must be at least 1");
         assert!(config.max_batch >= 1, "micro-batch size must be at least 1");
         assert!(config.subscriber_buffer >= 1, "subscriber buffer must be at least 1");
+        assert!(config.retry.max_attempts >= 1, "retry policy needs at least one attempt");
         assert!(
             service.shard_count() >= 1,
             "register at least one device before starting the queue"
@@ -228,6 +320,7 @@ impl QueueService {
                 subscriber_buffer: config.subscriber_buffer,
                 queue: AdmissionQueue::new(),
                 slots: HashMap::new(),
+                retries: Vec::new(),
                 next_id: 0,
                 next_seq: 0,
                 next_subscriber: 0,
@@ -247,7 +340,7 @@ impl QueueService {
             let service = Arc::clone(&service);
             std::thread::Builder::new()
                 .name("fastsc-queue-dispatcher".into())
-                .spawn(move || dispatch_loop(&shared, &service, config.max_batch))
+                .spawn(move || dispatch_loop(&shared, &service, config))
                 .expect("spawning the dispatcher thread succeeds")
         };
         QueueService { shared, service, config, dispatcher: Some(dispatcher) }
@@ -270,11 +363,21 @@ impl QueueService {
     /// * [`CompileError::QueueFull`] — queue full under
     ///   [`Backpressure::RejectWhenFull`].
     /// * [`CompileError::Cancelled`] — the service is shutting down.
+    /// * [`CompileError::FleetUnhealthy`] — every live shard is
+    ///   breaker-quarantined; admitting the job would only let it rot in
+    ///   the queue, so the submission fails fast with a `retry_after`
+    ///   hint ([`QueueConfig::unhealthy_retry_after`]) instead.
     pub fn submit(&self, submission: Submission) -> Result<JobHandle, CompileError> {
         let Submission { job, client, priority, deadline } = submission;
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(CompileError::Cancelled);
+        }
+        if self.service.fleet_unhealthy() {
+            state.stats.rejected += 1;
+            return Err(CompileError::FleetUnhealthy {
+                retry_after: self.config.unhealthy_retry_after,
+            });
         }
         let mut shed_self = false;
         if state.queue.len() >= self.config.capacity {
@@ -474,28 +577,98 @@ impl TelemetryFeed {
     }
 }
 
-/// The dispatcher: drain a fair micro-batch, expire overdue jobs, run
-/// the rest through the compile service, deliver, repeat. Exits once
-/// shutdown is flagged and the queue is empty.
-fn dispatch_loop(shared: &Shared, service: &CompileService, max_batch: usize) {
+/// One job the dispatcher is about to hand the compile service: either
+/// freshly drained from the admission queue (empty history) or a retry
+/// whose backoff elapsed (history and exclusions carried along).
+#[derive(Debug)]
+struct BatchItem {
+    id: JobId,
+    client: ClientId,
+    priority: Priority,
+    job: CompileJob,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    attempts: Vec<FailedAttempt>,
+    excluded: Vec<usize>,
+}
+
+/// The dispatcher: drain due retries and a fair micro-batch, expire
+/// overdue jobs, run the rest through the compile service, then deliver
+/// terminal results and re-queue transient failures per the
+/// [`RetryPolicy`]. Exits once shutdown is flagged and both the queue
+/// and the retry list are empty (shutdown drains retries immediately,
+/// ignoring their backoff — admitted work is finished, not dropped).
+fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig) {
+    let max_batch = config.max_batch;
+    let policy = config.retry;
     loop {
-        let batch = {
+        let batch: Vec<BatchItem> = {
             let mut state = shared.lock();
             loop {
                 if state.shutdown {
                     break;
                 }
-                if !state.paused && !state.queue.is_empty() {
-                    break;
+                if !state.paused {
+                    let now = Instant::now();
+                    if !state.queue.is_empty()
+                        || state.retries.iter().any(|entry| entry.not_before <= now)
+                    {
+                        break;
+                    }
+                    // Nothing due yet, but a backoff is ticking: sleep
+                    // to the earliest re-dispatch time, not forever.
+                    if let Some(at) = state.retries.iter().map(|entry| entry.not_before).min() {
+                        let left = at.saturating_duration_since(now);
+                        state = shared
+                            .work
+                            .wait_timeout(state, left)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                        continue;
+                    }
                 }
                 state = shared.work.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
-            if state.shutdown && state.queue.is_empty() {
+            if state.shutdown && state.queue.is_empty() && state.retries.is_empty() {
                 return;
             }
-            let drained = state.queue.drain_batch(max_batch);
             let now = Instant::now();
-            let mut batch = Vec::with_capacity(drained.len());
+            let mut batch = Vec::new();
+            // Retries whose backoff elapsed go first — they have been
+            // waiting longest. Shutdown overrides the backoff.
+            let shutdown = state.shutdown;
+            let mut due = Vec::new();
+            let mut waiting = Vec::new();
+            for entry in state.retries.drain(..) {
+                if due.len() < max_batch && (shutdown || entry.not_before <= now) {
+                    due.push(entry);
+                } else {
+                    waiting.push(entry);
+                }
+            }
+            state.retries = waiting;
+            for entry in due {
+                if entry.deadline.is_some_and(|deadline| deadline <= now) {
+                    state.stats.expired += 1;
+                    complete(&mut state, entry.id, Err(CompileError::Deadline));
+                    continue;
+                }
+                if let Some(slot @ Slot::Retrying { .. }) = state.slots.get_mut(&entry.id) {
+                    *slot = Slot::Running;
+                }
+                batch.push(BatchItem {
+                    id: entry.id,
+                    client: entry.client,
+                    priority: entry.priority,
+                    job: entry.job,
+                    deadline: entry.deadline,
+                    submitted: entry.submitted,
+                    attempts: entry.attempts,
+                    excluded: entry.excluded,
+                });
+            }
+            let room = max_batch.saturating_sub(batch.len());
+            let drained = if room > 0 { state.queue.drain_batch(room) } else { Vec::new() };
             for queued in drained {
                 if queued.deadline.is_some_and(|deadline| deadline <= now) {
                     state.stats.expired += 1;
@@ -507,7 +680,16 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, max_batch: usize) {
                     if let Some(slot @ Slot::Queued { .. }) = state.slots.get_mut(&queued.id) {
                         *slot = Slot::Running;
                     }
-                    batch.push(queued);
+                    batch.push(BatchItem {
+                        id: queued.id,
+                        client: queued.client,
+                        priority: queued.priority,
+                        job: queued.job,
+                        deadline: queued.deadline,
+                        submitted: queued.submitted,
+                        attempts: Vec::new(),
+                        excluded: Vec::new(),
+                    });
                 }
             }
             state.inflight += batch.len();
@@ -519,15 +701,17 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, max_batch: usize) {
         if batch.is_empty() {
             continue;
         }
-        let jobs: Vec<CompileJob> = batch.iter().map(|queued| queued.job.clone()).collect();
+        let jobs: Vec<(CompileJob, Vec<usize>)> =
+            batch.iter().map(|item| (item.job.clone(), item.excluded.clone())).collect();
         // The service already isolates per-job panics, but the batch
         // call itself can still panic (e.g. a custom policy routing out
         // of bounds). Letting that unwind would kill the dispatcher with
         // jobs stuck in `Running` — every waiter would hang forever — so
         // the whole batch fails into its slots instead and the
-        // dispatcher lives on.
-        let replies = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            service.compile_batch(jobs)
+        // dispatcher lives on. A batch-level panic has no shard
+        // attribution, so it is terminal, never retried.
+        let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.compile_batch_excluding(jobs)
         }))
         .unwrap_or_else(|payload| {
             let message = payload
@@ -537,16 +721,65 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, max_batch: usize) {
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             batch
                 .iter()
-                .map(|_| Err(CompileError::Internal { message: message.clone() }))
+                .map(|_| ShardOutcome {
+                    shard: None,
+                    result: Err(CompileError::Internal { message: message.clone() }),
+                })
                 .collect()
         });
         {
             let mut state = shared.lock();
             state.inflight -= batch.len();
-            for (queued, reply) in batch.into_iter().zip(replies) {
+            let now = Instant::now();
+            for (item, outcome) in batch.into_iter().zip(outcomes) {
+                let retryable = matches!(&outcome.result, Err(error) if error.is_transient())
+                    && outcome.shard.is_some()
+                    && (item.attempts.len() as u32) + 1 < policy.max_attempts;
+                if retryable {
+                    let shard = outcome.shard.expect("retryable implies an attributed shard");
+                    let error = match outcome.result {
+                        Err(error) => error,
+                        Ok(_) => unreachable!("retryable implies a failed attempt"),
+                    };
+                    let mut attempts = item.attempts;
+                    attempts.push(FailedAttempt { shard: Some(shard), error });
+                    let mut excluded = item.excluded;
+                    if policy.failover && !excluded.contains(&shard) {
+                        excluded.push(shard);
+                    }
+                    let retry_index = (attempts.len() - 1) as u32;
+                    if let Some(slot @ Slot::Running) = state.slots.get_mut(&item.id) {
+                        *slot = Slot::Retrying { deadline: item.deadline };
+                    }
+                    state.stats.retried += 1;
+                    state.retries.push(RetryEntry {
+                        id: item.id,
+                        client: item.client,
+                        priority: item.priority,
+                        job: item.job,
+                        deadline: item.deadline,
+                        submitted: item.submitted,
+                        not_before: now + policy.backoff_for(retry_index),
+                        attempts,
+                        excluded,
+                    });
+                    continue;
+                }
+                // Terminal. A failure after earlier attempts resolves to
+                // `Exhausted` carrying the whole history — including a
+                // final routing refusal (shard `None`) when failover ran
+                // out of shards to try.
+                let result = match outcome.result {
+                    Err(error) if !item.attempts.is_empty() => {
+                        let mut attempts = item.attempts;
+                        attempts.push(FailedAttempt { shard: outcome.shard, error });
+                        Err(CompileError::Exhausted { attempts })
+                    }
+                    other => other,
+                };
                 state.stats.completed += 1;
-                state.stats.record_latency(queued.priority, queued.submitted.elapsed());
-                complete(&mut state, queued.id, reply);
+                state.stats.record_latency(item.priority, item.submitted.elapsed());
+                complete(&mut state, item.id, result);
             }
         }
         shared.done.notify_all();
@@ -606,7 +839,7 @@ impl JobHandle {
                 // by: resolve rather than hang. Unreachable under the
                 // normal lifecycle.
                 None => return Err(CompileError::Cancelled),
-                Some(Slot::Queued { deadline, .. }) => *deadline,
+                Some(Slot::Queued { deadline, .. } | Slot::Retrying { deadline }) => *deadline,
                 _ => None,
             };
             state = match job_deadline {
@@ -640,7 +873,7 @@ impl JobHandle {
             let job_deadline = match state.slots.get(&self.id) {
                 Some(Slot::Done(result)) => return Some(result.clone()),
                 None => return Some(Err(CompileError::Cancelled)),
-                Some(Slot::Queued { deadline, .. }) => *deadline,
+                Some(Slot::Queued { deadline, .. } | Slot::Retrying { deadline }) => *deadline,
                 _ => None,
             };
             let now = Instant::now();
@@ -663,18 +896,27 @@ impl JobHandle {
         }
     }
 
-    /// Cancels the job if it is still queued: its handle (and every
-    /// subscriber) resolves to [`CompileError::Cancelled`] and it will
-    /// never compile. Returns `false` when too late — the job is already
-    /// compiling or done, and its real result stands.
+    /// Cancels the job if it is still queued or waiting out a retry
+    /// backoff: its handle (and every subscriber) resolves to
+    /// [`CompileError::Cancelled`] and it will never compile (again).
+    /// Returns `false` when too late — the job is already compiling or
+    /// done, and its real result stands. Exactly one of the racing
+    /// outcomes wins: a cancel that lands during the backoff window
+    /// removes the pending retry, and a cancel that loses the race to
+    /// the dispatcher leaves the in-flight attempt's result intact.
     pub fn cancel(&self) -> bool {
         let mut state = self.shared.lock();
-        let Some(Slot::Queued { client, priority, .. }) = state.slots.get(&self.id) else {
-            return false;
-        };
-        let (client, priority) = (*client, *priority);
-        let removed = state.queue.remove(self.id, client, priority);
-        debug_assert!(removed.is_some(), "queued slot implies a queued job");
+        match state.slots.get(&self.id) {
+            Some(Slot::Queued { client, priority, .. }) => {
+                let (client, priority) = (*client, *priority);
+                let removed = state.queue.remove(self.id, client, priority);
+                debug_assert!(removed.is_some(), "queued slot implies a queued job");
+            }
+            Some(Slot::Retrying { .. }) => {
+                state.retries.retain(|entry| entry.id != self.id);
+            }
+            _ => return false,
+        }
         state.stats.cancelled += 1;
         complete(&mut state, self.id, Err(CompileError::Cancelled));
         self.shared.space.notify_all();
@@ -744,9 +986,12 @@ impl Completions {
     }
 
     /// No more completions can ever arrive: shut down with nothing
-    /// queued or compiling.
+    /// queued, compiling, or awaiting a retry.
     fn finished(&self, state: &State) -> bool {
-        state.shutdown && state.queue.is_empty() && state.inflight == 0
+        state.shutdown
+            && state.queue.is_empty()
+            && state.inflight == 0
+            && state.retries.is_empty()
     }
 }
 
@@ -824,6 +1069,7 @@ mod tests {
             backpressure: Backpressure::RejectWhenFull,
             max_batch: 4,
             subscriber_buffer: QueueConfig::default().subscriber_buffer,
+            ..QueueConfig::default()
         });
         queue.pause();
         let first = queue.submit(bv(4)).expect("fits the queue");
@@ -972,6 +1218,7 @@ mod tests {
             backpressure: Backpressure::ShedOldest,
             max_batch: 4,
             subscriber_buffer: QueueConfig::default().subscriber_buffer,
+            ..QueueConfig::default()
         });
         queue.pause();
         let oldest = queue.submit(bv(4)).expect("admits");
@@ -992,6 +1239,7 @@ mod tests {
             backpressure: Backpressure::ShedOldest,
             max_batch: 4,
             subscriber_buffer: QueueConfig::default().subscriber_buffer,
+            ..QueueConfig::default()
         });
         queue.pause();
         let vip = queue.submit(bv(4).priority(Priority::Interactive)).expect("admits");
@@ -1034,6 +1282,7 @@ mod tests {
             backpressure: Backpressure::Block,
             max_batch: 1,
             subscriber_buffer: QueueConfig::default().subscriber_buffer,
+            ..QueueConfig::default()
         }));
         // Flood from a second thread; Block admission means every job
         // eventually compiles, with the producer throttled to queue pace.
@@ -1246,5 +1495,195 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(queue.shared.lock().slots.is_empty(), "slots must not accumulate");
+    }
+
+    // ------------------------------------------------------------------
+    // Retry / failover / fleet-health behavior (fault-injected).
+    // ------------------------------------------------------------------
+
+    use fastsc_service::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+
+    /// A queue over `seeds.len()` shards with `plan` injected and the
+    /// given retry policy (1ms base backoff keeps tests fast).
+    fn faulty_queue(seeds: &[u64], plan: FaultPlan, retry: RetryPolicy) -> QueueService {
+        let mut service = CompileService::new(RoundRobin::new());
+        for &seed in seeds {
+            service
+                .register_device(Device::grid(3, 3, seed), CompilerConfig::default())
+                .expect("registers");
+        }
+        service.set_fault_injector(Some(Arc::new(FaultInjector::new(plan))));
+        QueueService::new(service, QueueConfig { retry, ..QueueConfig::default() })
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy { base_backoff: Duration::from_millis(1), ..RetryPolicy::default() }
+    }
+
+    #[test]
+    fn transient_failures_fail_over_to_a_healthy_shard() {
+        // Shard 0 always fails; the retry must exclude it and land the
+        // job on shard 1 — and the failover result must match a fresh
+        // single-device compile bit for bit.
+        let plan = FaultPlan::new(40).rule(FaultRule::new(FaultKind::Error).on_shard(0));
+        let queue = faulty_queue(&[7, 11], plan, fast_retry());
+        let handle = queue.submit(bv(4)).expect("admits");
+        let reply = handle.wait().expect("fails over and compiles");
+        assert_eq!(reply.shard, 1, "the retry must leave the sick shard");
+        let fresh =
+            fastsc_core::Compiler::new(Device::grid(3, 3, 11), CompilerConfig::default())
+                .compile(&Benchmark::Bv(4).build(1), Strategy::ColorDynamic)
+                .expect("fresh compile succeeds");
+        assert_eq!(reply.compiled.schedule, fresh.schedule, "failover must stay bit-identical");
+        let stats = queue.stats();
+        assert_eq!((stats.retried, stats.completed), (1, 1));
+        // The sick shard's failure landed in its health counters.
+        let health = queue.service().shard_views()[0].health;
+        assert_eq!((health.attempts, health.failures), (1, 1));
+    }
+
+    #[test]
+    fn exhausted_carries_the_full_attempt_history() {
+        // A single-shard fleet with failover: the retry excludes the
+        // only shard, routing refuses, and the job resolves to
+        // `Exhausted` carrying both the compile failure and the final
+        // routing refusal.
+        let plan = FaultPlan::new(41).rule(FaultRule::new(FaultKind::Error).on_shard(0));
+        let queue = faulty_queue(&[7], plan, fast_retry());
+        let handle = queue.submit(bv(4)).expect("admits");
+        match handle.wait() {
+            Err(CompileError::Exhausted { attempts }) => {
+                assert_eq!(attempts.len(), 2);
+                assert_eq!(attempts[0].shard, Some(0));
+                assert!(matches!(attempts[0].error, CompileError::Internal { .. }));
+                assert_eq!(attempts[1].shard, None, "the last attempt never routed");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        let stats = queue.stats();
+        assert_eq!((stats.retried, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn retries_without_failover_exhaust_in_place() {
+        // failover = false pins every retry to the same shard; all
+        // three attempts burn down on shard 0 and the history shows it.
+        let plan = FaultPlan::new(42).rule(FaultRule::new(FaultKind::Error).on_shard(0));
+        let retry = RetryPolicy { failover: false, ..fast_retry() };
+        let queue = faulty_queue(&[7], plan, retry);
+        let handle = queue.submit(bv(4)).expect("admits");
+        match handle.wait() {
+            Err(CompileError::Exhausted { attempts }) => {
+                assert_eq!(attempts.len(), 3);
+                assert!(attempts.iter().all(|attempt| attempt.shard == Some(0)));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(queue.stats().retried, 2);
+    }
+
+    #[test]
+    fn retry_none_makes_the_first_failure_terminal() {
+        let plan = FaultPlan::new(43).rule(FaultRule::new(FaultKind::Error).on_shard(0));
+        let queue = faulty_queue(&[7, 11], plan, RetryPolicy::none());
+        let handle = queue.submit(bv(4)).expect("admits");
+        assert!(
+            matches!(handle.wait(), Err(CompileError::Internal { .. })),
+            "no retry layer: the raw transient error surfaces"
+        );
+        assert_eq!(queue.stats().retried, 0);
+    }
+
+    #[test]
+    fn cancel_during_backoff_wins_exactly_once() {
+        // The first attempt fails, parking the job in a long backoff;
+        // a cancel landing in that window must win, remove the pending
+        // retry, and resolve the handle exactly once.
+        let plan = FaultPlan::new(44)
+            .rule(FaultRule::new(FaultKind::Error).on_shard(0).for_attempts(0..1));
+        let retry =
+            RetryPolicy { base_backoff: Duration::from_secs(60), ..RetryPolicy::default() };
+        let queue = faulty_queue(&[7], plan, retry);
+        let mut completions = queue.subscribe_all();
+        let handle = queue.submit(bv(4)).expect("admits");
+        let started = Instant::now();
+        while queue.stats().retried < 1 {
+            assert!(started.elapsed() < Duration::from_secs(30), "retry never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(handle.cancel(), "a job in backoff is cancellable");
+        assert!(matches!(handle.wait(), Err(CompileError::Cancelled)));
+        assert!(!handle.cancel(), "already resolved");
+        let (id, result) = completions.next_timeout(Duration::from_secs(10)).expect("streams");
+        assert_eq!(id, handle.id());
+        assert!(matches!(result, Err(CompileError::Cancelled)));
+        assert_eq!(queue.stats().cancelled, 1);
+        // Shutdown must not hang on the removed retry entry.
+        drop(queue);
+        assert!(
+            completions.next_timeout(Duration::from_secs(10)).is_none(),
+            "no duplicate delivery"
+        );
+    }
+
+    #[test]
+    fn deadline_expires_during_backoff() {
+        // The deadline keeps ticking while a job waits out its backoff;
+        // the waiting handle resolves at the deadline, not after 60s.
+        let plan = FaultPlan::new(45)
+            .rule(FaultRule::new(FaultKind::Error).on_shard(0).for_attempts(0..1));
+        let retry =
+            RetryPolicy { base_backoff: Duration::from_secs(60), ..RetryPolicy::default() };
+        let queue = faulty_queue(&[7], plan, retry);
+        let handle =
+            queue.submit(bv(4).deadline_in(Duration::from_millis(80))).expect("admits");
+        let started = Instant::now();
+        assert!(matches!(handle.wait(), Err(CompileError::Deadline)));
+        assert!(started.elapsed() < Duration::from_secs(30), "expiry was not prompt");
+        let stats = queue.stats();
+        assert_eq!((stats.retried, stats.expired), (1, 1));
+        drop(queue); // must not hang: the expired entry left the retry list
+    }
+
+    #[test]
+    fn shutdown_drains_pending_retries_immediately() {
+        // Dropping the queue must not wait out a 60s backoff: shutdown
+        // re-dispatches pending retries at once and the second attempt
+        // (past the fault window) succeeds.
+        let plan = FaultPlan::new(46)
+            .rule(FaultRule::new(FaultKind::Error).on_shard(0).for_attempts(0..1));
+        let retry = RetryPolicy {
+            base_backoff: Duration::from_secs(60),
+            failover: false,
+            ..RetryPolicy::default()
+        };
+        let queue = faulty_queue(&[7], plan, retry);
+        let handle = queue.submit(bv(4)).expect("admits");
+        let started = Instant::now();
+        while queue.stats().retried < 1 {
+            assert!(started.elapsed() < Duration::from_secs(30), "retry never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(queue); // graceful drain overrides the backoff
+        assert!(handle.wait().is_ok(), "the retry compiled on shutdown drain");
+    }
+
+    #[test]
+    fn fleet_unhealthy_fails_submissions_fast() {
+        let queue = queue(QueueConfig {
+            unhealthy_retry_after: Duration::from_millis(250),
+            ..QueueConfig::default()
+        });
+        assert!(queue.service().quarantine_shard(0));
+        match queue.submit(bv(4)) {
+            Err(CompileError::FleetUnhealthy { retry_after }) => {
+                assert_eq!(retry_after, Duration::from_millis(250));
+            }
+            other => panic!("expected FleetUnhealthy, got {other:?}"),
+        }
+        assert_eq!(queue.stats().rejected, 1);
+        // Restoring the shard reopens admission.
+        assert!(queue.service().restore_shard(0));
+        assert!(queue.submit(bv(4)).expect("admits again").wait().is_ok());
     }
 }

@@ -53,6 +53,11 @@ pub struct QueueStats {
     /// Jobs that went through the compile service (successfully or with
     /// a per-job error) and delivered their result.
     pub completed: u64,
+    /// Compile attempts that failed transiently and were re-queued for
+    /// another attempt under the queue's
+    /// [`RetryPolicy`](crate::RetryPolicy). One job retried twice counts
+    /// twice; the job itself still lands in `completed` exactly once.
+    pub retried: u64,
     /// Latency summaries indexed by [`Priority::rank`].
     pub latency: [LatencySummary; 3],
     /// Fleet-wide schedule-cache counters
@@ -80,6 +85,7 @@ impl QueueStats {
             expired: self.expired.saturating_sub(earlier.expired),
             cancelled: self.cancelled.saturating_sub(earlier.cancelled),
             completed: self.completed.saturating_sub(earlier.completed),
+            retried: self.retried.saturating_sub(earlier.retried),
         }
     }
 }
@@ -102,6 +108,9 @@ pub struct QueueDelta {
     pub cancelled: u64,
     /// Jobs completed since the previous snapshot.
     pub completed: u64,
+    /// Transiently failed attempts re-queued for retry since the
+    /// previous snapshot — the "a shard is flapping" signal.
+    pub retried: u64,
 }
 
 impl QueueDelta {
@@ -129,6 +138,7 @@ pub(crate) struct StatsState {
     pub expired: u64,
     pub cancelled: u64,
     pub completed: u64,
+    pub retried: u64,
     latency: [LatencyWindow; 3],
 }
 
@@ -147,6 +157,7 @@ impl StatsState {
             expired: self.expired,
             cancelled: self.cancelled,
             completed: self.completed,
+            retried: self.retried,
             latency: [0, 1, 2].map(|rank| self.latency[rank].summary()),
             cache,
         }
@@ -246,11 +257,18 @@ mod tests {
         state.admitted += 4;
         state.completed += 2;
         state.expired += 1;
+        state.retried += 2;
         let later = state.snapshot(3, 1, CacheStats::zero());
         let delta = later.delta_since(&earlier);
         assert_eq!(
             delta,
-            QueueDelta { admitted: 4, completed: 2, expired: 1, ..QueueDelta::default() }
+            QueueDelta {
+                admitted: 4,
+                completed: 2,
+                expired: 1,
+                retried: 2,
+                ..QueueDelta::default()
+            }
         );
         assert!(!delta.is_idle());
         assert_eq!(delta.turned_away(), 1);

@@ -38,6 +38,7 @@ fn queued_compiles_are_bit_identical_to_fresh_sequential_compiles() {
         backpressure: Backpressure::Block,
         max_batch: 4,
         subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        ..QueueConfig::default()
     }));
     let producers: Vec<_> = (0..3u64)
         .map(|producer| {
@@ -91,6 +92,7 @@ fn saturated_queue_serves_every_class_and_client_in_the_first_batch() {
         backpressure: Backpressure::Block,
         max_batch: 7,
         subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        ..QueueConfig::default()
     });
     queue.pause();
     let mut completions = queue.subscribe_all();
@@ -144,6 +146,7 @@ fn shed_and_deadline_paths_never_lose_or_duplicate_a_result() {
         backpressure: Backpressure::ShedOldest,
         max_batch: 8,
         subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        ..QueueConfig::default()
     });
     queue.pause();
     let mut completions = queue.subscribe_all();
@@ -225,6 +228,7 @@ fn streaming_results_arrive_as_batches_complete_not_at_the_end() {
         backpressure: Backpressure::Block,
         max_batch: 2,
         subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        ..QueueConfig::default()
     });
     queue.pause();
     let mut completions = queue.subscribe_all();
@@ -252,6 +256,7 @@ fn cancel_during_contention_resolves_exactly_once() {
         backpressure: Backpressure::Block,
         max_batch: 4,
         subscriber_buffer: QueueConfig::default().subscriber_buffer,
+        ..QueueConfig::default()
     });
     queue.pause();
     let handles: Vec<JobHandle> = (0..8)

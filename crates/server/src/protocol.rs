@@ -243,8 +243,28 @@ pub fn compile_error_code(err: &CompileError) -> &'static str {
         CompileError::FrequencyBandExhausted { .. } => "band_exhausted",
         CompileError::NoShardFits { .. } => "no_shard_fits",
         CompileError::Internal { .. } => "internal",
+        CompileError::Exhausted { .. } => "exhausted",
+        CompileError::FleetUnhealthy { .. } => "fleet_unhealthy",
         _ => "compile_error",
     }
+}
+
+/// The error frame for a submission the queue refused outright
+/// (shutdown, queue full, or an unhealthy fleet). A
+/// [`CompileError::FleetUnhealthy`] refusal carries its
+/// `retry_after_ms` hint so clients can back off instead of hammering a
+/// quarantined fleet.
+pub fn submit_error_frame(seq: u64, err: &CompileError) -> Json {
+    let mut pairs = vec![
+        ("type", Json::str("error")),
+        ("seq", Json::num(seq as f64)),
+        ("code", Json::str(compile_error_code(err))),
+        ("message", Json::str(err.to_string())),
+    ];
+    if let CompileError::FleetUnhealthy { retry_after } = err {
+        pairs.push(("retry_after_ms", Json::num(retry_after.as_millis() as f64)));
+    }
+    Json::obj(pairs)
 }
 
 /// The `result` frame delivered by `poll`/`wait`, and (as `completion`)
@@ -277,6 +297,30 @@ pub fn result_frame(frame_type: &str, seq: u64, job: u64, result: &JobResult) ->
                 ("code", Json::str(compile_error_code(err))),
                 ("message", Json::str(err.to_string())),
             ]);
+            // Fault-tolerance variants carry structured context: the
+            // retry hint for an unhealthy fleet, and the per-attempt
+            // history of a job that exhausted its retries.
+            if let CompileError::FleetUnhealthy { retry_after } = err {
+                pairs.push(("retry_after_ms", Json::num(retry_after.as_millis() as f64)));
+            }
+            if let CompileError::Exhausted { attempts } = err {
+                let history = attempts
+                    .iter()
+                    .map(|attempt| {
+                        Json::obj(vec![
+                            (
+                                "shard",
+                                attempt
+                                    .shard
+                                    .map_or(Json::Null, |shard| Json::num(shard as f64)),
+                            ),
+                            ("code", Json::str(compile_error_code(&attempt.error))),
+                            ("message", Json::str(attempt.error.to_string())),
+                        ])
+                    })
+                    .collect();
+                pairs.push(("attempts", Json::Arr(history)));
+            }
         }
     }
     Json::obj(pairs)
@@ -294,6 +338,7 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
                 ShardState::Active => "active",
                 ShardState::Draining => "draining",
                 ShardState::Retired => "retired",
+                ShardState::Quarantined => "quarantined",
             };
             Json::obj(vec![
                 ("shard", Json::num(view.shard as f64)),
@@ -303,6 +348,9 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
                 ("ewma_compile_ns", Json::num(view.ewma_compile_latency.as_nanos() as f64)),
                 ("cache_hits", Json::num(view.cache.hits as f64)),
                 ("cache_misses", Json::num(view.cache.misses as f64)),
+                ("failures", Json::num(view.health.failures as f64)),
+                ("error_rate", Json::num(view.error_rate())),
+                ("breaker_trips", Json::num(view.health.breaker_trips as f64)),
             ])
         })
         .collect();
@@ -336,6 +384,7 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
                 ("expired", Json::num(stats.expired as f64)),
                 ("cancelled", Json::num(stats.cancelled as f64)),
                 ("completed", Json::num(stats.completed as f64)),
+                ("retried", Json::num(stats.retried as f64)),
                 ("cache_hits", Json::num(stats.cache.hits as f64)),
                 ("cache_misses", Json::num(stats.cache.misses as f64)),
                 ("latency", Json::Arr(latency)),
@@ -350,6 +399,7 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
                 ("expired", Json::num(delta.expired as f64)),
                 ("cancelled", Json::num(delta.cancelled as f64)),
                 ("completed", Json::num(delta.completed as f64)),
+                ("retried", Json::num(delta.retried as f64)),
             ]),
         ),
     ])
@@ -465,5 +515,43 @@ mod tests {
             compile_error_code(&CompileError::ProgramTooWide { program: 9, device: 4 }),
             "program_too_wide"
         );
+    }
+
+    #[test]
+    fn fleet_unhealthy_frames_carry_the_retry_hint() {
+        let failed: JobResult = Err(CompileError::FleetUnhealthy {
+            retry_after: std::time::Duration::from_millis(750),
+        });
+        let frame = result_frame("result", 2, 5, &failed);
+        assert_eq!(frame.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(frame.get("code").unwrap().as_str(), Some("fleet_unhealthy"));
+        assert_eq!(frame.get("retry_after_ms").unwrap().as_u64(), Some(750));
+    }
+
+    #[test]
+    fn exhausted_frames_stream_the_attempt_history() {
+        use fastsc_core::FailedAttempt;
+        let failed: JobResult = Err(CompileError::Exhausted {
+            attempts: vec![
+                FailedAttempt {
+                    shard: Some(1),
+                    error: CompileError::Internal { message: "injected".into() },
+                },
+                FailedAttempt {
+                    shard: None,
+                    error: CompileError::NoShardFits { program: 4, max_shard: 0 },
+                },
+            ],
+        });
+        let frame = result_frame("completion", 3, 8, &failed);
+        assert_eq!(frame.get("code").unwrap().as_str(), Some("exhausted"));
+        let Some(Json::Arr(attempts)) = frame.get("attempts") else {
+            panic!("missing attempts array");
+        };
+        assert_eq!(attempts.len(), 2);
+        assert_eq!(attempts[0].get("shard").unwrap().as_u64(), Some(1));
+        assert_eq!(attempts[0].get("code").unwrap().as_str(), Some("internal"));
+        assert!(matches!(attempts[1].get("shard"), Some(Json::Null)));
+        assert_eq!(attempts[1].get("code").unwrap().as_str(), Some("no_shard_fits"));
     }
 }

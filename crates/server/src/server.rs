@@ -40,6 +40,7 @@ use fastsc_ir::qasm::from_qasm;
 use fastsc_queue::{
     ClientId, Completions, JobHandle, JobId, JobResult, QueueService, Submission,
 };
+use fastsc_service::FaultInjector;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +103,21 @@ impl Server {
     /// Binds a loopback listener on an ephemeral port and starts
     /// serving `queue` to the given tenants.
     pub fn start(queue: QueueService, tenants: Vec<TenantConfig>) -> io::Result<Server> {
+        Server::start_with_faults(queue, tenants, None)
+    }
+
+    /// [`start`](Self::start) with a wire-level [`FaultInjector`]: each
+    /// accepted connection consults the injector's `DropConnection`
+    /// rules, and a firing rule closes the socket before a single frame
+    /// is served — exactly what a flaky load balancer or mid-handshake
+    /// network partition looks like to a client. Compile-path faults on
+    /// the same injector keep working through the queue's own injector;
+    /// this hook only covers the accept path.
+    pub fn start_with_faults(
+        queue: QueueService,
+        tenants: Vec<TenantConfig>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let queue = Arc::new(queue);
@@ -124,7 +140,7 @@ impl Server {
             let queue = Arc::clone(&queue);
             thread::Builder::new()
                 .name("fastsc-server-accept".into())
-                .spawn(move || accept_loop(listener, shared, queue))?
+                .spawn(move || accept_loop(listener, shared, queue, faults))?
         };
         Ok(Server {
             shared,
@@ -188,12 +204,23 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, queue: Arc<QueueService>) {
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    queue: Arc<QueueService>,
+    faults: Option<Arc<FaultInjector>>,
+) {
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // A firing DropConnection rule severs the connection before a
+        // single frame: the client sees a clean remote hang-up.
+        if faults.as_ref().is_some_and(|injector| injector.on_connection()) {
+            drop(stream);
+            continue;
+        }
         let conn_shared = Arc::clone(&shared);
         let conn_queue = Arc::clone(&queue);
         let reader = thread::Builder::new()
@@ -434,8 +461,7 @@ impl Connection {
             Ok(handle) => handle,
             Err(e) => {
                 tenant.release();
-                let code = crate::protocol::compile_error_code(&e);
-                return self.send(error_frame(seq, code, &e.to_string()));
+                return self.send(crate::protocol::submit_error_frame(seq, &e));
             }
         };
         let id = handle.id();

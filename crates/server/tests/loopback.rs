@@ -320,3 +320,61 @@ fn shutdown_drains_in_flight_jobs_and_notifies_connections() {
     assert!(got_shutdown, "every connection gets a shutdown frame");
     assert_eq!(completed, vec![job], "the queued job drained to completion");
 }
+
+#[test]
+fn injected_connection_drops_are_deterministic_and_survivable() {
+    use fastsc_service::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use std::sync::Arc;
+
+    // The first two accepted connections are severed before a single
+    // frame; the third serves normally.
+    let plan =
+        FaultPlan::new(9).rule(FaultRule::new(FaultKind::DropConnection).for_attempts(0..2));
+    let mut service = CompileService::new(CapacityAware::new());
+    service.register_device(test_device(), CompilerConfig::default()).expect("register");
+    let queue = QueueService::with_defaults(service);
+    let injector = Arc::new(FaultInjector::new(plan));
+    let mut server =
+        Server::start_with_faults(queue, one_tenant(), Some(Arc::clone(&injector)))
+            .expect("server starts");
+
+    for connection in 0..2 {
+        let mut doomed = Client::connect(server.addr()).expect("tcp connect succeeds");
+        assert!(
+            doomed.ping().is_err(),
+            "connection {connection} must be dropped before serving"
+        );
+    }
+    assert_eq!(injector.injected(), 2, "both drops were injected");
+
+    // Past the fault window the server serves normally, end to end.
+    let mut client = connect(&server, "alpha-token");
+    let job = client.submit(DEMO_QASM, "ColorDynamic", "batch", None).expect("submit");
+    assert!(client.wait(job, 30_000).expect("wait").expect("finishes").ok);
+    server.shutdown();
+}
+
+#[test]
+fn quarantined_fleet_refuses_submissions_with_a_retry_hint() {
+    let mut server = start_server(one_tenant());
+    let mut client = connect(&server, "alpha-token");
+
+    // Trip the whole (single-shard) fleet into quarantine.
+    assert!(server.queue().service().quarantine_shard(0));
+    let err = client
+        .submit(DEMO_QASM, "ColorDynamic", "batch", None)
+        .expect_err("unhealthy fleet refuses work");
+    let ClientError::Server { code, retry_after_ms, .. } = &err else {
+        panic!("expected a structured refusal, got {err:?}");
+    };
+    assert_eq!(code, "fleet_unhealthy");
+    assert!(retry_after_ms.is_some(), "the refusal must carry a retry hint");
+    // The refusal is per-request, not per-connection.
+    client.ping().expect("connection survives the refusal");
+
+    // An operator restoring the shard reopens admission on the spot.
+    assert!(server.queue().service().restore_shard(0));
+    let job = client.submit(DEMO_QASM, "ColorDynamic", "batch", None).expect("submit");
+    assert!(client.wait(job, 30_000).expect("wait").expect("finishes").ok);
+    server.shutdown();
+}

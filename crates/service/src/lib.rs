@@ -44,14 +44,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod policy;
 pub mod router;
 pub mod telemetry;
 
 pub use cache::{device_fingerprint, CacheKey, CacheStats, ScheduleCache};
+pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, FaultRule};
 pub use policy::{
     CapacityAware, Composite, FidelityAware, LeastLoaded, ProgramAffinity, RoundRobin,
     RouteRequest, ShardPolicy, Stage,
 };
-pub use router::{CompileService, ServiceReply};
-pub use telemetry::{ShardProfile, ShardState, ShardView};
+pub use router::{BreakerConfig, CompileService, ServiceReply, ShardOutcome};
+pub use telemetry::{ShardHealth, ShardProfile, ShardState, ShardView};

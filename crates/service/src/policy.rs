@@ -348,6 +348,7 @@ mod tests {
                 load,
                 ewma_compile_latency: Duration::ZERO,
                 cache: CacheStats::zero(),
+                health: crate::telemetry::ShardHealth::default(),
             })
             .collect()
     }

@@ -40,8 +40,9 @@
 //! on its routed shard (the determinism suite asserts exactly this).
 
 use crate::cache::{device_fingerprint, CacheKey, CacheStats, ScheduleCache};
+use crate::fault::{injected_panic, FaultAction, FaultInjector};
 use crate::policy::{RouteRequest, ShardPolicy};
-use crate::telemetry::{ShardProfile, ShardState, ShardView};
+use crate::telemetry::{ShardHealth, ShardProfile, ShardState, ShardView};
 use fastsc_core::batch::{compile_isolated, CompileJob};
 use fastsc_core::{
     CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,
@@ -49,7 +50,7 @@ use fastsc_core::{
 use fastsc_device::Device;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -66,8 +67,58 @@ pub struct ServiceReply {
     pub compiled: Arc<CompiledProgram>,
 }
 
+/// One slot's outcome from
+/// [`compile_batch_excluding`](CompileService::compile_batch_excluding):
+/// the reply or error, plus which shard served the attempt — the
+/// attribution retrying front ends need to exclude a failed shard on the
+/// next attempt and to build [`fastsc_core::FailedAttempt`] histories.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard that served (or failed) the attempt; `None` when
+    /// routing itself refused the job, so no shard was ever involved.
+    pub shard: Option<usize>,
+    /// The attempt's result.
+    pub result: Result<ServiceReply, CompileError>,
+}
+
 const STATE_ACTIVE: u8 = 0;
 const STATE_DRAINING: u8 = 1;
+const STATE_QUARANTINED: u8 = 2;
+
+/// Circuit-breaker thresholds for the whole fleet (see
+/// [`CompileService::set_breaker`]).
+///
+/// The breaker is the classic three-state machine, made deterministic:
+///
+/// * **Closed** — the shard is [`ShardState::Active`]; every transient
+///   failure (panicked or fault-injected compile) extends its
+///   consecutive-failure streak, any success resets it.
+/// * **Open** — the streak reached [`failure_threshold`]
+///   (Self::failure_threshold): the shard is
+///   [`ShardState::Quarantined`], so policies stop routing to it, and a
+///   cooldown starts — counted in **jobs the fleet routes elsewhere**,
+///   not wall time, so recovery timing is a pure function of the
+///   submission stream.
+/// * **HalfOpen** — after [`cooldown_jobs`](Self::cooldown_jobs) routed
+///   jobs, the router hands the quarantined shard exactly one fitting
+///   job as a probe. Probe success closes the breaker (the shard is
+///   Active again); probe failure reopens it with a fresh cooldown, and
+///   the probe job itself recovers through the queue's retry/failover
+///   path like any other transient failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Jobs the fleet must route elsewhere before a quarantined shard is
+    /// probed.
+    pub cooldown_jobs: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown_jobs: 8 }
+    }
+}
 
 /// Smoothing factor of the per-shard compile-latency EWMA: each new
 /// sample contributes a quarter, so the figure tracks load shifts within
@@ -89,12 +140,30 @@ struct Shard {
     /// EWMA of real compile latencies, in nanoseconds (0 = no sample).
     ewma_latency_ns: AtomicU64,
     state: AtomicU8,
+    /// Compile attempts served (successes and failures; cache hits
+    /// excluded).
+    attempts: AtomicU64,
+    /// Attempts that errored or panicked, of any kind.
+    failures: AtomicU64,
+    /// Current run of consecutive transient failures — the breaker trip
+    /// condition. Reset by any success.
+    consecutive_failures: AtomicU32,
+    /// Times the breaker tripped this shard into quarantine.
+    trips: AtomicU64,
+    /// Jobs the fleet routed elsewhere since this shard's breaker
+    /// opened; the probe fires once it reaches
+    /// [`BreakerConfig::cooldown_jobs`].
+    cooldown_routed: AtomicU64,
+    /// Whether a HalfOpen probe job is in flight on this shard (at most
+    /// one at a time).
+    probing: AtomicBool,
 }
 
 impl Shard {
     fn state(&self) -> ShardState {
         match self.state.load(Ordering::Acquire) {
             STATE_ACTIVE => ShardState::Active,
+            STATE_QUARANTINED => ShardState::Quarantined,
             _ => ShardState::Draining,
         }
     }
@@ -109,6 +178,71 @@ impl Shard {
                 self.ewma_latency_ns.load(Ordering::Relaxed),
             ),
             cache: self.cache.stats(),
+            health: ShardHealth {
+                attempts: self.attempts.load(Ordering::Relaxed),
+                failures: self.failures.load(Ordering::Relaxed),
+                consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+                breaker_trips: self.trips.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Closes the breaker if this shard was serving a HalfOpen probe:
+    /// the probe came back, so the shard returns to rotation.
+    fn close_breaker_if_probing(&self) {
+        if self.probing.swap(false, Ordering::AcqRel) {
+            // Only a quarantined shard may be restored: a drain or
+            // removal that raced the probe wins.
+            let _ = self.state.compare_exchange(
+                STATE_QUARANTINED,
+                STATE_ACTIVE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            self.cooldown_routed.store(0, Ordering::Release);
+        }
+    }
+
+    /// Records one served compile attempt (success or failure) into the
+    /// health counters and advances the breaker state machine.
+    fn record_attempt(&self, success: bool, transient: bool, breaker: Option<BreakerConfig>) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        if success {
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+            self.close_breaker_if_probing();
+            return;
+        }
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if !transient {
+            // Deterministic program errors reproduce on any shard; they
+            // are the program's fault and never open the breaker.
+            return;
+        }
+        if self.probing.swap(false, Ordering::AcqRel) {
+            // HalfOpen probe failed: reopen with a fresh cooldown. The
+            // probe job itself fails over through the queue's retry
+            // path.
+            self.cooldown_routed.store(0, Ordering::Release);
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+            return;
+        }
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(config) = breaker {
+            if streak >= config.failure_threshold
+                && self
+                    .state
+                    .compare_exchange(
+                        STATE_ACTIVE,
+                        STATE_QUARANTINED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+            {
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                self.cooldown_routed.store(0, Ordering::Release);
+                self.consecutive_failures.store(0, Ordering::Relaxed);
+            }
         }
     }
 
@@ -167,6 +301,7 @@ impl Slot {
                 load: 0,
                 ewma_compile_latency: Duration::ZERO,
                 cache: *final_cache,
+                health: ShardHealth::default(),
             },
         }
     }
@@ -209,16 +344,22 @@ pub struct CompileService {
     shards: RwLock<Vec<Slot>>,
     policy: Mutex<Box<dyn ShardPolicy>>,
     default_cache_capacity: usize,
+    breaker: Mutex<Option<BreakerConfig>>,
+    fault_injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl CompileService {
     /// An empty service routing with `policy`. Register at least one
-    /// device before compiling.
+    /// device before compiling. The circuit breaker starts enabled with
+    /// [`BreakerConfig::default`]; no faults are injected until
+    /// [`set_fault_injector`](Self::set_fault_injector).
     pub fn new(policy: impl ShardPolicy + 'static) -> Self {
         CompileService {
             shards: RwLock::new(Vec::new()),
             policy: Mutex::new(Box::new(policy)),
             default_cache_capacity: ScheduleCache::DEFAULT_CAPACITY,
+            breaker: Mutex::new(Some(BreakerConfig::default())),
+            fault_injector: Mutex::new(None),
         }
     }
 
@@ -335,6 +476,12 @@ impl CompileService {
             inflight: AtomicUsize::new(0),
             ewma_latency_ns: AtomicU64::new(0),
             state: AtomicU8::new(STATE_ACTIVE),
+            attempts: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+            cooldown_routed: AtomicU64::new(0),
+            probing: AtomicBool::new(false),
         });
         let mut shards = self.write_shards();
         shards.push(Slot::Live(shard));
@@ -412,6 +559,112 @@ impl CompileService {
     /// (e.g. when iterating over heterogeneous policies).
     pub fn set_policy_boxed(&self, policy: Box<dyn ShardPolicy>) {
         *self.lock_policy() = policy;
+    }
+
+    /// Reconfigures the fleet's circuit breaker (`None` disables it:
+    /// shards never quarantine themselves, though
+    /// [`quarantine_shard`](Self::quarantine_shard) still works). Takes
+    /// effect for subsequent batches.
+    pub fn set_breaker(&self, config: Option<BreakerConfig>) {
+        *self.breaker.lock().unwrap_or_else(PoisonError::into_inner) = config;
+    }
+
+    /// The current circuit-breaker configuration, if enabled.
+    pub fn breaker(&self) -> Option<BreakerConfig> {
+        *self.breaker.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Installs (or, with `None`, removes) a fault injector on the
+    /// compile path — every subsequent batch consults it per routed job.
+    /// Production services never set one; chaos tests and drills do.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.fault_injector.lock().unwrap_or_else(PoisonError::into_inner) = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault_injector.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Manually trips shard `shard` into
+    /// [`ShardState::Quarantined`] — the operator-initiated version of a
+    /// breaker trip. Returns whether the shard was Active (only an
+    /// Active shard can be quarantined; draining, retired, and
+    /// already-quarantined shards are left alone). The shard re-enters
+    /// rotation through the normal HalfOpen probe, or via
+    /// [`restore_shard`](Self::restore_shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn quarantine_shard(&self, shard: usize) -> bool {
+        let shards = self.read_shards();
+        assert!(shard < shards.len(), "shard {shard} of {}", shards.len());
+        let Slot::Live(live) = &shards[shard] else { return false };
+        let tripped = live
+            .state
+            .compare_exchange(
+                STATE_ACTIVE,
+                STATE_QUARANTINED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if tripped {
+            live.cooldown_routed.store(0, Ordering::Release);
+            live.consecutive_failures.store(0, Ordering::Relaxed);
+        }
+        tripped
+    }
+
+    /// Manually closes shard `shard`'s breaker, returning it from
+    /// [`ShardState::Quarantined`] to Active without waiting for a
+    /// probe. Returns whether the shard was quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn restore_shard(&self, shard: usize) -> bool {
+        let shards = self.read_shards();
+        assert!(shard < shards.len(), "shard {shard} of {}", shards.len());
+        let Slot::Live(live) = &shards[shard] else { return false };
+        let restored = live
+            .state
+            .compare_exchange(
+                STATE_QUARANTINED,
+                STATE_ACTIVE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if restored {
+            live.cooldown_routed.store(0, Ordering::Release);
+            live.consecutive_failures.store(0, Ordering::Relaxed);
+            live.probing.store(false, Ordering::Release);
+        }
+        restored
+    }
+
+    /// Whether the fleet is too sick to accept new work: at least one
+    /// shard is quarantined and **none** is Active. Queueing front ends
+    /// fail submissions fast with [`CompileError::FleetUnhealthy`] while
+    /// this holds, instead of admitting jobs that can only hang or fail.
+    /// An all-drained or all-retired fleet is *not* "unhealthy" in this
+    /// sense — that is a deliberate operator state, and per-job routing
+    /// refusals already cover it.
+    pub fn fleet_unhealthy(&self) -> bool {
+        let shards = self.read_shards();
+        let mut any_quarantined = false;
+        for slot in shards.iter() {
+            if let Slot::Live(live) = slot {
+                match live.state.load(Ordering::Acquire) {
+                    STATE_ACTIVE => return false,
+                    STATE_QUARANTINED => any_quarantined = true,
+                    _ => {}
+                }
+            }
+        }
+        any_quarantined
     }
 
     /// Number of registered shards, **including** draining and retired
@@ -535,6 +788,33 @@ impl CompileService {
         self.dispatch(jobs, false)
     }
 
+    /// [`compile_batch`](Self::compile_batch) where each job carries a
+    /// set of shards routing must avoid — the failover primitive
+    /// retrying front ends use: a job that failed on shard A retries
+    /// with `A` excluded, so it deterministically re-routes elsewhere.
+    /// Each slot's [`ShardOutcome`] also reports which shard served the
+    /// attempt (errors included), the attribution those front ends need
+    /// to build attempt histories.
+    ///
+    /// Excluded jobs bypass the repeat-program pinning both ways — they
+    /// neither follow an existing pin (which could point at an excluded
+    /// shard) nor create one (a retry must not pin followers onto a
+    /// shard that just failed). A job whose exclusions rule out every
+    /// fitting shard gets a routing refusal in its slot (e.g.
+    /// [`CompileError::NoShardFits`]), never a silent re-run on an
+    /// excluded shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no device has been registered, or if the policy routes
+    /// outside `0..shard_count()` or to a non-Active shard.
+    pub fn compile_batch_excluding(
+        &self,
+        jobs: Vec<(CompileJob, Vec<usize>)>,
+    ) -> Vec<ShardOutcome> {
+        self.dispatch_with(jobs, true)
+    }
+
     /// Routes, coalesces, executes (parallel or inline), and fans results
     /// back out to submission-order slots.
     fn dispatch(
@@ -542,18 +822,33 @@ impl CompileService {
         jobs: Vec<CompileJob>,
         parallel: bool,
     ) -> Vec<Result<ServiceReply, CompileError>> {
+        let jobs = jobs.into_iter().map(|job| (job, Vec::new())).collect();
+        self.dispatch_with(jobs, parallel).into_iter().map(|outcome| outcome.result).collect()
+    }
+
+    /// [`dispatch`](Self::dispatch) with per-job shard exclusions and
+    /// shard attribution on every slot.
+    fn dispatch_with(
+        &self,
+        jobs: Vec<(CompileJob, Vec<usize>)>,
+        parallel: bool,
+    ) -> Vec<ShardOutcome> {
+        let breaker = self.breaker();
+        let injector = self.fault_injector();
         // Snapshot the fleet and commit routing (including the inflight
         // increments `drain_shard` waits on) under the read lock; the
         // compiles themselves run lock-free on the snapshot's Arcs.
         let (slots, slot_source, unique) = {
             let shards = self.read_shards();
             assert!(!shards.is_empty(), "register at least one device before compiling");
-            let routed = self.route_jobs(&shards, jobs);
+            let routed = self.route_jobs(&shards, jobs, breaker);
             let (slot_source, unique) = Self::coalesce(&shards, routed);
             (shards.clone(), slot_source, unique)
         };
+        let unique_shards: Vec<usize> = unique.iter().map(|(shard, _, _)| *shard).collect();
+        let injector = injector.as_deref();
         let run = |(shard, hash, job): (usize, u64, CompileJob)| {
-            Self::run_routed(slots[shard].live(shard), shard, hash, &job)
+            Self::run_routed(slots[shard].live(shard), shard, hash, &job, injector, breaker)
         };
         let results: Vec<Result<ServiceReply, CompileError>> = if parallel {
             unique.into_par_iter().map(run).collect()
@@ -570,7 +865,7 @@ impl CompileService {
             .map(|source| {
                 let source = match source {
                     Ok(source) => source,
-                    Err(error) => return Err(error),
+                    Err(error) => return ShardOutcome { shard: None, result: Err(error) },
                 };
                 let mut reply = results[source].clone();
                 if owner_seen[source] {
@@ -580,7 +875,7 @@ impl CompileService {
                 } else {
                     owner_seen[source] = true;
                 }
-                reply
+                ShardOutcome { shard: Some(unique_shards[source]), result: reply }
             })
             .collect()
     }
@@ -658,18 +953,46 @@ impl CompileService {
     fn route_jobs(
         &self,
         slots: &[Slot],
-        jobs: Vec<CompileJob>,
+        jobs: Vec<(CompileJob, Vec<usize>)>,
+        breaker: Option<BreakerConfig>,
     ) -> Vec<Result<(usize, u64, CompileJob), CompileError>> {
         let mut views: Vec<ShardView> =
             slots.iter().enumerate().map(|(index, slot)| slot.view(index)).collect();
         let mut pinned: HashMap<(u64, u8), usize> = HashMap::new();
         let mut policy = self.lock_policy();
         jobs.into_iter()
-            .map(|job| {
+            .map(|(job, excluded)| {
                 let program_hash = job.program.structural_hash();
                 let pin = (program_hash, job.strategy.stable_code());
-                if let Some(&shard) = pinned.get(&pin) {
-                    return Ok((shard, program_hash, job));
+                // Excluded jobs bypass the pin map both ways: a pin may
+                // point at an excluded shard, and a retry must not pin
+                // followers onto the shard it is fleeing.
+                if excluded.is_empty() {
+                    if let Some(&shard) = pinned.get(&pin) {
+                        return Ok((shard, program_hash, job));
+                    }
+                }
+                // HalfOpen: a quarantined shard whose cooldown has
+                // elapsed claims the next fitting job as its single
+                // probe, before the policy (which cannot see it) runs.
+                if let Some(config) = breaker {
+                    if let Some(shard) =
+                        Self::claim_probe(slots, &views, &job, &excluded, config)
+                    {
+                        views[shard].load += 1;
+                        return Ok((shard, program_hash, job));
+                    }
+                }
+                // Mask excluded shards so the policy cannot pick them,
+                // restoring the views afterwards (they are shared across
+                // the whole batch).
+                let masked: Vec<(usize, ShardState)> = excluded
+                    .iter()
+                    .filter(|&&shard| shard < views.len())
+                    .map(|&shard| (shard, views[shard].state))
+                    .collect();
+                for &(shard, _) in &masked {
+                    views[shard].state = ShardState::Draining;
                 }
                 let request = RouteRequest {
                     program_hash,
@@ -677,7 +1000,11 @@ impl CompileService {
                     program_qubits: job.program.n_qubits(),
                     shards: &views,
                 };
-                let shard = policy.route(&request)?;
+                let routed = policy.route(&request);
+                for &(shard, state) in &masked {
+                    views[shard].state = state;
+                }
+                let shard = routed?;
                 assert!(
                     shard < slots.len(),
                     "policy routed to shard {shard} of {}",
@@ -689,7 +1016,23 @@ impl CompileService {
                     views[shard].state
                 );
                 views[shard].load += 1;
-                if slots[shard].live(shard).cache.capacity() > 0 {
+                // Every job routed around a quarantined shard advances
+                // that shard's cooldown toward its HalfOpen probe —
+                // recovery timing is measured in routed jobs, not wall
+                // time, so it is deterministic under any interleaving.
+                if breaker.is_some() {
+                    for (index, slot) in slots.iter().enumerate() {
+                        if index == shard {
+                            continue;
+                        }
+                        if let Slot::Live(live) = slot {
+                            if live.state.load(Ordering::Acquire) == STATE_QUARANTINED {
+                                live.cooldown_routed.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                }
+                if excluded.is_empty() && slots[shard].live(shard).cache.capacity() > 0 {
                     pinned.insert(pin, shard);
                 }
                 Ok((shard, program_hash, job))
@@ -697,23 +1040,87 @@ impl CompileService {
             .collect()
     }
 
-    /// Phase 2, one job: result-cache lookup, else an isolated compile on
-    /// the routed shard, populating the cache and the latency EWMA on the
-    /// way out.
+    /// Claims a HalfOpen probe slot: the first quarantined shard that
+    /// fits the job, finished its cooldown, has no probe in flight, and
+    /// is not excluded by the job. Sets the shard's `probing` flag (at
+    /// most one probe at a time); the flag is cleared when the probe
+    /// resolves in [`run_routed`](Self::run_routed). Probe jobs are
+    /// never pinned.
+    fn claim_probe(
+        slots: &[Slot],
+        views: &[ShardView],
+        job: &CompileJob,
+        excluded: &[usize],
+        config: BreakerConfig,
+    ) -> Option<usize> {
+        for (index, slot) in slots.iter().enumerate() {
+            let Slot::Live(live) = slot else { continue };
+            if excluded.contains(&index) {
+                continue;
+            }
+            if live.state.load(Ordering::Acquire) != STATE_QUARANTINED {
+                continue;
+            }
+            if views[index].qubits() < job.program.n_qubits() {
+                continue;
+            }
+            if live.cooldown_routed.load(Ordering::Acquire) < config.cooldown_jobs {
+                continue;
+            }
+            if live.probing.swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            return Some(index);
+        }
+        None
+    }
+
+    /// Phase 2, one job: fault-injection gate, result-cache lookup, else
+    /// an isolated compile on the routed shard — populating the cache,
+    /// the latency EWMA, and the health counters on the way out.
     fn run_routed(
         shard: &Shard,
         shard_index: usize,
         program_hash: u64,
         job: &CompileJob,
+        injector: Option<&FaultInjector>,
+        breaker: Option<BreakerConfig>,
     ) -> Result<ServiceReply, CompileError> {
         let _inflight = InflightGuard(&shard.inflight);
+        // The injection gate sits before the cache: a sick shard fails
+        // everything routed to it, cached schedules included, which is
+        // how a real shard-wide crash behaves. Latency faults fall
+        // through — the result stays correct, only slower.
+        if let Some(injector) = injector {
+            match injector.on_compile(shard_index) {
+                FaultAction::Proceed => {}
+                FaultAction::Delay(extra) => std::thread::sleep(extra),
+                FaultAction::Panic => {
+                    let error = injected_panic(shard_index);
+                    shard.record_attempt(false, error.is_transient(), breaker);
+                    return Err(error);
+                }
+                FaultAction::Error(error) => {
+                    shard.record_attempt(false, error.is_transient(), breaker);
+                    return Err(error);
+                }
+            }
+        }
         let key = Self::key_for(shard, program_hash, job.strategy);
         if let Some(compiled) = shard.cache.get(&key, &job.program) {
+            // A cache hit does not count as a compile attempt, but it
+            // does answer a HalfOpen probe: the shard responded, and the
+            // injection gate above already had its chance to fail it.
+            shard.close_breaker_if_probing();
             return Ok(ServiceReply { shard: shard_index, cache_hit: true, compiled });
         }
         let started = Instant::now();
         let result = compile_isolated(&shard.compiler, &job.program, job.strategy);
         shard.record_latency(started.elapsed());
+        match &result {
+            Ok(_) => shard.record_attempt(true, false, breaker),
+            Err(error) => shard.record_attempt(false, error.is_transient(), breaker),
+        }
         let compiled = Arc::new(result?);
         shard.cache.insert(key, job.program.clone(), Arc::clone(&compiled));
         Ok(ServiceReply { shard: shard_index, cache_hit: false, compiled })
@@ -1234,5 +1641,170 @@ mod tests {
         // Sanity: the drain barrier returned promptly (not after the
         // whole flood).
         assert!(drained_at.elapsed() < Duration::from_secs(60));
+    }
+
+    use crate::fault::{FaultKind, FaultPlan, FaultRule};
+
+    /// One distinct single-job batch per call (distinct widths so no two
+    /// calls pin or coalesce together).
+    fn distinct_job(i: usize) -> CompileJob {
+        CompileJob::new(Benchmark::Bv(3 + (i % 6)).build(i as u64), Strategy::ColorDynamic)
+    }
+
+    #[test]
+    fn failed_attempts_land_in_health_counters() {
+        let service = two_shard_service();
+        // Bv(10) is wider than a 3x3 grid: a deterministic program error.
+        let wide = CompileJob::new(Benchmark::Bv(10).build(1), Strategy::ColorDynamic);
+        let ok = CompileJob::new(Benchmark::Bv(4).build(1), Strategy::ColorDynamic);
+        let replies = service.compile_batch_sequential(vec![wide, ok]);
+        assert!(matches!(replies[0], Err(CompileError::ProgramTooWide { .. })));
+        assert!(replies[1].is_ok());
+        let views = service.shard_views();
+        let health_0 = views[0].health;
+        assert_eq!((health_0.attempts, health_0.failures), (1, 1));
+        assert_eq!(views[0].error_rate(), 1.0);
+        // Deterministic program errors never extend the breaker streak.
+        assert_eq!(health_0.consecutive_failures, 0);
+        assert_eq!(service.shard_state(0), ShardState::Active);
+        let health_1 = views[1].health;
+        assert_eq!((health_1.attempts, health_1.failures), (1, 0));
+        // The failed attempt still feeds the latency EWMA — telemetry
+        // must not under-report sick shards.
+        assert!(views[0].ewma_compile_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_quarantines_and_probe_restores() {
+        let service = two_shard_service();
+        service.set_breaker(Some(BreakerConfig { failure_threshold: 2, cooldown_jobs: 2 }));
+        // Shard 0 fails its first two compile attempts, then recovers.
+        let plan = FaultPlan::new(11)
+            .rule(FaultRule::new(FaultKind::Error).on_shard(0).for_attempts(0..2));
+        let injector = Arc::new(FaultInjector::new(plan));
+        service.set_fault_injector(Some(Arc::clone(&injector)));
+        let mut shard_of = Vec::new();
+        for i in 0..6 {
+            let outcome = &service.compile_batch_sequential(vec![distinct_job(i)])[0];
+            shard_of.push(match outcome {
+                Ok(reply) => Ok(reply.shard),
+                Err(e) => Err(e.clone()),
+            });
+        }
+        // Round-robin: jobs 0 and 2 hit shard 0 and fail (streak 2 →
+        // trip); jobs 1, 3, 4 serve on shard 1 while the breaker is
+        // open, advancing the cooldown; job 5 becomes the HalfOpen probe
+        // on the recovered shard 0 and closes the breaker.
+        assert!(shard_of[0].is_err() && shard_of[2].is_err());
+        assert_eq!(shard_of[1], Ok(1));
+        assert_eq!(shard_of[3], Ok(1));
+        assert_eq!(shard_of[4], Ok(1));
+        assert_eq!(shard_of[5], Ok(0), "probe lands on the quarantined shard");
+        assert_eq!(service.shard_state(0), ShardState::Active, "probe success restores");
+        let health = service.shard_views()[0].health;
+        assert_eq!(health.breaker_trips, 1);
+        assert_eq!(health.failures, 2);
+        assert_eq!(injector.injected(), 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let service = two_shard_service();
+        service.set_breaker(Some(BreakerConfig { failure_threshold: 1, cooldown_jobs: 1 }));
+        // Shard 0 fails its first three attempts: the trip, one failed
+        // probe, and then a successful second probe.
+        let plan = FaultPlan::new(13)
+            .rule(FaultRule::new(FaultKind::Panic).on_shard(0).for_attempts(0..2));
+        service.set_fault_injector(Some(Arc::new(FaultInjector::new(plan))));
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            outcomes.push(service.compile_batch_sequential(vec![distinct_job(i)]).remove(0));
+        }
+        // Job 0 → shard 0 trips (threshold 1). Job 1 → shard 1, cooldown
+        // hits 1. Job 2 → probe on shard 0, fails (attempt 1 still in
+        // the fault window) → breaker reopens. Job 3 → shard 1, fresh
+        // cooldown hits 1. Job 4 → second probe on shard 0, succeeds →
+        // restored. Job 5 → back in normal rotation.
+        assert!(outcomes[0].is_err() && outcomes[2].is_err());
+        assert_eq!(outcomes[4].as_ref().expect("second probe compiles").shard, 0);
+        assert_eq!(service.shard_state(0), ShardState::Active);
+        assert_eq!(service.shard_views()[0].health.breaker_trips, 1);
+    }
+
+    #[test]
+    fn exclusions_reroute_deterministically_and_skip_pinning() {
+        let service = two_shard_service();
+        let program = Benchmark::Qaoa(6).build(5);
+        let job = CompileJob::new(program, Strategy::ColorDynamic);
+        let outcomes = service.compile_batch_excluding(vec![
+            (job.clone(), Vec::new()),
+            (job.clone(), vec![0]),
+            (job.clone(), Vec::new()),
+        ]);
+        // Slot 0 routes normally (round-robin → shard 0) and pins; slot
+        // 1 excludes shard 0 so it must bypass the pin and land on shard
+        // 1; slot 2 follows the pin back to shard 0 — the excluded
+        // retry never re-pinned the program.
+        assert_eq!(outcomes[0].shard, Some(0));
+        assert_eq!(outcomes[1].shard, Some(1));
+        assert_eq!(outcomes[2].shard, Some(0));
+        for outcome in &outcomes {
+            assert!(outcome.result.is_ok());
+        }
+        // Excluding every shard is a routing refusal, not a compile.
+        let refused = service.compile_batch_excluding(vec![(job, vec![0, 1])]);
+        assert_eq!(refused[0].shard, None);
+        assert!(matches!(refused[0].result, Err(CompileError::NoShardFits { .. })));
+    }
+
+    #[test]
+    fn manual_quarantine_and_fleet_health() {
+        let service = two_shard_service();
+        assert!(!service.fleet_unhealthy());
+        assert!(service.quarantine_shard(0));
+        assert!(!service.quarantine_shard(0), "already quarantined");
+        assert_eq!(service.shard_state(0), ShardState::Quarantined);
+        assert!(!service.fleet_unhealthy(), "shard 1 is still active");
+        assert!(service.quarantine_shard(1));
+        assert!(service.fleet_unhealthy(), "no active shard left");
+        assert!(service.restore_shard(1));
+        assert!(!service.fleet_unhealthy());
+        // Draining/retiring the last active shard is an operator state,
+        // not an "unhealthy fleet" — but with shard 0 still quarantined,
+        // the fleet is unhealthy again.
+        service.drain_shard(1);
+        assert!(service.fleet_unhealthy());
+        // Restore everything: a quarantined shard can be restored, a
+        // draining one cannot.
+        assert!(service.restore_shard(0));
+        assert!(!service.restore_shard(1));
+        assert!(!service.fleet_unhealthy());
+    }
+
+    #[test]
+    fn quarantined_results_stay_bit_identical_after_recovery() {
+        // A shard that trips and recovers must serve the same schedules
+        // as a never-faulted fleet: faults change *where and when*, not
+        // *what*.
+        let service = two_shard_service();
+        service.set_breaker(Some(BreakerConfig { failure_threshold: 1, cooldown_jobs: 1 }));
+        let plan = FaultPlan::new(3)
+            .rule(FaultRule::new(FaultKind::Panic).on_shard(0).for_attempts(0..1));
+        service.set_fault_injector(Some(Arc::new(FaultInjector::new(plan))));
+        let job = |i: usize| distinct_job(i);
+        let mut served = Vec::new();
+        for i in 0..5 {
+            if let Ok(reply) = service.compile_batch_sequential(vec![job(i)])[0].as_ref() {
+                served.push((i, reply.shard, Arc::clone(&reply.compiled)));
+            }
+        }
+        assert!(!served.is_empty());
+        for (i, shard, compiled) in served {
+            let device = service.shard_device(shard);
+            let fresh = Compiler::new(device, CompilerConfig::default())
+                .compile(&job(i).program, Strategy::ColorDynamic)
+                .expect("fresh compile succeeds");
+            assert_eq!(fresh.schedule, compiled.schedule, "job {i} diverged on shard {shard}");
+        }
     }
 }

@@ -130,9 +130,50 @@ pub enum ShardState {
     Active,
     /// Draining: no new routing; jobs already routed finish normally.
     Draining,
+    /// Tripped by its circuit breaker (or an operator): no new routing,
+    /// but unlike draining the router periodically sends a single probe
+    /// job and restores the shard to [`Active`](Self::Active) when the
+    /// probe succeeds (see `CompileService::set_breaker`).
+    Quarantined,
     /// Removed: compile context and cache released; the index remains as
     /// a tombstone so shard indices stay dense and stable.
     Retired,
+}
+
+/// Live failure counters for one shard — the circuit breaker's input,
+/// snapshotted into every [`ShardView`].
+///
+/// `attempts`/`failures` count every job the shard's compile path
+/// served, **including** errored and panicked ones (the result cache's
+/// short-circuit hits are excluded — they never reach the compiler).
+/// Telemetry that only counted successes would under-report sick shards,
+/// which is exactly when operators need the numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardHealth {
+    /// Compile attempts served (successes and failures alike).
+    pub attempts: u64,
+    /// Attempts that ended in an error or a panic, of any kind.
+    pub failures: u64,
+    /// Current run of consecutive *transient* failures (panicked or
+    /// fault-injected compiles; deterministic program errors do not
+    /// count — a healthy shard fed bad programs is not sick). Reset by
+    /// any success. This is what trips the breaker.
+    pub consecutive_failures: u32,
+    /// Times the circuit breaker has tripped this shard into
+    /// [`ShardState::Quarantined`].
+    pub breaker_trips: u64,
+}
+
+impl ShardHealth {
+    /// Fraction of served attempts that failed, in `[0, 1]` (zero before
+    /// the first attempt).
+    pub fn error_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.attempts as f64
+        }
+    }
 }
 
 /// A point-in-time snapshot of one shard — the uniform read surface
@@ -154,11 +195,14 @@ pub struct ShardView {
     /// from overlapping batches).
     pub load: usize,
     /// Exponentially weighted moving average of recent real compile
-    /// latencies on this shard (cache hits excluded); zero until the
-    /// first compile finishes.
+    /// latencies on this shard (cache hits excluded, errored and
+    /// panicked attempts included); zero until the first compile
+    /// finishes.
     pub ewma_compile_latency: Duration,
     /// Result-cache counters at snapshot time.
     pub cache: CacheStats,
+    /// Failure counters at snapshot time — the circuit breaker's input.
+    pub health: ShardHealth,
 }
 
 impl ShardView {
@@ -193,6 +237,12 @@ impl ShardView {
         } else {
             self.cache.hits as f64 / total as f64
         }
+    }
+
+    /// Fraction of served compile attempts that failed (see
+    /// [`ShardHealth::error_rate`]).
+    pub fn error_rate(&self) -> f64 {
+        self.health.error_rate()
     }
 }
 
@@ -276,15 +326,26 @@ mod tests {
             load: 3,
             ewma_compile_latency: Duration::from_millis(4),
             cache: CacheStats { hits: 3, misses: 1, evictions: 0, len: 4, capacity: 8 },
+            health: ShardHealth { attempts: 8, failures: 2, ..ShardHealth::default() },
         };
         assert!(view.routable());
         assert_eq!(view.qubits(), 9);
         assert!(view.fits(9) && !view.fits(10));
         assert_eq!(view.estimated_success(), 0.75);
         assert!((view.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((view.error_rate() - 0.25).abs() < 1e-12);
         let drained = ShardView { state: ShardState::Draining, ..view.clone() };
         assert!(!drained.routable() && !drained.fits(4));
+        let quarantined = ShardView { state: ShardState::Quarantined, ..view.clone() };
+        assert!(!quarantined.routable() && !quarantined.fits(4));
         let empty = ShardView { cache: CacheStats::zero(), ..view };
         assert_eq!(empty.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_rate_handles_zero_attempts() {
+        assert_eq!(ShardHealth::default().error_rate(), 0.0);
+        let health = ShardHealth { attempts: 4, failures: 4, ..ShardHealth::default() };
+        assert_eq!(health.error_rate(), 1.0);
     }
 }

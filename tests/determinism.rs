@@ -398,3 +398,62 @@ fn different_program_seeds_change_xeb_layers() {
     let b = Benchmark::Xeb(9, 5).build(2);
     assert_ne!(a, b, "XEB single-qubit layers must depend on the seed");
 }
+
+#[test]
+fn faulty_then_failed_over_compiles_match_fresh_sequential_compiles() {
+    // The fault-tolerance layer must never buy availability with
+    // determinism: a job that fails transiently on one shard and is
+    // retried onto another must produce exactly the schedule a fresh,
+    // cold, sequential compile on the failover shard produces. Shard 0
+    // rejects every attempt with an injected error; all five strategies
+    // must land on shard 1 bit-identical.
+    use fastsc::queue::{QueueConfig, QueueService, RetryPolicy, Submission};
+    use fastsc::service::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use std::time::Duration;
+
+    let devices = [Device::grid(3, 3, 7), Device::grid(3, 3, 11)];
+    let mut service = CompileService::new(RoundRobin::new());
+    for device in &devices {
+        service.register_device(device.clone(), CompilerConfig::default()).expect("registers");
+    }
+    let plan = FaultPlan::new(71).rule(FaultRule::new(FaultKind::Error).on_shard(0));
+    service.set_fault_injector(Some(Arc::new(FaultInjector::new(plan))));
+    let queue = QueueService::new(
+        service,
+        QueueConfig {
+            retry: RetryPolicy {
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..QueueConfig::default()
+        },
+    );
+
+    let submitted: Vec<_> = Strategy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, strategy)| {
+            let program = Benchmark::Xeb(9, 4).build(100 + i as u64);
+            let handle = queue
+                .submit(Submission::new(CompileJob::new(program.clone(), strategy)))
+                .expect("admits");
+            (program, strategy, handle)
+        })
+        .collect();
+    for (program, strategy, handle) in submitted {
+        let reply = handle.wait().expect("fails over and compiles");
+        assert_eq!(reply.shard, 1, "{strategy}: the retry must leave the faulty shard");
+        let fresh = Compiler::new(devices[1].clone(), CompilerConfig::default())
+            .compile(&program, strategy)
+            .expect("compiles");
+        assert_eq!(
+            reply.compiled.schedule, fresh.schedule,
+            "{strategy}: failed-over schedule diverged from a fresh sequential compile"
+        );
+        let pq =
+            estimate(&devices[1], &reply.compiled.schedule, &NoiseConfig::default()).p_success;
+        let pf = estimate(&devices[1], &fresh.schedule, &NoiseConfig::default()).p_success;
+        assert_eq!(pq.to_bits(), pf.to_bits(), "{strategy} p_success not bit-identical");
+    }
+    assert!(queue.stats().retried >= 1, "the injected faults must have forced failovers");
+}
