@@ -106,6 +106,73 @@ fn emit_bench_json() {
     println!("recorded xeb16 medians to {}", path.display());
 }
 
+/// Records the scalability ladder (64 / 256 / 1024-qubit grids, XEB
+/// programs from `fastsc_workloads::scalability`): cold whole-device vs
+/// cold partitioned compile, three records per tier. Samples are
+/// interleaved whole/partitioned pairs with a fresh `Compiler` per
+/// sample — a cold compile includes the device-sized derived state
+/// (crosstalk graph, partition plan) a fleet pays on every new device
+/// config, which is exactly the cost the partitioned path cuts. Besides
+/// the two medians, each tier records the **median of per-pair
+/// partitioned/whole ratios** (in permille): pair members run
+/// back-to-back, so machine drift cancels inside each ratio, and the
+/// `bench_guard` scale gate bounds that statistic instead of comparing
+/// two independently drifting medians.
+fn emit_scalability_json() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let records: Vec<BenchRecord> = fastsc_workloads::scale_tiers()
+        .into_iter()
+        .flat_map(|tier| {
+            // The 256-qubit tier feeds the bench_guard scale gate, so it
+            // keeps its full sample count even under `--test` (cold
+            // compiles are milliseconds; robustness is worth more than
+            // the runtime saved).
+            let pairs = match (tier.n_qubits(), test_mode) {
+                (256, _) => 21,
+                (_, true) => 3,
+                (1024, false) => 5,
+                (_, false) => 9,
+            };
+            let program = tier.circuit();
+            let mut whole = Vec::with_capacity(pairs);
+            let mut part = Vec::with_capacity(pairs);
+            let mut ratios = Vec::with_capacity(pairs);
+            for _ in 0..pairs {
+                let device = Device::grid(tier.side, tier.side, tier.seed);
+                let compiler = Compiler::new(device, CompilerConfig::default());
+                let start = std::time::Instant::now();
+                criterion::black_box(
+                    compiler.compile(&program, Strategy::ColorDynamic).expect("compiles"),
+                );
+                let w = start.elapsed().as_nanos();
+
+                let device = Device::grid(tier.side, tier.side, tier.seed);
+                let compiler =
+                    Compiler::new(device, CompilerConfig::with_partition(tier.partition_cap));
+                let start = std::time::Instant::now();
+                criterion::black_box(
+                    compiler.compile(&program, Strategy::ColorDynamic).expect("compiles"),
+                );
+                let p = start.elapsed().as_nanos();
+                whole.push(w);
+                part.push(p);
+                ratios.push(p * 1000 / w.max(1));
+            }
+            whole.sort_unstable();
+            part.sort_unstable();
+            ratios.sort_unstable();
+            let label = tier.label();
+            [
+                BenchRecord::new(&label, "whole", whole[pairs / 2]),
+                BenchRecord::new(&label, "partitioned", part[pairs / 2]),
+                BenchRecord::new(&label, "paired_ratio_permille", ratios[pairs / 2]),
+            ]
+        })
+        .collect();
+    let path = record::record(&records);
+    println!("recorded scalability medians to {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_end_to_end,
@@ -117,4 +184,5 @@ criterion_group!(
 fn main() {
     benches();
     emit_bench_json();
+    emit_scalability_json();
 }

@@ -93,21 +93,31 @@ fn bench_retry_vs_none(c: &mut Criterion) {
 
 /// Records the acceptance measurement — retry-enabled saturated flood
 /// vs `RetryPolicy::none()` on the same jobs and fleet — into
-/// `BENCH_compile.json` for the `bench_guard` same-run gate.
+/// `BENCH_compile.json` for the `bench_guard` same-run gate. The two
+/// sides alternate sample by sample (rather than running as two
+/// separate blocks) so machine drift lands on both medians instead of
+/// skewing whichever side ran during the noisy stretch.
 fn emit_bench_json() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let samples = if test_mode { 5 } else { 7 };
     let jobs = queue_jobs();
 
     let bare = queue_with(RetryPolicy::none());
-    let bare_ns = record::median_ns(samples, || {
-        criterion::black_box(run_queued(&bare, &jobs));
-    });
-
     let guarded = queue_with(RetryPolicy::default());
-    let guarded_ns = record::median_ns(samples, || {
+    let mut bare_samples = Vec::with_capacity(samples);
+    let mut guarded_samples = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        criterion::black_box(run_queued(&bare, &jobs));
+        bare_samples.push(start.elapsed().as_nanos());
+        let start = std::time::Instant::now();
         criterion::black_box(run_queued(&guarded, &jobs));
-    });
+        guarded_samples.push(start.elapsed().as_nanos());
+    }
+    bare_samples.sort_unstable();
+    guarded_samples.sort_unstable();
+    let bare_ns = bare_samples[samples / 2];
+    let guarded_ns = guarded_samples[samples / 2];
 
     let path = record::record(&[
         BenchRecord::new("fault_free_overhead", "no_retry", bare_ns),

@@ -37,11 +37,20 @@
 //!    1.2x the same flood with `RetryPolicy::none()`
 //!    (`BENCH_GUARD_FAULT_RATIO` overrides): attempt histories, shard
 //!    exclusions, and backoff bookkeeping cannot tax healthy fleets.
+//! 7. **Ceiling, same-run** — the 256-qubit scalability tier's median
+//!    per-pair partitioned/whole cold-compile ratio (`scale256`
+//!    `paired_ratio_permille`, computed by the bench over interleaved
+//!    back-to-back pairs so machine drift cancels inside each pair)
+//!    must stay at or below 0.9 (`BENCH_GUARD_SCALE_RATIO` overrides):
+//!    partitioning is only worth its stitch complexity while it beats
+//!    the monolithic path outright at scale.
 //!
 //! Exits non-zero when any gate fails.
 
 use fastsc_bench::record;
-use fastsc_bench::regression::{check, check_relative, Gate, RelativeGate};
+use fastsc_bench::regression::{
+    check, check_ceiling, check_relative, CeilingGate, Gate, RelativeGate,
+};
 
 fn env_ratio(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(default)
@@ -92,6 +101,12 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_FAULT_RATIO", 1.2),
     };
+    let scale = CeilingGate {
+        workload: "scale256",
+        strategy: "paired_ratio_permille",
+        label: "current",
+        max_value: (env_ratio("BENCH_GUARD_SCALE_RATIO", 0.9) * 1000.0) as u128,
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
@@ -100,6 +115,7 @@ fn main() {
         check_relative(&records, &route),
         check_relative(&records, &socket),
         check_relative(&records, &fault),
+        check_ceiling(&records, &scale),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

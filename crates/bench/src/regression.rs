@@ -149,6 +149,58 @@ pub fn check_relative(
     }
 }
 
+/// A same-run ceiling gate over a **derived statistic** record: the
+/// bench computes a machine-independent statistic itself (e.g. the
+/// median of per-pair partitioned/whole cold-compile ratios, stored in
+/// permille so it fits the integer `median_ns` field) and the gate
+/// simply bounds it. Pairing subject and reference measurements inside
+/// the bench makes the statistic robust to timing drift that skews the
+/// two independent medians a [`RelativeGate`] would compare.
+#[derive(Debug, Clone)]
+pub struct CeilingGate<'a> {
+    /// Workload key in `BENCH_compile.json`.
+    pub workload: &'a str,
+    /// Strategy key naming the derived statistic (and its unit), e.g.
+    /// `paired_ratio_permille`.
+    pub strategy: &'a str,
+    /// Label the record was measured under (usually `current`).
+    pub label: &'a str,
+    /// Maximum tolerated value of the statistic, in the record's unit.
+    pub max_value: u128,
+}
+
+/// Evaluates `gate` against `records`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the record is missing or its
+/// value exceeds `gate.max_value`.
+pub fn check_ceiling(
+    records: &[BenchRecord],
+    gate: &CeilingGate<'_>,
+) -> Result<String, String> {
+    let record = records
+        .iter()
+        .find(|r| {
+            r.workload == gate.workload && r.strategy == gate.strategy && r.label == gate.label
+        })
+        .ok_or_else(|| {
+            format!(
+                "no `{}` record for ({}, {}) — did the bench run?",
+                gate.label, gate.workload, gate.strategy
+            )
+        })?;
+    let summary = format!(
+        "({}, {}): {} in the same `{}` run (ceiling {})",
+        gate.workload, gate.strategy, record.median_ns, gate.label, gate.max_value
+    );
+    if record.median_ns > gate.max_value {
+        Err(format!("REGRESSION {summary}"))
+    } else {
+        Ok(summary)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +315,36 @@ mod tests {
         ];
         let message = check_relative(&records, &relative_gate(1.5)).expect_err("2x slower");
         assert!(message.starts_with("REGRESSION"));
+    }
+
+    fn ceiling_gate(max_value: u128) -> CeilingGate<'static> {
+        CeilingGate {
+            workload: "scale256",
+            strategy: "paired_ratio_permille",
+            label: "current",
+            max_value,
+        }
+    }
+
+    #[test]
+    fn ceiling_gate_passes_at_or_below_ceiling() {
+        let records = vec![rec("scale256", "paired_ratio_permille", "current", 900)];
+        let message = check_ceiling(&records, &ceiling_gate(900)).expect("at ceiling");
+        assert!(message.contains("900"));
+    }
+
+    #[test]
+    fn ceiling_gate_fails_above_ceiling() {
+        let records = vec![rec("scale256", "paired_ratio_permille", "current", 901)];
+        let message = check_ceiling(&records, &ceiling_gate(900)).expect_err("above ceiling");
+        assert!(message.starts_with("REGRESSION"));
+    }
+
+    #[test]
+    fn ceiling_gate_requires_same_label() {
+        let records = vec![rec("scale256", "paired_ratio_permille", "post", 100)];
+        let message = check_ceiling(&records, &ceiling_gate(900)).expect_err("missing current");
+        assert!(message.contains("did the bench run"));
     }
 
     #[test]

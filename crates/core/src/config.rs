@@ -3,6 +3,33 @@
 use fastsc_ir::decompose::Strategy as Lowering;
 use fastsc_ir::hash::StableHasher;
 
+/// Opt-in partition-and-stitch compilation for large devices: the
+/// coupling graph is cut into connected regions of at most
+/// `max_region_qubits` qubits (see `fastsc_graph::regions::grow_regions`),
+/// regions compile as independent sub-problems, and boundary cycles are
+/// reconciled by a deterministic stitch pass.
+///
+/// The partitioned path only engages when the crosstalk distance is 1
+/// and the plan yields more than one region; otherwise compilation
+/// silently falls back to the whole-device engine (identical results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Upper bound on qubits per region (≥ 1).
+    pub max_region_qubits: usize,
+}
+
+impl PartitionConfig {
+    /// A partition plan with regions of at most `max_region_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_region_qubits == 0`.
+    pub fn new(max_region_qubits: usize) -> Self {
+        assert!(max_region_qubits > 0, "regions must hold at least one qubit");
+        PartitionConfig { max_region_qubits }
+    }
+}
+
 /// Tunables of the frequency-aware compiler (all strategies share them;
 /// strategy-specific behavior lives in [`Strategy`](crate::Strategy)).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +49,11 @@ pub struct CompilerConfig {
     pub conflict_threshold: usize,
     /// Binary-search tolerance for the separation threshold, GHz.
     pub smt_tolerance: f64,
+    /// Partition-and-stitch compilation (`None` = whole-device, the
+    /// default). Changing this changes compiled schedules, so it is part
+    /// of [`fingerprint`](Self::fingerprint) — cached schedules can never
+    /// leak across partition settings.
+    pub partition: Option<PartitionConfig>,
 }
 
 impl Default for CompilerConfig {
@@ -35,6 +67,7 @@ impl Default for CompilerConfig {
             // too crowded and serialization is cheaper than crosstalk.
             conflict_threshold: 4,
             smt_tolerance: 1e-3,
+            partition: None,
         }
     }
 }
@@ -48,6 +81,19 @@ impl CompilerConfig {
     pub fn with_max_colors(max_colors: usize) -> Self {
         assert!(max_colors > 0, "at least one color is required");
         CompilerConfig { max_colors: Some(max_colors), ..CompilerConfig::default() }
+    }
+
+    /// A config with partition-and-stitch compilation enabled for
+    /// regions of at most `max_region_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_region_qubits == 0`.
+    pub fn with_partition(max_region_qubits: usize) -> Self {
+        CompilerConfig {
+            partition: Some(PartitionConfig::new(max_region_qubits)),
+            ..CompilerConfig::default()
+        }
     }
 
     /// A stable 64-bit fingerprint of every tunable.
@@ -68,6 +114,7 @@ impl CompilerConfig {
             decomposition,
             conflict_threshold,
             smt_tolerance,
+            partition,
         } = *self;
         let mut h = StableHasher::new();
         h.write_usize(crosstalk_distance);
@@ -88,6 +135,15 @@ impl CompilerConfig {
         });
         h.write_usize(conflict_threshold);
         h.write_f64(smt_tolerance);
+        // Tag byte keeps None distinct from any Some value, exactly like
+        // the max_colors encoding above.
+        match partition {
+            None => h.write_u8(0),
+            Some(PartitionConfig { max_region_qubits }) => {
+                h.write_u8(1);
+                h.write_usize(max_region_qubits);
+            }
+        }
         h.finish()
     }
 }
@@ -127,6 +183,8 @@ mod tests {
             CompilerConfig { decomposition: Lowering::CzOnly, ..base },
             CompilerConfig { conflict_threshold: 5, ..base },
             CompilerConfig { smt_tolerance: 1e-4, ..base },
+            CompilerConfig { partition: Some(PartitionConfig::new(64)), ..base },
+            CompilerConfig { partition: Some(PartitionConfig::new(256)), ..base },
         ];
         let mut prints: Vec<u64> = variants.iter().map(CompilerConfig::fingerprint).collect();
         prints.push(base.fingerprint());

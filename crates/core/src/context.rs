@@ -92,7 +92,12 @@ impl SmtKey {
 pub struct CompileContext {
     device: Device,
     config: CompilerConfig,
-    xtalk: CrosstalkGraph,
+    /// The distance-`d` crosstalk graph, built lazily: its pairwise
+    /// coupling-distance sweep is the one device-wide structure that is
+    /// quadratic in coupling count, and the partitioned compile path for
+    /// 1000+-qubit devices never needs the whole-device version (regions
+    /// build their own small ones).
+    xtalk: OnceLock<CrosstalkGraph>,
     parking: Vec<f64>,
     band: Band,
     alpha: f64,
@@ -101,8 +106,17 @@ pub struct CompileContext {
     /// Baseline S/G static assignment, solved lazily (ColorDynamic-only
     /// traffic never pays for it) and exactly once.
     statics: OnceLock<Result<StaticAssignment, CompileError>>,
+    /// Partition-and-stitch state (region subdevices, sub-contexts, cut
+    /// maps), solved lazily when `config.partition` asks for it. `None`
+    /// when partitioning is disabled or the device does not split.
+    partitioned:
+        OnceLock<Result<Option<Arc<crate::partition::PartitionedState>>, CompileError>>,
     /// Concurrent `smt_find` memo keyed by `(k, band, alpha, tol)`.
-    smt_memo: RwLock<HashMap<SmtKey, Arc<Vec<f64>>>>,
+    /// Behind an `Arc` so region sub-contexts of a partitioned device
+    /// share the parent's memo: the key includes every input of the
+    /// solve, so a region never re-derives a value the whole device (or
+    /// a sibling region) already solved.
+    smt_memo: Arc<RwLock<HashMap<SmtKey, Arc<Vec<f64>>>>>,
     /// Hard cap on memoized `smt_find` entries (see
     /// [`smt_memo_capacity`](Self::smt_memo_capacity)).
     smt_memo_capacity: usize,
@@ -126,7 +140,6 @@ impl CompileContext {
     /// would surface.
     pub fn new(device: Device, config: CompilerConfig) -> Result<Self, CompileError> {
         let tol = config.smt_tolerance;
-        let xtalk = device.crosstalk_graph(config.crosstalk_distance);
         let parking = frequency::parking_assignment(&device, tol)?;
         let band = frequency::reachable_interaction_band(&device)?;
         let alpha = frequency::mean_anharmonicity(&device);
@@ -134,26 +147,66 @@ impl CompileContext {
         // Baseline N: a quasi-random (golden-ratio hash) per-coupling
         // value, ignoring adjacency entirely — the "separated idle and
         // interaction frequencies" of a conventional compiler, without
-        // any crosstalk model.
-        const GOLDEN: f64 = 0.618_033_988_749_895;
-        let baseline_n_freqs = (0..xtalk.coupling_count())
-            .map(|e| band.lo + ((e as f64 + 1.0) * GOLDEN).fract() * band.width())
-            .collect();
-        let baseline_u_freqs = vec![band.center(); xtalk.coupling_count()];
+        // any crosstalk model. Couplings are exactly the connectivity
+        // edges (same indexing), so the tables never need the crosstalk
+        // graph.
+        let n_couplings = device.connectivity().edge_count();
+        let baseline_n_freqs =
+            (0..n_couplings).map(|e| Self::baseline_n_frequency(e, band)).collect();
+        Ok(Self::from_parts(device, config, parking, band, alpha, baseline_n_freqs))
+    }
 
-        Ok(CompileContext {
+    /// Baseline N's golden-ratio hash for global coupling index `e` in
+    /// `band` — factored out so region sub-contexts of a partitioned
+    /// device can inject the *global* table values for their couplings.
+    pub(crate) fn baseline_n_frequency(e: usize, band: Band) -> f64 {
+        const GOLDEN: f64 = 0.618_033_988_749_895;
+        band.lo + ((e as f64 + 1.0) * GOLDEN).fract() * band.width()
+    }
+
+    /// A context with every derived table injected rather than computed —
+    /// the constructor the partition planner uses to give a region
+    /// sub-device the *global* parking restriction, interaction band,
+    /// anharmonicity, and Baseline N values, so region compiles agree
+    /// with whole-device compiles wherever the schedules overlap.
+    pub(crate) fn from_parts(
+        device: Device,
+        config: CompilerConfig,
+        parking: Vec<f64>,
+        band: Band,
+        alpha: f64,
+        baseline_n_freqs: Vec<f64>,
+    ) -> Self {
+        let n_couplings = device.connectivity().edge_count();
+        debug_assert_eq!(parking.len(), device.n_qubits());
+        debug_assert_eq!(baseline_n_freqs.len(), n_couplings);
+        let baseline_u_freqs = vec![band.center(); n_couplings];
+        CompileContext {
             device,
             config,
-            xtalk,
+            xtalk: OnceLock::new(),
             parking,
             band,
             alpha,
             baseline_n_freqs,
             baseline_u_freqs,
             statics: OnceLock::new(),
-            smt_memo: RwLock::new(HashMap::new()),
+            partitioned: OnceLock::new(),
+            smt_memo: Arc::new(RwLock::new(HashMap::new())),
             smt_memo_capacity: DEFAULT_SMT_MEMO_CAPACITY,
-        })
+        }
+    }
+
+    /// Rebinds this context's SMT memo to `parent`'s, so solves are
+    /// shared both ways. Region sub-contexts of a partitioned device use
+    /// this: the memo key covers every input of the solve (`k`, band,
+    /// anharmonicity, tolerance — all injected from the parent), so
+    /// sharing changes no result, only how many times the binary search
+    /// runs.
+    pub(crate) fn with_shared_smt_memo(mut self, parent: &CompileContext) -> Self {
+        self.smt_memo = Arc::clone(&parent.smt_memo);
+        self.smt_memo_capacity = parent.smt_memo_capacity;
+        self
     }
 
     /// Overrides the memo cap (default
@@ -183,9 +236,27 @@ impl CompileContext {
         &self.config
     }
 
-    /// The distance-`d` crosstalk graph.
+    /// The distance-`d` crosstalk graph, built on first use. The
+    /// whole-device graph costs a pairwise sweep over couplings (the
+    /// dominant cold-start term on 1000+-qubit devices); partitioned
+    /// compiles never call this on the global context.
     pub fn xtalk(&self) -> &CrosstalkGraph {
-        &self.xtalk
+        self.xtalk.get_or_init(|| self.device.crosstalk_graph(self.config.crosstalk_distance))
+    }
+
+    /// The partition-and-stitch state, built on first use: `None` when
+    /// `config.partition` is unset, the crosstalk distance is not 1, or
+    /// the partition plan yields a single region (whole-device compile
+    /// is used in all three cases).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError::FrequencyBandExhausted`] from region
+    /// sub-context construction.
+    pub(crate) fn partitioned(
+        &self,
+    ) -> Result<Option<Arc<crate::partition::PartitionedState>>, CompileError> {
+        self.partitioned.get_or_init(|| crate::partition::PartitionedState::build(self)).clone()
     }
 
     /// Parking (idle) frequency of every qubit.
@@ -242,7 +313,7 @@ impl CompileContext {
     pub fn statics(&self) -> Result<&StaticAssignment, CompileError> {
         self.statics
             .get_or_init(|| {
-                let colors = coloring::welsh_powell(self.xtalk.graph());
+                let colors = coloring::welsh_powell(self.xtalk().graph());
                 let color_count = coloring::color_count(&colors);
                 let values = self.smt_frequencies(color_count)?.0;
                 let freq_of_color = frequency::freq_of_color_by_multiplicity(&colors, &values);

@@ -21,11 +21,10 @@ use crate::router;
 use fastsc_device::Device;
 use fastsc_graph::coloring;
 use fastsc_ir::decompose::decompose;
-use fastsc_ir::layering::{criticality, Dag};
+use fastsc_ir::layering::{criticality_into, Dag};
 use fastsc_ir::optimize::peephole;
 use fastsc_ir::{Circuit, Gate};
-use fastsc_noise::{Cycle, Schedule, ScheduledGate};
-use std::collections::HashMap;
+use fastsc_noise::{Cycle, CycleScratch, Schedule, ScheduledGate};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -241,242 +240,395 @@ impl Compiler {
         let routed = router::route(program, &self.device)?;
         let lowered = peephole(&decompose(&routed.circuit, self.config.decomposition));
 
-        // 3. Device-wide structures — precomputed once per device in the
-        // shared context, not rebuilt per compile.
+        // 3-5. List scheduling against the shared per-device context —
+        // whole-device, or partition-and-stitch when configured and the
+        // device actually splits.
         let ctx = self.context_ref()?;
-        let xtalk = ctx.xtalk();
-        let n_couplings = xtalk.coupling_count();
-        let mut smt_calls = 0usize;
+        let out = match ctx.partitioned()? {
+            Some(state) => crate::partition::run_partitioned(ctx, &state, &lowered, strategy)?,
+            None => run_engine(ctx, &lowered, strategy, None, None)?,
+        };
 
-        // Static per-coupling interaction frequencies for the baselines.
-        // Baseline S/G share one crosstalk-graph coloring (solved once in
-        // the context) serving both the frequency table and the gmon
-        // tiling pattern (Sycamore-style tiles; on a mesh the classes are
-        // the A/B/C/D patterns of Fig. 7).
-        let static_freqs: Option<&[f64]> = match strategy {
-            Strategy::BaselineN => Some(ctx.baseline_n_freqs()),
-            Strategy::BaselineU => Some(ctx.baseline_u_freqs()),
-            Strategy::BaselineS | Strategy::BaselineG => {
-                smt_calls += 1;
-                Some(&ctx.statics()?.freqs)
+        Ok(CompiledProgram {
+            schedule: out.schedule,
+            stats: CompileStats {
+                swaps_inserted: routed.swaps_inserted,
+                lowered_gate_count: lowered.len(),
+                max_colors_used: out.max_colors_used,
+                smt_calls: out.smt_calls,
+                deferred_gates: out.deferred_gates,
+                compile_time: start.elapsed(),
+            },
+        })
+    }
+}
+
+/// What one engine run produces besides timing: the schedule plus the
+/// counters [`Compiler::compile`] folds into [`CompileStats`]. The
+/// partitioned path runs the engine once per region wave and aggregates
+/// these.
+#[derive(Debug)]
+pub(crate) struct EngineOutput {
+    pub(crate) schedule: Schedule,
+    pub(crate) max_colors_used: usize,
+    pub(crate) smt_calls: usize,
+    pub(crate) deferred_gates: usize,
+    /// Per-instruction criticality, copied out of the arena only when a
+    /// `trace` was requested (the partitioned merge keys on it; a second
+    /// DAG build to recompute it would double the per-wave fixed cost).
+    /// Empty on traceless runs.
+    pub(crate) crit: Vec<usize>,
+    /// The wave id of each emitted cycle, non-decreasing; empty unless
+    /// the run was wave-gated (see [`run_engine`]'s `waves`).
+    pub(crate) wave_of_cycle: Vec<usize>,
+    /// Per-instruction interaction frequency (`NaN` for single-qubit
+    /// gates); filled only on wave-gated runs, which skip schedule
+    /// assembly entirely — the merge rebuilds global cycles from the
+    /// trace plus this table, so materializing region-local cycles
+    /// (frequency overlays, durations, validation) would be pure waste.
+    pub(crate) freq_of_inst: Vec<f64>,
+}
+
+/// Sentinel: instruction has no coupling (single-qubit gate).
+pub(crate) const NO_COUPLING: usize = usize::MAX;
+/// Sentinel: instruction has no second operand (single-qubit gate).
+const NO_QUBIT: usize = usize::MAX;
+
+/// The list-scheduling core shared by every strategy: schedules an
+/// already-routed-and-lowered circuit against a context's device.
+///
+/// The working state lives in a per-compile bump arena — three backing
+/// allocations (`usize` words, flag bytes, `f64` lanes) carved into named
+/// regions with `split_at_mut` — and the per-instruction state is laid
+/// out struct-of-arrays (`q0`/`q1`/`coupling_of` lanes precomputed once)
+/// so the per-cycle admission loop does plain indexed loads: no `Vec`
+/// allocation, no hash lookup, no enum matching per instruction per
+/// cycle. `docs/ENGINE.md` documents the layout invariants.
+/// `trace`, when supplied, receives one entry per emitted cycle: the
+/// indices into `lowered` of that cycle's admitted instructions, in
+/// admission order (the partitioned merge uses this to map scheduled
+/// gates back to their originating instructions). The whole-device path
+/// passes `None` and pays nothing.
+///
+/// `waves`, when supplied, gives each instruction a wave id and gates
+/// admission: only instructions of the lowest unfinished wave are
+/// admitted, and a cycle never mixes waves. The partitioned path uses
+/// this to compile a region's *whole* instruction stream in one engine
+/// run while keeping cycles splittable at segment boundaries (where cut
+/// gates — invisible to the region's DAG — must interleave). Wave ids
+/// must be monotone along dependencies (`waves[i] >= waves[pred]`),
+/// which segment indices are by construction.
+pub(crate) fn run_engine(
+    ctx: &CompileContext,
+    lowered: &Circuit,
+    strategy: Strategy,
+    mut trace: Option<&mut Vec<Vec<usize>>>,
+    waves: Option<&[usize]>,
+) -> Result<EngineOutput, CompileError> {
+    let device = ctx.device();
+    let config = ctx.config();
+    let xtalk = ctx.xtalk();
+    let n_couplings = xtalk.coupling_count();
+    let n_qubits = device.n_qubits();
+    let n_inst = lowered.len();
+    let mut smt_calls = 0usize;
+
+    // Static per-coupling interaction frequencies for the baselines.
+    // Baseline S/G share one crosstalk-graph coloring (solved once in
+    // the context) serving both the frequency table and the gmon
+    // tiling pattern (Sycamore-style tiles; on a mesh the classes are
+    // the A/B/C/D patterns of Fig. 7).
+    let static_freqs: Option<&[f64]> = match strategy {
+        Strategy::BaselineN => Some(ctx.baseline_n_freqs()),
+        Strategy::BaselineU => Some(ctx.baseline_u_freqs()),
+        Strategy::BaselineS | Strategy::BaselineG => {
+            smt_calls += 1;
+            Some(&ctx.statics()?.freqs)
+        }
+        Strategy::ColorDynamic => None,
+    };
+    let static_colors: Option<&[usize]> = match strategy {
+        Strategy::BaselineS | Strategy::BaselineG => Some(&ctx.statics()?.colors),
+        _ => None,
+    };
+    let static_color_count = match strategy {
+        Strategy::BaselineS | Strategy::BaselineG => ctx.statics()?.color_count,
+        Strategy::BaselineN => 4.min(n_couplings.max(1)),
+        Strategy::BaselineU => 1,
+        Strategy::ColorDynamic => 0,
+    };
+
+    // 4-5. List scheduling. One DAG build serves both dependency
+    // tracking and criticality (the seed engine built it twice).
+    let dag = Dag::build(lowered);
+
+    // ---- Arena: every fixed-size working array of the compile comes out
+    // of three backing allocations, carved here and reset per cycle. ----
+    let mut words = vec![0usize; 5 * n_inst + n_couplings];
+    let (crit, rest) = words.split_at_mut(n_inst);
+    let (remaining_preds, rest) = rest.split_at_mut(n_inst);
+    let (q0, rest) = rest.split_at_mut(n_inst);
+    let (q1, rest) = rest.split_at_mut(n_inst);
+    // coupling_of[i]: the coupling of (two-qubit) instruction i;
+    // NO_COUPLING for one-qubit gates. sub_index_of[coupling]: the active
+    // index of an admitted coupling in the inline subgraph coloring
+    // (valid only while its coupling_admitted bit is set).
+    let (coupling_of, sub_index_of) = rest.split_at_mut(n_inst);
+    let mut flags = vec![false; n_inst + n_qubits + 2 * n_couplings];
+    let (scheduled, rest) = flags.split_at_mut(n_inst);
+    let (qubit_busy, rest) = rest.split_at_mut(n_qubits);
+    let (coupling_admitted, deferred_coupling) = rest.split_at_mut(n_couplings);
+    let mut freq_of_coupling = vec![0.0f64; n_couplings];
+
+    criticality_into(&dag, crit);
+    sub_index_of.fill(usize::MAX);
+    // Struct-of-arrays instruction lanes: operands and coupling index
+    // resolved once per compile (the seed resolved the coupling through a
+    // hash map per instruction per cycle).
+    for (i, inst) in lowered.instructions().iter().enumerate() {
+        remaining_preds[i] = dag.preds(i).len();
+        match inst.qubit_pair() {
+            Some((a, b)) => {
+                q0[i] = a;
+                q1[i] = b;
+                coupling_of[i] =
+                    xtalk.coupling_between(a, b).expect("router guarantees coupled operands");
             }
-            Strategy::ColorDynamic => None,
-        };
-        let static_colors: Option<&[usize]> = match strategy {
-            Strategy::BaselineS | Strategy::BaselineG => Some(&ctx.statics()?.colors),
-            _ => None,
-        };
-        let static_color_count = match strategy {
-            Strategy::BaselineS | Strategy::BaselineG => ctx.statics()?.color_count,
-            Strategy::BaselineN => 4.min(n_couplings.max(1)),
-            Strategy::BaselineU => 1,
-            Strategy::ColorDynamic => 0,
-        };
+            None => {
+                q0[i] = inst.operands.first();
+                q1[i] = NO_QUBIT;
+                coupling_of[i] = NO_COUPLING;
+            }
+        }
+    }
+    let mut n_scheduled = 0usize;
 
-        // 4-5. List scheduling.
-        let dag = Dag::build(&lowered);
-        let crit = criticality(&lowered);
-        let n_inst = lowered.len();
-        let mut remaining_preds: Vec<usize> = (0..n_inst).map(|i| dag.preds(i).len()).collect();
-        let mut scheduled = vec![false; n_inst];
-        let mut n_scheduled = 0usize;
+    // The ready queue is kept sorted by (criticality desc, index asc)
+    // incrementally: sorted once here, then maintained by binary-search
+    // insertion as successors become ready — never re-sorted. The key
+    // is a strict total order (ties broken by the unique index), so
+    // the admission order is exactly what a per-cycle re-sort yields.
+    let crit = &*crit;
+    let ready_key = |i: usize| (std::cmp::Reverse(crit[i]), i);
+    let mut ready: Vec<usize> = (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
+    ready.sort_by_key(|&i| ready_key(i));
 
-        // The ready queue is kept sorted by (criticality desc, index asc)
-        // incrementally: sorted once here, then maintained by binary-search
-        // insertion as successors become ready — never re-sorted. The key
-        // is a strict total order (ties broken by the unique index), so
-        // the admission order is exactly what a per-cycle re-sort yields.
-        let ready_key = |i: usize| (std::cmp::Reverse(crit[i]), i);
-        let mut ready: Vec<usize> = (0..n_inst).filter(|&i| remaining_preds[i] == 0).collect();
-        ready.sort_by_key(|&i| ready_key(i));
+    // Wave gating: unscheduled-instruction count per wave and the
+    // current (lowest unfinished) wave. The current wave only advances
+    // between cycles, so no emitted cycle mixes waves.
+    let mut wave_remaining: Vec<usize> = Vec::new();
+    let mut wave_cur = 0usize;
+    if let Some(w) = waves {
+        debug_assert_eq!(w.len(), n_inst);
+        let n_waves = w.iter().copied().max().map_or(0, |m| m + 1);
+        wave_remaining.resize(n_waves, 0);
+        for &wi in w {
+            wave_remaining[wi] += 1;
+        }
+        while wave_cur < wave_remaining.len() && wave_remaining[wave_cur] == 0 {
+            wave_cur += 1;
+        }
+    }
+    let mut wave_of_cycle: Vec<usize> = Vec::new();
+    let mut freq_of_inst: Vec<f64> =
+        if waves.is_some() { vec![f64::NAN; n_inst] } else { Vec::new() };
 
-        let mut schedule = Schedule::new(self.device.n_qubits());
-        // Per-compile view of the context's SMT memo: one lock-free hit
-        // per distinct color count after the first lookup.
-        let mut smt_local: HashMap<usize, Arc<Vec<f64>>> = HashMap::new();
-        let mut max_colors_used = static_color_count;
-        let mut deferred_gates = 0usize;
-        let params = *self.device.params();
+    let mut schedule = Schedule::new(n_qubits);
+    let mut cycle_scratch = CycleScratch::new();
+    // Per-compile view of the context's SMT memo, indexed directly by
+    // color count: one lock-free slot probe per colored cycle after the
+    // first lookup.
+    let mut smt_local: Vec<Option<Arc<Vec<f64>>>> = vec![None; n_couplings + 1];
+    let mut mult_scratch = frequency::MultiplicityScratch::default();
+    let mut max_colors_used = static_color_count;
+    let mut deferred_gates = 0usize;
+    let params = *device.params();
 
-        // Per-cycle scratch, allocated once and reused: membership tests
-        // are O(1) bitset probes and the hot loop is allocation-free.
-        let mut qubit_busy = vec![false; self.device.n_qubits()];
-        let mut coupling_admitted = vec![false; n_couplings];
-        let mut deferred_coupling = vec![false; n_couplings];
-        // coupling_of[i]: the coupling of (two-qubit) instruction i, valid
-        // only in cycles that admitted i; NO_COUPLING for one-qubit gates.
-        const NO_COUPLING: usize = usize::MAX;
-        let mut coupling_of = vec![NO_COUPLING; n_inst];
-        let mut freq_of_coupling = vec![0.0f64; n_couplings];
-        let mut admitted: Vec<usize> = Vec::new();
-        let mut admitted_couplings: Vec<usize> = Vec::new();
-        let mut active_colors: Vec<usize> = Vec::new();
-        // Scratch for the inline active-subgraph coloring (ColorDynamic):
-        // sub_index_of[coupling] is the active index of an admitted
-        // coupling (valid only while its coupling_admitted bit is set).
-        let mut sub_index_of = vec![usize::MAX; n_couplings];
-        let mut sub_degree: Vec<usize> = Vec::new();
-        let mut sub_order: Vec<usize> = Vec::new();
-        let mut sub_color: Vec<Option<usize>> = Vec::new();
-        let mut sub_deferred: Vec<usize> = Vec::new();
-        let mut used_colors: Vec<bool> = Vec::new();
+    // Growable per-cycle scratch, allocated once and reused.
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut admitted_couplings: Vec<usize> = Vec::new();
+    let mut active_colors: Vec<usize> = Vec::new();
+    let mut sub_degree: Vec<usize> = Vec::new();
+    let mut sub_order: Vec<usize> = Vec::new();
+    let mut sub_color: Vec<Option<usize>> = Vec::new();
+    let mut sub_deferred: Vec<usize> = Vec::new();
+    let mut used_colors: Vec<bool> = Vec::new();
 
-        while n_scheduled < n_inst {
-            admitted.clear();
-            admitted_couplings.clear();
-            let mut tile_color: Option<usize> = None;
+    while n_scheduled < n_inst {
+        admitted.clear();
+        admitted_couplings.clear();
+        let mut tile_color: Option<usize> = None;
 
-            for &i in &ready {
-                let inst = lowered.instructions()[i];
-                if inst.qubits().iter().any(|&q| qubit_busy[q]) {
+        for &i in &ready {
+            // Later-wave instructions wait for the barrier; not a
+            // deferral — they were never candidates this cycle.
+            if let Some(w) = waves {
+                if w[i] != wave_cur {
                     continue;
                 }
-                if let Some((a, b)) = inst.qubit_pair() {
-                    let cpl = xtalk
-                        .coupling_between(a, b)
-                        .expect("router guarantees coupled operands");
-                    let conflicts =
-                        xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count();
-                    let postpone = match strategy {
-                        // Serial scheduler (Table I): one two-qubit gate
-                        // per cycle — the shared interaction frequency
-                        // cannot separate simultaneous gates.
-                        Strategy::BaselineU => !admitted_couplings.is_empty(),
-                        // noise_conflict (Algorithm 1 line 13); Baseline S
-                        // shares the crosstalk-aware queueing scheduler but
-                        // keeps its static frequencies. Serialization is
-                        // "done conservatively while maintaining minimal
-                        // impact on the critical path" (§V-B6): a gate with
-                        // slack (criticality below the cycle's frontier)
-                        // defers as soon as it conflicts at all; critical
-                        // gates tolerate up to `conflict_threshold`
-                        // crowded neighbors before deferring.
-                        Strategy::ColorDynamic | Strategy::BaselineS => {
-                            let cycle_crit = admitted.first().map_or(crit[i], |&j| crit[j]);
-                            (conflicts >= 1 && crit[i] < cycle_crit)
-                                || conflicts >= self.config.conflict_threshold
-                        }
-                        // Tiling scheduler: a cycle only activates
-                        // couplers from one color class.
-                        Strategy::BaselineG => {
-                            let color = static_colors.expect("gmon is static")[cpl];
-                            match tile_color {
-                                Some(t) => t != color,
-                                None => false,
-                            }
-                        }
-                        Strategy::BaselineN => false,
-                    };
-                    if postpone {
-                        deferred_gates += 1;
-                        continue;
-                    }
-                    if strategy == Strategy::BaselineG && tile_color.is_none() {
-                        tile_color = Some(static_colors.expect("gmon is static")[cpl]);
-                    }
-                    admitted_couplings.push(cpl);
-                    coupling_admitted[cpl] = true;
-                    coupling_of[i] = cpl;
-                }
-                for q in inst.qubits() {
-                    qubit_busy[q] = true;
-                }
-                admitted.push(i);
             }
-            assert!(
-                !admitted.is_empty(),
-                "scheduler stalled with {} instructions pending",
-                n_inst - n_scheduled
-            );
-
-            // ColorDynamic: color the active subgraph, enforcing the
-            // color budget by deferring uncolorable gates (Fig. 11).
-            //
-            // The coloring is `coloring::bounded_coloring` of
-            // `xtalk.active_subgraph(&admitted_couplings)`, computed
-            // inline over the coupling_admitted bitset: active index `v`
-            // is `admitted_couplings[v]` (exactly the subgraph's node
-            // mapping), subgraph adjacency is crosstalk adjacency
-            // restricted to admitted couplings, and Welsh–Powell visits
-            // by (degree desc, active index asc) — identical order,
-            // identical colors, identical deferrals, but no per-cycle
-            // graph construction or hash maps.
-            if strategy == Strategy::ColorDynamic && !admitted_couplings.is_empty() {
-                let n_active = admitted_couplings.len();
-                let budget = self.config.max_colors.unwrap_or(n_active);
-                assert!(budget > 0, "at least one color is required");
-                for (v, &cpl) in admitted_couplings.iter().enumerate() {
-                    sub_index_of[cpl] = v;
-                }
-                sub_degree.clear();
-                sub_degree.extend(admitted_couplings.iter().map(|&cpl| {
-                    xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count()
-                }));
-                sub_order.clear();
-                sub_order.extend(0..n_active);
-                sub_order.sort_by_key(|&v| (std::cmp::Reverse(sub_degree[v]), v));
-
-                sub_color.clear();
-                sub_color.resize(n_active, None);
-                sub_deferred.clear();
-                used_colors.clear();
-                used_colors.resize(budget, false);
-                for &v in &sub_order {
-                    used_colors.fill(false);
-                    for &c in xtalk.conflicts(admitted_couplings[v]) {
-                        if coupling_admitted[c] {
-                            if let Some(color) = sub_color[sub_index_of[c]] {
-                                used_colors[color] = true;
-                            }
+            let (a, b) = (q0[i], q1[i]);
+            if qubit_busy[a] || (b != NO_QUBIT && qubit_busy[b]) {
+                continue;
+            }
+            if b != NO_QUBIT {
+                let cpl = coupling_of[i];
+                let conflicts =
+                    xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count();
+                let postpone = match strategy {
+                    // Serial scheduler (Table I): one two-qubit gate
+                    // per cycle — the shared interaction frequency
+                    // cannot separate simultaneous gates.
+                    Strategy::BaselineU => !admitted_couplings.is_empty(),
+                    // noise_conflict (Algorithm 1 line 13); Baseline S
+                    // shares the crosstalk-aware queueing scheduler but
+                    // keeps its static frequencies. Serialization is
+                    // "done conservatively while maintaining minimal
+                    // impact on the critical path" (§V-B6): a gate with
+                    // slack (criticality below the cycle's frontier)
+                    // defers as soon as it conflicts at all; critical
+                    // gates tolerate up to `conflict_threshold`
+                    // crowded neighbors before deferring.
+                    Strategy::ColorDynamic | Strategy::BaselineS => {
+                        let cycle_crit = admitted.first().map_or(crit[i], |&j| crit[j]);
+                        (conflicts >= 1 && crit[i] < cycle_crit)
+                            || conflicts >= config.conflict_threshold
+                    }
+                    // Tiling scheduler: a cycle only activates
+                    // couplers from one color class.
+                    Strategy::BaselineG => {
+                        let color = static_colors.expect("gmon is static")[cpl];
+                        match tile_color {
+                            Some(t) => t != color,
+                            None => false,
                         }
                     }
-                    match used_colors.iter().position(|&taken| !taken) {
-                        Some(color) => sub_color[v] = Some(color),
-                        None => sub_deferred.push(v),
-                    }
+                    Strategy::BaselineN => false,
+                };
+                if postpone {
+                    deferred_gates += 1;
+                    continue;
                 }
+                if strategy == Strategy::BaselineG && tile_color.is_none() {
+                    tile_color = Some(static_colors.expect("gmon is static")[cpl]);
+                }
+                admitted_couplings.push(cpl);
+                coupling_admitted[cpl] = true;
+                qubit_busy[b] = true;
+            }
+            qubit_busy[a] = true;
+            admitted.push(i);
+        }
+        assert!(
+            !admitted.is_empty(),
+            "scheduler stalled with {} instructions pending",
+            n_inst - n_scheduled
+        );
 
-                if !sub_deferred.is_empty() {
-                    // Remove the deferred gates from this cycle.
-                    deferred_gates += sub_deferred.len();
-                    for &v in &sub_deferred {
-                        deferred_coupling[admitted_couplings[v]] = true;
-                    }
-                    admitted.retain(|&i| {
-                        coupling_of[i] == NO_COUPLING || !deferred_coupling[coupling_of[i]]
-                    });
-                    for &v in &sub_deferred {
-                        deferred_coupling[admitted_couplings[v]] = false;
+        // ColorDynamic: color the active subgraph, enforcing the
+        // color budget by deferring uncolorable gates (Fig. 11).
+        //
+        // The coloring is `coloring::bounded_coloring` of
+        // `xtalk.active_subgraph(&admitted_couplings)`, computed
+        // inline over the coupling_admitted bitset: active index `v`
+        // is `admitted_couplings[v]` (exactly the subgraph's node
+        // mapping), subgraph adjacency is crosstalk adjacency
+        // restricted to admitted couplings, and Welsh–Powell visits
+        // by (degree desc, active index asc) — identical order,
+        // identical colors, identical deferrals, but no per-cycle
+        // graph construction or hash maps.
+        if strategy == Strategy::ColorDynamic && !admitted_couplings.is_empty() {
+            let n_active = admitted_couplings.len();
+            let budget = config.max_colors.unwrap_or(n_active);
+            assert!(budget > 0, "at least one color is required");
+            for (v, &cpl) in admitted_couplings.iter().enumerate() {
+                sub_index_of[cpl] = v;
+            }
+            sub_degree.clear();
+            sub_degree.extend(admitted_couplings.iter().map(|&cpl| {
+                xtalk.conflicts(cpl).iter().filter(|&&c| coupling_admitted[c]).count()
+            }));
+            sub_order.clear();
+            sub_order.extend(0..n_active);
+            sub_order.sort_by_key(|&v| (std::cmp::Reverse(sub_degree[v]), v));
+
+            sub_color.clear();
+            sub_color.resize(n_active, None);
+            sub_deferred.clear();
+            used_colors.clear();
+            used_colors.resize(budget, false);
+            for &v in &sub_order {
+                used_colors.fill(false);
+                for &c in xtalk.conflicts(admitted_couplings[v]) {
+                    if coupling_admitted[c] {
+                        if let Some(color) = sub_color[sub_index_of[c]] {
+                            used_colors[color] = true;
+                        }
                     }
                 }
-                active_colors.clear();
-                active_colors.extend(sub_color.iter().flatten());
-                if !active_colors.is_empty() {
-                    let k = coloring::color_count(&active_colors);
-                    max_colors_used = max_colors_used.max(k);
-                    // Borrow the memoized frequencies (no per-cycle clone
-                    // of the value vector — only an Arc bump on misses).
-                    let values: &Arc<Vec<f64>> = match smt_local.entry(k) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(slot) => {
-                            let (values, missed) = ctx.smt_frequencies(k)?;
-                            if missed {
-                                smt_calls += 1;
-                            }
-                            slot.insert(values)
-                        }
-                    };
-                    // Rank colors by multiplicity: popular = fastest.
-                    let freq_of_color =
-                        frequency::freq_of_color_by_multiplicity(&active_colors, values);
-                    for (&coupling, &color) in admitted_couplings.iter().zip(&sub_color) {
-                        if let Some(c) = color {
-                            freq_of_coupling[coupling] = freq_of_color[c];
-                        }
-                    }
+                match used_colors.iter().position(|&taken| !taken) {
+                    Some(color) => sub_color[v] = Some(color),
+                    None => sub_deferred.push(v),
                 }
             }
 
+            if !sub_deferred.is_empty() {
+                // Remove the deferred gates from this cycle.
+                deferred_gates += sub_deferred.len();
+                for &v in &sub_deferred {
+                    deferred_coupling[admitted_couplings[v]] = true;
+                }
+                admitted.retain(|&i| {
+                    coupling_of[i] == NO_COUPLING || !deferred_coupling[coupling_of[i]]
+                });
+                for &v in &sub_deferred {
+                    deferred_coupling[admitted_couplings[v]] = false;
+                }
+            }
+            active_colors.clear();
+            active_colors.extend(sub_color.iter().flatten());
+            if !active_colors.is_empty() {
+                let k = coloring::color_count(&active_colors);
+                max_colors_used = max_colors_used.max(k);
+                // Borrow the memoized frequencies (no per-cycle clone
+                // of the value vector — only an Arc bump on misses,
+                // then a direct slot probe per cycle).
+                if smt_local[k].is_none() {
+                    let (values, missed) = ctx.smt_frequencies(k)?;
+                    if missed {
+                        smt_calls += 1;
+                    }
+                    smt_local[k] = Some(values);
+                }
+                let values = smt_local[k].as_ref().expect("slot just filled");
+                // Rank colors by multiplicity: popular = fastest.
+                frequency::freq_of_color_by_multiplicity_into(
+                    &active_colors,
+                    values,
+                    &mut mult_scratch,
+                );
+                for (&coupling, &color) in admitted_couplings.iter().zip(&sub_color) {
+                    if let Some(c) = color {
+                        freq_of_coupling[coupling] = mult_scratch.freq_of_color[c];
+                    }
+                }
+            }
+        }
+
+        if waves.is_some() {
+            // Wave-gated runs feed the partitioned merge, which rebuilds
+            // global cycles from the trace — record the frequency each
+            // two-qubit instruction resolved to and skip cycle assembly.
+            for &i in &admitted {
+                if q1[i] != NO_QUBIT {
+                    let cpl = coupling_of[i];
+                    freq_of_inst[i] = match strategy {
+                        Strategy::ColorDynamic => freq_of_coupling[cpl],
+                        _ => static_freqs.expect("baselines are static")[cpl],
+                    };
+                }
+            }
+        } else {
             // Assemble the cycle.
             let mut frequencies = ctx.parking().to_vec();
             let mut gates = Vec::with_capacity(admitted.len());
@@ -486,79 +638,91 @@ impl Compiler {
 
             for &i in &admitted {
                 let inst = lowered.instructions()[i];
-                let interaction_freq = match inst.qubit_pair() {
-                    Some((a, b)) => {
-                        let cpl = coupling_of[i];
-                        let omega = match strategy {
-                            Strategy::ColorDynamic => freq_of_coupling[cpl],
-                            _ => static_freqs.expect("baselines are static")[cpl],
-                        };
-                        frequencies[a] = omega;
-                        frequencies[b] = omega;
-                        if strategy == Strategy::BaselineG {
-                            active_couplings.push((a.min(b), a.max(b)));
-                        }
-                        any_two_qubit = true;
-                        max_gate_ns = max_gate_ns.max(match inst.gate {
-                            Gate::Cz => params.cz_duration_ns(omega),
-                            Gate::ISwap => params.iswap_duration_ns(omega),
-                            Gate::SqrtISwap => params.sqrt_iswap_duration_ns(omega),
-                            g => unreachable!("non-native two-qubit gate {g} survived"),
-                        });
-                        Some(omega)
+                let interaction_freq = if q1[i] != NO_QUBIT {
+                    let (a, b) = (q0[i], q1[i]);
+                    let cpl = coupling_of[i];
+                    let omega = match strategy {
+                        Strategy::ColorDynamic => freq_of_coupling[cpl],
+                        _ => static_freqs.expect("baselines are static")[cpl],
+                    };
+                    frequencies[a] = omega;
+                    frequencies[b] = omega;
+                    if strategy == Strategy::BaselineG {
+                        active_couplings.push((a.min(b), a.max(b)));
                     }
-                    None => {
-                        max_gate_ns = max_gate_ns.max(params.t_single_ns);
-                        None
-                    }
+                    any_two_qubit = true;
+                    max_gate_ns = max_gate_ns.max(match inst.gate {
+                        Gate::Cz => params.cz_duration_ns(omega),
+                        Gate::ISwap => params.iswap_duration_ns(omega),
+                        Gate::SqrtISwap => params.sqrt_iswap_duration_ns(omega),
+                        g => unreachable!("non-native two-qubit gate {g} survived"),
+                    });
+                    Some(omega)
+                } else {
+                    max_gate_ns = max_gate_ns.max(params.t_single_ns);
+                    None
                 };
                 gates.push(ScheduledGate { instruction: inst, interaction_freq });
             }
 
             let duration_ns =
                 max_gate_ns + if any_two_qubit { params.flux_settle_ns } else { 0.0 };
-            schedule.push_cycle(Cycle { gates, frequencies, active_couplings, duration_ns });
-
-            // Reset the per-cycle bitsets (sparse clear via the admitted
-            // lists; `admitted_couplings` still holds budget-deferred
-            // couplings, so every set bit is covered).
-            qubit_busy.fill(false);
-            for &cpl in &admitted_couplings {
-                coupling_admitted[cpl] = false;
-            }
-
-            // Retire admitted instructions and surface newly ready ones at
-            // their sorted position.
-            for &i in &admitted {
-                scheduled[i] = true;
-                n_scheduled += 1;
-                for &s in dag.succs(i) {
-                    remaining_preds[s] -= 1;
-                    if remaining_preds[s] == 0 {
-                        let at = match ready
-                            .binary_search_by_key(&ready_key(s), |&j| ready_key(j))
-                        {
-                            Ok(at) | Err(at) => at,
-                        };
-                        ready.insert(at, s);
-                    }
-                }
-            }
-            ready.retain(|&i| !scheduled[i]);
+            schedule.push_cycle_with(
+                Cycle { gates, frequencies, active_couplings, duration_ns },
+                &mut cycle_scratch,
+            );
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(admitted.clone());
         }
 
-        Ok(CompiledProgram {
-            schedule,
-            stats: CompileStats {
-                swaps_inserted: routed.swaps_inserted,
-                lowered_gate_count: lowered.len(),
-                max_colors_used,
-                smt_calls,
-                deferred_gates,
-                compile_time: start.elapsed(),
-            },
-        })
+        // Reset the per-cycle bitsets. `qubit_busy` takes a full clear
+        // (budget-deferred gates left `admitted`, so their bits are not
+        // reachable sparsely); `coupling_admitted` clears sparsely via
+        // `admitted_couplings`, which still holds the deferred couplings.
+        qubit_busy.fill(false);
+        for &cpl in &admitted_couplings {
+            coupling_admitted[cpl] = false;
+        }
+
+        // Retire admitted instructions and surface newly ready ones at
+        // their sorted position.
+        for &i in &admitted {
+            scheduled[i] = true;
+            n_scheduled += 1;
+            for &s in dag.succs(i) {
+                remaining_preds[s] -= 1;
+                if remaining_preds[s] == 0 {
+                    let at = match ready.binary_search_by_key(&ready_key(s), |&j| ready_key(j))
+                    {
+                        Ok(at) | Err(at) => at,
+                    };
+                    ready.insert(at, s);
+                }
+            }
+        }
+        ready.retain(|&i| !scheduled[i]);
+
+        if waves.is_some() {
+            wave_of_cycle.push(wave_cur);
+            // Everything admitted this cycle belonged to the current wave.
+            wave_remaining[wave_cur] -= admitted.len();
+            while wave_cur < wave_remaining.len() && wave_remaining[wave_cur] == 0 {
+                wave_cur += 1;
+            }
+        }
     }
+
+    let crit = if trace.is_some() { crit.to_vec() } else { Vec::new() };
+    Ok(EngineOutput {
+        schedule,
+        max_colors_used,
+        smt_calls,
+        deferred_gates,
+        crit,
+        wave_of_cycle,
+        freq_of_inst,
+    })
 }
 
 #[cfg(test)]

@@ -109,16 +109,54 @@ pub fn frequencies_for_coloring(
 ///
 /// Panics if `values` holds fewer entries than `colors` has colors.
 pub fn freq_of_color_by_multiplicity(colors: &[usize], values: &[f64]) -> Vec<f64> {
-    let histogram = coloring::histogram(colors);
-    let k = histogram.len();
+    let mut scratch = MultiplicityScratch::default();
+    freq_of_color_by_multiplicity_into(colors, values, &mut scratch);
+    scratch.freq_of_color.clone()
+}
+
+/// Reusable buffers for
+/// [`freq_of_color_by_multiplicity_into`]: the per-cycle ColorDynamic
+/// path ranks a fresh coloring every colored cycle, and routing those
+/// three vectors through caller-owned scratch keeps the engine's hot loop
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct MultiplicityScratch {
+    histogram: Vec<usize>,
+    order: Vec<usize>,
+    /// `freq_of_color[color]` after the last
+    /// [`freq_of_color_by_multiplicity_into`] call.
+    pub freq_of_color: Vec<f64>,
+}
+
+/// [`freq_of_color_by_multiplicity`] writing into reusable scratch; the
+/// result lands in `scratch.freq_of_color`. Identical ranking (count
+/// descending, ties by color index) — the allocation-free twin the
+/// engine's per-cycle path uses.
+///
+/// # Panics
+///
+/// Panics if `values` holds fewer entries than `colors` has colors.
+pub fn freq_of_color_by_multiplicity_into(
+    colors: &[usize],
+    values: &[f64],
+    scratch: &mut MultiplicityScratch,
+) {
+    let k = colors.iter().max().map_or(0, |&m| m + 1);
     assert!(values.len() >= k, "need one frequency per color");
-    let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by_key(|&c| (std::cmp::Reverse(histogram[c]), c));
-    let mut freq_of_color = vec![0.0; k];
-    for (rank, &color) in order.iter().enumerate() {
-        freq_of_color[color] = values[rank];
+    scratch.histogram.clear();
+    scratch.histogram.resize(k, 0);
+    for &c in colors {
+        scratch.histogram[c] += 1;
     }
-    freq_of_color
+    scratch.order.clear();
+    scratch.order.extend(0..k);
+    let histogram = &scratch.histogram;
+    scratch.order.sort_by_key(|&c| (std::cmp::Reverse(histogram[c]), c));
+    scratch.freq_of_color.clear();
+    scratch.freq_of_color.resize(k, 0.0);
+    for (rank, &color) in scratch.order.iter().enumerate() {
+        scratch.freq_of_color[color] = values[rank];
+    }
 }
 
 /// Parking (idle) frequencies for every qubit: colors the connectivity

@@ -43,9 +43,10 @@ pub mod context;
 mod engine;
 mod error;
 pub mod frequency;
+pub mod partition;
 pub mod router;
 
-pub use config::CompilerConfig;
+pub use config::{CompilerConfig, PartitionConfig};
 pub use context::{CompileContext, StaticAssignment};
 pub use engine::{CompileStats, CompiledProgram, Compiler, ParseStrategyError, Strategy};
 pub use error::{CompileError, FailedAttempt};

@@ -178,6 +178,35 @@ impl Device {
         Device { coupler, ..self.clone() }
     }
 
+    /// The sub-device induced by `qubits`: local qubit `i` is global
+    /// qubit `qubits[i]`, keeping that qubit's sampled spec, and the
+    /// connectivity is the induced subgraph (local edge order follows
+    /// the global edge order restricted to in-set edges, so a local →
+    /// global coupling map is recoverable via
+    /// [`edge_between`](fastsc_graph::Graph::edge_between)). Coupler,
+    /// frequency partition, physical params, and the fabrication seed
+    /// carry over unchanged — the sub-device describes the *same*
+    /// hardware, restricted to a region, which is what the partitioned
+    /// compile path needs for region compiles to agree with whole-device
+    /// compiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `qubits` is out of range (duplicates are
+    /// ignored after the first occurrence, matching `induced_subgraph`).
+    pub fn induced_subdevice(&self, qubits: &[usize]) -> Device {
+        let (connectivity, to_old) = self.connectivity.induced_subgraph(qubits);
+        let specs = to_old.iter().map(|&g| self.qubits[g]).collect();
+        Device {
+            connectivity,
+            qubits: specs,
+            coupler: self.coupler,
+            partition: self.partition,
+            params: self.params,
+            seed: self.seed,
+        }
+    }
+
     /// Feeds every identity-bearing field of this device into `sink` as
     /// stable 64-bit words (floats as IEEE-754 bits, in a fixed order).
     ///
@@ -468,6 +497,30 @@ mod tests {
         for (a, b) in d.qubits().iter().zip(gmon.qubits()) {
             assert_eq!(a.omega_max, b.omega_max);
         }
+    }
+
+    #[test]
+    fn induced_subdevice_restricts_chip() {
+        let d = Device::grid(3, 3, 7);
+        let block = [0usize, 1, 3, 4];
+        let sub = d.induced_subdevice(&block);
+        assert_eq!(sub.n_qubits(), 4);
+        assert_eq!(sub.n_couplings(), 4, "the 2x2 corner block");
+        assert_eq!(sub.seed(), d.seed());
+        assert_eq!(sub.coupler(), d.coupler());
+        // Specs carry over by global identity (local 2 == global 3).
+        assert_eq!(sub.qubit(2).omega_max, d.qubit(3).omega_max);
+        // Local edge order follows global edge order restricted to the
+        // block, and every local edge maps back to a global edge.
+        let expected: Vec<(usize, usize)> = d
+            .connectivity()
+            .edges()
+            .map(|(_, uv)| uv)
+            .filter(|&(u, v)| block.contains(&u) && block.contains(&v))
+            .collect();
+        let local: Vec<(usize, usize)> =
+            sub.connectivity().edges().map(|(_, (u, v))| (block[u], block[v])).collect();
+        assert_eq!(local, expected);
     }
 
     #[test]

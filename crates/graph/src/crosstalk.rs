@@ -53,7 +53,32 @@ impl CrosstalkGraph {
         let couplings: Vec<(usize, usize)> =
             connectivity.edges().map(|(_, endpoints)| endpoints).collect();
 
-        if d > 0 {
+        if d == 1 {
+            // Distance 1 (the paper's default): two couplings are near
+            // exactly when some pair of their endpoints is equal or
+            // directly coupled — no BFS ball matrix needed, which keeps
+            // small region sub-devices of a partitioned compile from
+            // paying an `O(V·(V+E))` setup per region. The pairwise
+            // sweep over couplings remains (the device-wide superlinear
+            // term partition-and-stitch exists to avoid).
+            for e1 in 0..couplings.len() {
+                let (u1, v1) = couplings[e1];
+                let (n_u1, n_v1) = (connectivity.neighbors(u1), connectivity.neighbors(v1));
+                for (offset, &(u2, v2)) in couplings[e1 + 1..].iter().enumerate() {
+                    let e2 = e1 + 1 + offset;
+                    let near = u1 == u2
+                        || u1 == v2
+                        || v1 == u2
+                        || v1 == v2
+                        || n_u1.iter().any(|&w| w == u2 || w == v2)
+                        || n_v1.iter().any(|&w| w == u2 || w == v2);
+                    if near {
+                        // The line graph may already contain the edge.
+                        let _ = graph.add_edge(e1, e2);
+                    }
+                }
+            }
+        } else if d > 1 {
             // Balls of radius d around every qubit, via depth-capped BFS.
             let balls: Vec<Vec<u32>> = (0..connectivity.node_count())
                 .map(|q| {

@@ -322,24 +322,28 @@ impl Graph {
     /// node index to original node index.
     ///
     /// Duplicate entries in `nodes` are ignored after the first occurrence.
+    /// Induced edges are added in this graph's edge-id order, so the
+    /// subgraph's edge ids enumerate the induced edges as a subsequence
+    /// of the parent's.
     ///
     /// # Panics
     ///
     /// Panics if any entry of `nodes` is out of range.
     pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
-        let mut to_new: HashMap<usize, usize> = HashMap::new();
+        const ABSENT: usize = usize::MAX;
+        let mut to_new = vec![ABSENT; self.node_count()];
         let mut to_old = Vec::new();
         for &u in nodes {
             assert!(u < self.node_count(), "node {u} out of range");
-            if let std::collections::hash_map::Entry::Vacant(slot) = to_new.entry(u) {
-                slot.insert(to_old.len());
+            if to_new[u] == ABSENT {
+                to_new[u] = to_old.len();
                 to_old.push(u);
             }
         }
         let mut sub = Graph::new(to_old.len());
         for (_, (u, v)) in self.edges() {
-            if let (Some(&nu), Some(&nv)) = (to_new.get(&u), to_new.get(&v)) {
-                sub.add_edge(nu, nv).expect("induced edges are unique");
+            if to_new[u] != ABSENT && to_new[v] != ABSENT {
+                sub.add_edge(to_new[u], to_new[v]).expect("induced edges are unique");
             }
         }
         (sub, to_old)

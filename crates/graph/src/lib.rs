@@ -46,6 +46,7 @@ pub mod crosstalk;
 mod error;
 mod graph;
 pub mod hash;
+pub mod regions;
 pub mod topology;
 
 pub use error::GraphError;

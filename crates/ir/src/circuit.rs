@@ -55,6 +55,23 @@ impl Operands {
         }
     }
 
+    /// The first operand (the only one for single-qubit gates; the
+    /// control side for `CNOT`).
+    pub fn first(self) -> usize {
+        match self {
+            Operands::One(q) | Operands::Two(q, _) => q,
+        }
+    }
+
+    /// Number of operands (1 or 2).
+    #[allow(clippy::len_without_is_empty)] // an instruction always has operands
+    pub fn len(self) -> usize {
+        match self {
+            Operands::One(_) => 1,
+            Operands::Two(..) => 2,
+        }
+    }
+
     /// Whether `q` is among the operands.
     pub fn contains(self, q: usize) -> bool {
         match self {
@@ -69,6 +86,47 @@ impl Operands {
             Operands::One(a) => other.contains(a),
             Operands::Two(a, b) => other.contains(a) || other.contains(b),
         }
+    }
+}
+
+/// Allocation-free iterator over an instruction's operands — the hot-path
+/// replacement for [`Operands::as_vec`], which allocates a `Vec` per call
+/// and dominated compile-time profiles in the scheduling engine's inner
+/// loops.
+#[derive(Debug, Clone)]
+pub struct OperandIter {
+    operands: Operands,
+    next: usize,
+}
+
+impl Iterator for OperandIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let q = match (self.operands, self.next) {
+            (Operands::One(q), 0) => q,
+            (Operands::Two(a, _), 0) => a,
+            (Operands::Two(_, b), 1) => b,
+            _ => return None,
+        };
+        self.next += 1;
+        Some(q)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.operands.len().saturating_sub(self.next);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OperandIter {}
+
+impl IntoIterator for Operands {
+    type Item = usize;
+    type IntoIter = OperandIter;
+
+    fn into_iter(self) -> OperandIter {
+        OperandIter { operands: self, next: 0 }
     }
 }
 
@@ -187,7 +245,7 @@ impl Circuit {
     ///
     /// Returns an error if operands are out of range.
     pub fn push(&mut self, instruction: Instruction) -> Result<&mut Self, IrError> {
-        for q in instruction.qubits() {
+        for q in instruction.operands {
             self.check_qubit(q)?;
         }
         if let Some((a, b)) = instruction.qubit_pair() {
@@ -273,8 +331,8 @@ impl Circuit {
         let mut busy_until = vec![0usize; self.n_qubits];
         let mut depth = 0;
         for inst in &self.instructions {
-            let start = inst.qubits().into_iter().map(|q| busy_until[q]).max().unwrap_or(0);
-            for q in inst.qubits() {
+            let start = inst.operands.into_iter().map(|q| busy_until[q]).max().unwrap_or(0);
+            for q in inst.operands {
                 busy_until[q] = start + 1;
             }
             depth = depth.max(start + 1);

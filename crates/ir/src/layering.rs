@@ -11,31 +11,50 @@ use crate::circuit::Circuit;
 /// The dependency DAG of a circuit: instruction `j` depends on `i` when
 /// `i < j`, they share a qubit, and no instruction between them touches
 /// that qubit.
+///
+/// An instruction has at most two operands, so it has at most two direct
+/// predecessors (the previous instruction on each operand qubit) and at
+/// most two direct successors. The DAG exploits that bound with a
+/// struct-of-arrays layout — fixed two-slot rows plus a length byte per
+/// instruction — instead of one heap `Vec` per instruction per direction,
+/// which dominated the DAG-construction profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dag {
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    preds: Vec<[usize; 2]>,
+    pred_len: Vec<u8>,
+    succs: Vec<[usize; 2]>,
+    succ_len: Vec<u8>,
 }
 
 impl Dag {
     /// Builds the dependency DAG of `circuit`.
     pub fn build(circuit: &Circuit) -> Self {
         let n = circuit.len();
-        let mut preds = vec![Vec::new(); n];
-        let mut succs = vec![Vec::new(); n];
-        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        let mut preds = vec![[0usize; 2]; n];
+        let mut pred_len = vec![0u8; n];
+        let mut succs = vec![[0usize; 2]; n];
+        let mut succ_len = vec![0u8; n];
+        const NONE: usize = usize::MAX;
+        let mut last_on_qubit: Vec<usize> = vec![NONE; circuit.n_qubits()];
         for (i, inst) in circuit.instructions().iter().enumerate() {
-            for q in inst.qubits() {
-                if let Some(p) = last_on_qubit[q] {
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
+            for q in inst.operands {
+                let p = last_on_qubit[q];
+                if p != NONE {
+                    let pl = pred_len[i] as usize;
+                    // Both operands may depend on the same instruction
+                    // (e.g. back-to-back CZs on one pair): record it once.
+                    if !(pl == 1 && preds[i][0] == p) {
+                        preds[i][pl] = p;
+                        pred_len[i] += 1;
+                        let sl = succ_len[p] as usize;
+                        succs[p][sl] = i;
+                        succ_len[p] += 1;
                     }
                 }
-                last_on_qubit[q] = Some(i);
+                last_on_qubit[q] = i;
             }
         }
-        Dag { preds, succs }
+        Dag { preds, pred_len, succs, succ_len }
     }
 
     /// Direct predecessors of instruction `i`.
@@ -44,7 +63,7 @@ impl Dag {
     ///
     /// Panics if `i` is out of range.
     pub fn preds(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+        &self.preds[i][..self.pred_len[i] as usize]
     }
 
     /// Direct successors of instruction `i`.
@@ -53,7 +72,7 @@ impl Dag {
     ///
     /// Panics if `i` is out of range.
     pub fn succs(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+        &self.succs[i][..self.succ_len[i] as usize]
     }
 
     /// Number of instructions.
@@ -94,15 +113,28 @@ pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
 /// criticality lie on the program critical path and are scheduled first by
 /// the noise-aware queueing scheduler.
 pub fn criticality(circuit: &Circuit) -> Vec<usize> {
-    let dag = Dag::build(circuit);
     let mut crit = vec![1usize; circuit.len()];
+    criticality_into(&Dag::build(circuit), &mut crit);
+    crit
+}
+
+/// [`criticality`] over an already-built DAG, written into caller-owned
+/// scratch — lets the scheduling engine share one `Dag::build` between
+/// dependency tracking and criticality instead of building the DAG twice
+/// per compile.
+///
+/// # Panics
+///
+/// Panics if `crit.len() != dag.len()`.
+pub fn criticality_into(dag: &Dag, crit: &mut [usize]) {
+    assert_eq!(crit.len(), dag.len(), "criticality scratch must cover every instruction");
+    crit.fill(1);
     // Instructions are already in topological order (program order).
-    for i in (0..circuit.len()).rev() {
+    for i in (0..dag.len()).rev() {
         for &s in dag.succs(i) {
             crit[i] = crit[i].max(1 + crit[s]);
         }
     }
-    crit
 }
 
 #[cfg(test)]

@@ -20,11 +20,17 @@ const ANGLE_TOL: f64 = 1e-12;
 
 /// Applies peephole simplification until a fixed point is reached and
 /// returns the cleaned circuit.
+///
+/// The fixed-point loop double-buffers between two instruction vectors
+/// and reuses one per-qubit tracker, so a whole peephole run costs three
+/// allocations regardless of how many passes it takes.
 pub fn peephole(circuit: &Circuit) -> Circuit {
     let mut current: Vec<Instruction> = circuit.instructions().to_vec();
+    let mut next: Vec<Instruction> = Vec::with_capacity(current.len());
+    let mut last_on_qubit: Vec<usize> = vec![NO_INST; circuit.n_qubits()];
     loop {
-        let (next, changed) = one_pass(circuit.n_qubits(), &current);
-        current = next;
+        let changed = one_pass(&current, &mut next, &mut last_on_qubit);
+        std::mem::swap(&mut current, &mut next);
         if !changed {
             break;
         }
@@ -58,11 +64,19 @@ fn merge(a: Gate, b: Gate) -> Option<Gate> {
     }
 }
 
-fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) {
-    let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
+/// Sentinel for "no live instruction on this qubit" in the per-qubit
+/// tracker.
+const NO_INST: usize = usize::MAX;
+
+fn one_pass(
+    insts: &[Instruction],
+    out: &mut Vec<Instruction>,
+    last_on_qubit: &mut [usize],
+) -> bool {
+    out.clear();
     // For each qubit, the index *in `out`* of the last instruction touching
-    // it (if still present).
-    let mut last_on_qubit: Vec<Option<usize>> = vec![None; n_qubits];
+    // it (NO_INST if none is still present).
+    last_on_qubit.fill(NO_INST);
     let mut changed = false;
 
     for &inst in insts {
@@ -72,20 +86,19 @@ fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) 
         }
         // The candidate partner must be the last instruction on *all* of
         // this instruction's qubits, with identical operands.
-        let qubits = inst.qubits();
-        let candidate = last_on_qubit[qubits[0]];
-        let partner = candidate.filter(|&idx| {
-            qubits.iter().all(|&q| last_on_qubit[q] == Some(idx))
-                && out[idx].operands == inst.operands
-        });
+        let candidate = last_on_qubit[inst.operands.first()];
+        let partner = (candidate != NO_INST
+            && inst.operands.into_iter().all(|q| last_on_qubit[q] == candidate)
+            && out[candidate].operands == inst.operands)
+            .then_some(candidate);
 
         if let Some(idx) = partner {
             let prev = out[idx];
             if prev.gate.is_inverse_of(inst.gate) {
                 // Remove the pair: mark the slot dead and clear trackers.
                 out[idx] = Instruction { gate: Gate::Id, operands: prev.operands };
-                for q in qubits {
-                    last_on_qubit[q] = None;
+                for q in inst.operands {
+                    last_on_qubit[q] = NO_INST;
                 }
                 changed = true;
                 continue;
@@ -93,8 +106,8 @@ fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) 
             if let Some(merged) = merge(prev.gate, inst.gate) {
                 if is_trivial(merged) {
                     out[idx] = Instruction { gate: Gate::Id, operands: prev.operands };
-                    for q in qubits {
-                        last_on_qubit[q] = None;
+                    for q in inst.operands {
+                        last_on_qubit[q] = NO_INST;
                     }
                 } else {
                     out[idx] = Instruction { gate: merged, operands: prev.operands };
@@ -106,13 +119,13 @@ fn one_pass(n_qubits: usize, insts: &[Instruction]) -> (Vec<Instruction>, bool) 
 
         let idx = out.len();
         out.push(inst);
-        for q in inst.qubits() {
-            last_on_qubit[q] = Some(idx);
+        for q in inst.operands {
+            last_on_qubit[q] = idx;
         }
     }
 
-    let cleaned: Vec<Instruction> = out.into_iter().filter(|i| !is_trivial(i.gate)).collect();
-    (cleaned, changed)
+    out.retain(|i| !is_trivial(i.gate));
+    changed
 }
 
 #[cfg(test)]

@@ -42,4 +42,4 @@ pub use diagnostics::{error_budget, ChannelKind, ErrorBudget};
 pub use estimator::{
     estimate, static_success_estimate, NoiseConfig, SuccessReport, NOMINAL_DEPTH_CYCLES,
 };
-pub use schedule::{Cycle, Schedule, ScheduledGate};
+pub use schedule::{Cycle, CycleScratch, Schedule, ScheduledGate};

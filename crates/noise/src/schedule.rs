@@ -47,6 +47,37 @@ impl Cycle {
     }
 }
 
+/// Reusable validation scratch for
+/// [`Schedule::push_cycle_with`]: a stamped per-qubit marker array that
+/// replaces the `vec![false; n_qubits]` a plain
+/// [`push_cycle`](Schedule::push_cycle) allocates per cycle. One scratch
+/// serves any number of schedules and qubit counts; stamps make clearing
+/// O(1).
+#[derive(Debug, Clone, Default)]
+pub struct CycleScratch {
+    used: Vec<u64>,
+    stamp: u64,
+}
+
+impl CycleScratch {
+    /// A fresh scratch (no backing storage until first use).
+    pub fn new() -> Self {
+        CycleScratch::default()
+    }
+
+    /// Advances to a fresh stamp, growing (and re-zeroing on growth) the
+    /// marker array to cover `n_qubits`.
+    fn next_stamp(&mut self, n_qubits: usize) -> u64 {
+        if self.used.len() < n_qubits {
+            self.used.clear();
+            self.used.resize(n_qubits, 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
 /// A fully scheduled program: an ordered list of [`Cycle`]s over a fixed
 /// number of device qubits.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -69,18 +100,32 @@ impl Schedule {
     /// if its duration is negative, if two gates share a qubit, or if any
     /// operand is out of range.
     pub fn push_cycle(&mut self, cycle: Cycle) {
+        let mut scratch = CycleScratch::new();
+        self.push_cycle_with(cycle, &mut scratch);
+    }
+
+    /// [`push_cycle`](Self::push_cycle) with caller-owned validation
+    /// scratch: the per-qubit "already used this cycle" tracker is a
+    /// stamped array reused across calls, so schedule assembly in the
+    /// compile hot loop validates every cycle without a per-cycle
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Exactly the conditions of [`push_cycle`](Self::push_cycle).
+    pub fn push_cycle_with(&mut self, cycle: Cycle, scratch: &mut CycleScratch) {
         assert_eq!(
             cycle.frequencies.len(),
             self.n_qubits,
             "cycle must assign a frequency to every qubit"
         );
         assert!(cycle.duration_ns >= 0.0, "cycle duration must be non-negative");
-        let mut used = vec![false; self.n_qubits];
+        let stamp = scratch.next_stamp(self.n_qubits);
         for g in &cycle.gates {
-            for q in g.instruction.qubits() {
+            for q in g.instruction.operands {
                 assert!(q < self.n_qubits, "operand {q} out of range");
-                assert!(!used[q], "two gates share qubit {q} in one cycle");
-                used[q] = true;
+                assert!(scratch.used[q] != stamp, "two gates share qubit {q} in one cycle");
+                scratch.used[q] = stamp;
             }
         }
         self.cycles.push(cycle);

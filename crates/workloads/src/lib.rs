@@ -30,12 +30,14 @@ mod bv;
 mod ising;
 mod qaoa;
 mod qgan;
+pub mod scalability;
 mod xeb;
 
 pub use bv::{bv, bv_with_hidden_string};
 pub use ising::{ising, ising_with_steps};
 pub use qaoa::{qaoa, qaoa_with_rounds};
 pub use qgan::{qgan, qgan_with_layers};
+pub use scalability::{scale_tiers, ScaleTier, SCALE_XEB_DEPTH};
 pub use xeb::{xeb, EdgePattern};
 
 use fastsc_ir::Circuit;

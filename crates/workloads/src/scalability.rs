@@ -1,0 +1,92 @@
+//! The scalability workload family: square-grid devices at 64, 256 and
+//! 1024 qubits with proportionally sized XEB programs.
+//!
+//! The paper evaluates on lattices up to 25 qubits; the serving goal is
+//! 1000-qubit devices compiled through the partitioned path. This module
+//! pins one canonical tier ladder — device side, program, seed and
+//! partition cap — so benches (`scalability` rows in
+//! `BENCH_compile.json`), the `bench_guard` scale gate and the
+//! determinism suite all measure and test the *same* workloads instead
+//! of each inventing its own.
+
+use crate::Benchmark;
+use fastsc_ir::Circuit;
+
+/// One rung of the scalability ladder: an `side x side` grid device and
+/// its proportional XEB program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleTier {
+    /// Grid side length; the device has `side * side` qubits.
+    pub side: usize,
+    /// Partition cap (`CompilerConfig::with_partition` argument) the
+    /// family benches the partitioned path with: small enough to split
+    /// the tier into several regions, large enough that regions keep a
+    /// two-dimensional interior.
+    pub partition_cap: usize,
+    /// Seed shared by the device and the program generator.
+    pub seed: u64,
+}
+
+/// XEB depth (two-qubit cycles) used by every tier: deep enough to gate
+/// every coupling a few times, shallow enough that the device-sized
+/// setup costs the partitioned path targets stay visible.
+pub const SCALE_XEB_DEPTH: usize = 4;
+
+impl ScaleTier {
+    /// Number of device qubits (`side * side`).
+    pub fn n_qubits(self) -> usize {
+        self.side * self.side
+    }
+
+    /// The tier's program: XEB over every qubit at [`SCALE_XEB_DEPTH`].
+    pub fn benchmark(self) -> Benchmark {
+        Benchmark::Xeb(self.n_qubits(), SCALE_XEB_DEPTH)
+    }
+
+    /// Builds the tier's circuit with the tier seed.
+    pub fn circuit(self) -> Circuit {
+        self.benchmark().build(self.seed)
+    }
+
+    /// Row identifier used in `BENCH_compile.json`, e.g. `scale256`.
+    pub fn label(self) -> String {
+        format!("scale{}", self.n_qubits())
+    }
+}
+
+/// The canonical ladder: 64 / 256 / 1024 qubits.
+pub fn scale_tiers() -> [ScaleTier; 3] {
+    [
+        ScaleTier { side: 8, partition_cap: 32, seed: 11 },
+        ScaleTier { side: 16, partition_cap: 64, seed: 11 },
+        ScaleTier { side: 32, partition_cap: 64, seed: 11 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_64_256_1024() {
+        let tiers = scale_tiers();
+        assert_eq!(tiers.map(ScaleTier::n_qubits), [64, 256, 1024]);
+        assert_eq!(tiers[1].label(), "scale256");
+    }
+
+    #[test]
+    fn caps_split_every_tier() {
+        for tier in scale_tiers() {
+            assert!(tier.partition_cap < tier.n_qubits(), "{}", tier.label());
+        }
+    }
+
+    #[test]
+    fn circuits_cover_every_qubit() {
+        let tier = scale_tiers()[0];
+        let c = tier.circuit();
+        assert_eq!(c.n_qubits(), 64);
+        assert!(!c.is_empty());
+        assert_eq!(c, tier.circuit());
+    }
+}
