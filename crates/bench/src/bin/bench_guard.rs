@@ -7,7 +7,7 @@
 //! $ cargo run --release -p fastsc-bench --bin bench_guard
 //! ```
 //!
-//! Five gates:
+//! Eight gates:
 //!
 //! 1. **Absolute** — the fresh skewed-batch `parallel` median must stay
 //!    within 2x the committed `post` baseline (`BENCH_GUARD_MAX_RATIO`
@@ -44,6 +44,11 @@
 //!    must stay at or below 0.9 (`BENCH_GUARD_SCALE_RATIO` overrides):
 //!    partitioning is only worth its stitch complexity while it beats
 //!    the monolithic path outright at scale.
+//! 8. **Relative, same-run** — the saturated flood with tracing and
+//!    metrics fully on (`observability_overhead` `enabled`, every job
+//!    recording a complete span tree) must stay within 1.1x the same
+//!    flood with observability off (`BENCH_GUARD_OBS_RATIO`
+//!    overrides): watching the fleet can never become a tax on it.
 //!
 //! Exits non-zero when any gate fails.
 
@@ -107,6 +112,13 @@ fn main() {
         label: "current",
         max_value: (env_ratio("BENCH_GUARD_SCALE_RATIO", 0.9) * 1000.0) as u128,
     };
+    let observability = RelativeGate {
+        workload: "observability_overhead",
+        subject_strategy: "enabled",
+        reference_strategy: "disabled",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_OBS_RATIO", 1.1),
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
@@ -116,6 +128,7 @@ fn main() {
         check_relative(&records, &socket),
         check_relative(&records, &fault),
         check_ceiling(&records, &scale),
+        check_relative(&records, &observability),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

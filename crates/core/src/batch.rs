@@ -44,6 +44,7 @@ use crate::engine::{CompiledProgram, Compiler, Strategy};
 use crate::error::CompileError;
 use fastsc_device::Device;
 use fastsc_ir::Circuit;
+use fastsc_telemetry::TraceHandle;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -55,12 +56,23 @@ pub struct CompileJob {
     pub program: Circuit,
     /// The strategy to compile it under.
     pub strategy: Strategy,
+    /// Where this job's spans should record, when the job is traced.
+    /// Observation only — two jobs differing solely in `trace` compile
+    /// bit-identically.
+    pub trace: Option<TraceHandle>,
 }
 
 impl CompileJob {
-    /// Creates a job.
+    /// Creates an untraced job.
     pub fn new(program: Circuit, strategy: Strategy) -> Self {
-        CompileJob { program, strategy }
+        CompileJob { program, strategy, trace: None }
+    }
+
+    /// Attaches a trace handle: compile-phase spans (context build,
+    /// SMT, coloring, partition, stitch) will record under it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -183,6 +195,7 @@ impl BatchCompiler {
     }
 
     fn run_job(&self, job: CompileJob) -> Result<CompiledProgram, CompileError> {
+        let _trace = job.trace.as_ref().map(TraceHandle::install);
         compile_isolated(&self.compiler, &job.program, job.strategy)
     }
 }

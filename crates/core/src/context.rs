@@ -342,10 +342,15 @@ impl CompileContext {
     pub fn smt_frequencies(&self, k: usize) -> Result<(Arc<Vec<f64>>, bool), CompileError> {
         let key = SmtKey::new(k, self.band, self.alpha, self.config.smt_tolerance);
         if let Some(hit) = self.read_memo(&key) {
+            fastsc_telemetry::metrics().smt_memo_hits.inc();
             return Ok((hit, false));
         }
+        let solve_started = std::time::Instant::now();
         let solved =
             Arc::new(frequency::smt_find(k, self.band, self.alpha, self.config.smt_tolerance)?);
+        let registry = fastsc_telemetry::metrics();
+        registry.smt_solves.inc();
+        registry.smt_solve.observe(solve_started.elapsed());
         let mut memo = self.smt_memo.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let value = match memo.get(&key) {
             // A concurrent solver won the race: its value is canonical.

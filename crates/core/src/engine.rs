@@ -204,6 +204,8 @@ impl Compiler {
 
     fn context_ref(&self) -> Result<&Arc<CompileContext>, CompileError> {
         if self.context.get().is_none() {
+            let mut build_span = fastsc_telemetry::phase("context_build");
+            build_span.attr("qubits", self.device.n_qubits());
             let built = Arc::new(CompileContext::new(self.device.clone(), self.config)?);
             // A concurrent builder may have won the race; either Arc
             // holds identical (deterministically computed) tables.
@@ -235,6 +237,10 @@ impl Compiler {
         strategy: Strategy,
     ) -> Result<CompiledProgram, CompileError> {
         let start = Instant::now();
+        // Observation only: the span never feeds back into compilation
+        // (the determinism suite holds with tracing on, off, sampled).
+        let mut compile_span = fastsc_telemetry::phase("compile");
+        compile_span.attr("strategy", strategy.label());
 
         // 1-2. Route and lower.
         let routed = router::route(program, &self.device)?;
@@ -248,6 +254,9 @@ impl Compiler {
             Some(state) => crate::partition::run_partitioned(ctx, &state, &lowered, strategy)?,
             None => run_engine(ctx, &lowered, strategy, None, None)?,
         };
+        compile_span.attr("max_colors_used", out.max_colors_used);
+        compile_span.attr("smt_calls", out.smt_calls);
+        compile_span.attr("deferred_gates", out.deferred_gates);
 
         Ok(CompiledProgram {
             schedule: out.schedule,
@@ -454,6 +463,13 @@ pub(crate) fn run_engine(
     let mut sub_deferred: Vec<usize> = Vec::new();
     let mut used_colors: Vec<bool> = Vec::new();
 
+    // ColorDynamic's scheduling loop *is* its dynamic coloring phase;
+    // the baselines run the same loop with precomputed colors.
+    let mut scheduling_span = fastsc_telemetry::phase(match strategy {
+        Strategy::ColorDynamic => "coloring",
+        _ => "scheduling",
+    });
+
     while n_scheduled < n_inst {
         admitted.clear();
         admitted_couplings.clear();
@@ -594,7 +610,10 @@ pub(crate) fn run_engine(
                 // of the value vector — only an Arc bump on misses,
                 // then a direct slot probe per cycle).
                 if smt_local[k].is_none() {
+                    let mut smt_span = fastsc_telemetry::phase("smt");
                     let (values, missed) = ctx.smt_frequencies(k)?;
+                    smt_span.attr("colors", k);
+                    smt_span.attr("memo_hit", !missed);
                     if missed {
                         smt_calls += 1;
                     }
@@ -712,6 +731,11 @@ pub(crate) fn run_engine(
             }
         }
     }
+
+    scheduling_span.attr("instructions", n_inst);
+    scheduling_span.attr("max_colors_used", max_colors_used);
+    scheduling_span.attr("deferred_gates", deferred_gates);
+    drop(scheduling_span);
 
     let crit = if trace.is_some() { crit.to_vec() } else { Vec::new() };
     Ok(EngineOutput {

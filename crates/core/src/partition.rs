@@ -288,6 +288,10 @@ pub(crate) fn run_partitioned(
     }
     let n_segs = seg.iter().copied().max().map_or(0, |m| m + 1);
 
+    let mut partition_span = fastsc_telemetry::phase("partition");
+    partition_span.attr("regions", state.regions.len());
+    partition_span.attr("waves", n_segs);
+
     let mut schedule = Schedule::new(device.n_qubits());
     let mut scratch = CycleScratch::new();
     let mut stitch =
@@ -321,6 +325,11 @@ pub(crate) fn run_partitioned(
     }
     jobs.retain(|(_, globals, _, _)| !globals.is_empty());
     let run_one = |(r, globals, circ, waves): (usize, Vec<usize>, Circuit, Vec<usize>)| {
+        // Inert on rayon workers (the trace context is thread-local);
+        // the sequential path records one span per region.
+        let mut region_span = fastsc_telemetry::phase("region");
+        region_span.attr("region", r);
+        region_span.attr("instructions", globals.len());
         let mut trace = Vec::new();
         let out =
             run_engine(&state.regions[r].ctx, &circ, strategy, Some(&mut trace), Some(&waves))?;
@@ -352,8 +361,12 @@ pub(crate) fn run_partitioned(
             circ.push(local).expect("cut operands are in range and distinct");
             waves.push(seg[i]);
         }
+        let mut cut_span = fastsc_telemetry::phase("region");
+        cut_span.attr("cut", true);
+        cut_span.attr("instructions", cut_globals.len());
         let mut trace = Vec::new();
         let out = run_engine(&cut.ctx, &circ, strategy, Some(&mut trace), Some(&waves))?;
+        drop(cut_span);
         let seg_start = seg_starts(&out.wave_of_cycle, n_segs);
         Some(RegionRun { globals: cut_globals, out, trace, seg_start })
     };
@@ -368,6 +381,8 @@ pub(crate) fn run_partitioned(
     // never depends on an internal instruction of segment `s` (the
     // class change would have bumped its segment), so each segment's
     // internal cycles can precede its cut cycles.
+    let mut stitch_span = fastsc_telemetry::phase("stitch");
+    let deferred_before_stitch = counters.deferred_gates;
     for s in 0..n_segs {
         merge_internal_wave(
             ctx,
@@ -390,6 +405,11 @@ pub(crate) fn run_partitioned(
             }
         }
     }
+    stitch_span.attr("cut_gates", cut_run.as_ref().map_or(0usize, |r| r.globals.len()));
+    stitch_span.attr("deferred_gates", counters.deferred_gates - deferred_before_stitch);
+    drop(stitch_span);
+    partition_span.attr("deferred_gates", counters.deferred_gates);
+    drop(partition_span);
 
     Ok(EngineOutput {
         schedule,

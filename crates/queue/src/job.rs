@@ -140,13 +140,30 @@ pub struct Submission {
     pub(crate) client: ClientId,
     pub(crate) priority: Priority,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) trace: bool,
 }
 
 impl Submission {
     /// A submission with the defaults: client 0, [`Priority::Batch`], no
-    /// deadline.
+    /// deadline, untraced.
     pub fn new(job: CompileJob) -> Self {
-        Submission { job, client: 0, priority: Priority::Batch, deadline: None }
+        Submission { job, client: 0, priority: Priority::Batch, deadline: None, trace: false }
+    }
+
+    /// Requests a per-job span trace: the queue records the job's full
+    /// lifecycle (admission, queue wait, each attempt, compile phases,
+    /// delivery) and parks the finished tree for
+    /// [`QueueService::take_trace`](crate::QueueService::take_trace).
+    /// Purely observational — a traced job compiles bit-identically to
+    /// an untraced one.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Whether [`traced`](Self::traced) was requested.
+    pub fn trace_requested(&self) -> bool {
+        self.trace
     }
 
     /// Attributes the job to a tenant (fairness is per client).
@@ -211,8 +228,14 @@ mod tests {
         let s = Submission::new(job);
         assert_eq!((s.client_id(), s.job_priority()), (0, Priority::Batch));
         assert!(s.deadline.is_none());
-        let s = s.client(9).priority(Priority::Speculative).deadline_in(Duration::from_secs(5));
+        assert!(!s.trace_requested());
+        let s = s
+            .client(9)
+            .priority(Priority::Speculative)
+            .deadline_in(Duration::from_secs(5))
+            .traced();
         assert_eq!((s.client_id(), s.job_priority()), (9, Priority::Speculative));
+        assert!(s.trace_requested());
         let deadline = s.deadline.expect("set");
         assert!(deadline > Instant::now());
     }

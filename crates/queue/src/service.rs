@@ -23,7 +23,10 @@ use crate::stats::{QueueDelta, QueueStats, StatsState};
 use fastsc_core::batch::CompileJob;
 use fastsc_core::{CompileError, FailedAttempt};
 use fastsc_service::{CompileService, ServiceReply, ShardOutcome, ShardView};
-use std::collections::HashMap;
+use fastsc_telemetry::{
+    metrics, should_trace, AttrValue, SpanGuard, SpanTree, TraceHandle, Tracer,
+};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -188,6 +191,52 @@ struct RetryEntry {
     excluded: Vec<usize>,
 }
 
+/// A live per-job span trace: the tracer plus the root `"job"` span
+/// guard, held open until the job resolves.
+#[derive(Debug)]
+struct ActiveTrace {
+    tracer: Tracer,
+    root: SpanGuard,
+}
+
+/// Finished traces parked for [`QueueService::take_trace`] pickup.
+/// Holds the raw tracers, not assembled trees: tree assembly
+/// (allocation and sorting) happens in [`QueueService::take_trace`] on
+/// the consumer's thread, outside the queue's state lock, so the
+/// dispatcher's completion path only parks a handle. Bounded: past
+/// [`TRACE_STORE_CAP`] unclaimed traces, the oldest is evicted — a
+/// client that traces but never collects cannot pin unbounded memory.
+#[derive(Debug, Default)]
+struct TraceStore {
+    tracers: HashMap<JobId, Tracer>,
+    order: VecDeque<JobId>,
+}
+
+/// Unclaimed finished traces retained at most.
+const TRACE_STORE_CAP: usize = 1024;
+
+impl TraceStore {
+    fn insert(&mut self, id: JobId, tracer: Tracer) {
+        if self.tracers.insert(id, tracer).is_none() {
+            self.order.push_back(id);
+        }
+        while self.tracers.len() > TRACE_STORE_CAP {
+            match self.order.pop_front() {
+                // Already-claimed ids linger in `order`; skipping them
+                // here keeps `take` O(1).
+                Some(oldest) => {
+                    self.tracers.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn take(&mut self, id: JobId) -> Option<Tracer> {
+        self.tracers.remove(&id)
+    }
+}
+
 #[derive(Debug)]
 struct State {
     subscriber_buffer: usize,
@@ -202,6 +251,18 @@ struct State {
     shutdown: bool,
     stats: StatsState,
     subscribers: Vec<Subscriber>,
+    /// Live traces of admitted-and-unresolved traced jobs.
+    traces: HashMap<JobId, ActiveTrace>,
+    /// Finished trees awaiting [`QueueService::take_trace`].
+    finished_traces: TraceStore,
+}
+
+/// Mirrors queue depth and in-flight count into the process-wide gauges
+/// (no-ops while metrics are disabled).
+fn sync_gauges(state: &State) {
+    let registry = metrics();
+    registry.queue_depth.set(i64::try_from(state.queue.len()).unwrap_or(i64::MAX));
+    registry.queue_inflight.set(i64::try_from(state.inflight).unwrap_or(i64::MAX));
 }
 
 #[derive(Debug)]
@@ -224,7 +285,14 @@ impl Shared {
 /// Delivers `result` for `id`: streams it to every subscriber, then
 /// parks it in the job's slot for its handle (or forgets it if the
 /// handle is gone). Callers update stats and notify `done`.
+///
+/// Delivery is also where a traced job's trace **finishes**: the
+/// `respond` span covers the fan-out below, the root `job` span closes
+/// with the outcome, and the assembled tree is parked for
+/// [`QueueService::take_trace`].
 fn complete(state: &mut State, id: JobId, result: JobResult) {
+    let respond_started = Instant::now();
+    let ok = result.is_ok();
     let cap = state.subscriber_buffer;
     for subscriber in &mut state.subscribers {
         subscriber.buffer.push_back((id, result.clone()));
@@ -245,6 +313,15 @@ fn complete(state: &mut State, id: JobId, result: JobResult) {
         // Double delivery is a bug in the queue itself, not user error.
         Some(Slot::Done(_)) => unreachable!("job {id} completed twice"),
         None => {}
+    }
+    if let Some(ActiveTrace { tracer, mut root }) = state.traces.remove(&id) {
+        tracer.record("respond", Some(root.id()), respond_started, Instant::now(), Vec::new());
+        root.attr("outcome", if ok { "ok" } else { "error" });
+        drop(root);
+        // Park the raw tracer: assembling the tree costs allocations
+        // and sorts, and this runs under the state lock — the consumer
+        // pays for assembly in `take_trace` instead.
+        state.finished_traces.insert(id, tracer);
     }
 }
 
@@ -279,7 +356,9 @@ fn expire_if_due(state: &mut State, id: JobId, now: Instant) -> bool {
         _ => return false,
     }
     state.stats.expired += 1;
+    metrics().jobs_expired.inc();
     complete(state, id, Err(CompileError::Deadline));
+    sync_gauges(state);
     true
 }
 
@@ -329,6 +408,8 @@ impl QueueService {
                 shutdown: false,
                 stats: StatsState::default(),
                 subscribers: Vec::new(),
+                traces: HashMap::new(),
+                finished_traces: TraceStore::default(),
             }),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -368,13 +449,37 @@ impl QueueService {
     ///   the queue, so the submission fails fast with a `retry_after`
     ///   hint ([`QueueConfig::unhealthy_retry_after`]) instead.
     pub fn submit(&self, submission: Submission) -> Result<JobHandle, CompileError> {
-        let Submission { job, client, priority, deadline } = submission;
+        let Submission { job, client, priority, deadline, trace } = submission;
+        let admit_started = Instant::now();
+        // Opt-in per job, or globally via the sampled/always trace mode.
+        // Tracing is pure observation: the job's route and compile are
+        // bit-identical either way. The tracer and its allocations are
+        // set up *before* the state lock — admission must not serialize
+        // on observability bookkeeping.
+        let pending_trace = if trace || should_trace() {
+            let tracer = Tracer::new();
+            let mut root = tracer.span("job", None);
+            root.attr("client", client);
+            // Static names, not `to_string()`: no allocation per job.
+            root.attr(
+                "priority",
+                match priority {
+                    Priority::Interactive => "interactive",
+                    Priority::Batch => "batch",
+                    Priority::Speculative => "speculative",
+                },
+            );
+            Some((tracer, root))
+        } else {
+            None
+        };
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(CompileError::Cancelled);
         }
         if self.service.fleet_unhealthy() {
             state.stats.rejected += 1;
+            metrics().jobs_rejected.inc();
             return Err(CompileError::FleetUnhealthy {
                 retry_after: self.config.unhealthy_retry_after,
             });
@@ -396,12 +501,14 @@ impl QueueService {
                 }
                 Backpressure::RejectWhenFull => {
                     state.stats.rejected += 1;
+                    metrics().jobs_rejected.inc();
                     return Err(CompileError::QueueFull);
                 }
                 Backpressure::ShedOldest => {
                     match state.queue.shed_oldest_at_most(priority) {
                         Some(victim) => {
                             state.stats.shed += 1;
+                            metrics().jobs_shed.inc();
                             complete(&mut state, victim.id, Err(CompileError::QueueFull));
                             self.shared.done.notify_all();
                         }
@@ -416,8 +523,24 @@ impl QueueService {
         let id = JobId(state.next_id);
         state.next_id += 1;
         state.stats.admitted += 1;
+        metrics().jobs_admitted.inc();
+        if let Some((tracer, mut root)) = pending_trace {
+            // The id only exists now; the `admission` interval covers
+            // everything from submit entry, including any blocking wait
+            // for queue space.
+            root.attr("job_id", id.as_u64());
+            tracer.record(
+                "admission",
+                Some(root.id()),
+                admit_started,
+                Instant::now(),
+                Vec::new(),
+            );
+            state.traces.insert(id, ActiveTrace { tracer, root });
+        }
         if shed_self {
             state.stats.shed += 1;
+            metrics().jobs_shed.inc();
             state.slots.insert(id, Slot::Queued { client, priority, deadline: None });
             complete(&mut state, id, Err(CompileError::QueueFull));
             self.shared.done.notify_all();
@@ -436,7 +559,20 @@ impl QueueService {
             });
             self.shared.work.notify_all();
         }
+        sync_gauges(&state);
         Ok(JobHandle { id, shared: Arc::clone(&self.shared) })
+    }
+
+    /// Takes the finished span tree of a resolved traced job, at most
+    /// once: a second call (or a call for an untraced or still-running
+    /// job) returns `None`. Trees of jobs never collected are evicted
+    /// oldest-first past an internal cap, so tracing without collecting
+    /// cannot grow without bound.
+    pub fn take_trace(&self, id: JobId) -> Option<SpanTree> {
+        // Tree assembly happens here, after the state lock is released:
+        // the completion path parks raw tracers only.
+        let tracer = self.shared.lock().finished_traces.take(id)?;
+        Some(tracer.finish())
     }
 
     /// Streams every completion from now on: the iterator yields
@@ -590,6 +726,25 @@ struct BatchItem {
     submitted: Instant,
     attempts: Vec<FailedAttempt>,
     excluded: Vec<usize>,
+    /// The open `attempt` span of a traced job; closed (recorded) when
+    /// the attempt's outcome is known.
+    span: Option<SpanGuard>,
+}
+
+/// Opens the per-attempt span of a traced job and points the job's
+/// compile-phase trace handle under it, so route and compile spans nest
+/// inside this attempt.
+fn open_attempt(
+    state: &State,
+    id: JobId,
+    job: &mut CompileJob,
+    attempt: usize,
+) -> Option<SpanGuard> {
+    let trace = state.traces.get(&id)?;
+    let mut span = trace.tracer.span("attempt", Some(trace.root.id()));
+    span.attr("attempt", attempt);
+    job.trace = Some(TraceHandle::new(trace.tracer.clone(), span.id()));
+    Some(span)
 }
 
 /// The dispatcher: drain due retries and a fair micro-batch, expire
@@ -650,21 +805,25 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
             for entry in due {
                 if entry.deadline.is_some_and(|deadline| deadline <= now) {
                     state.stats.expired += 1;
+                    metrics().jobs_expired.inc();
                     complete(&mut state, entry.id, Err(CompileError::Deadline));
                     continue;
                 }
                 if let Some(slot @ Slot::Retrying { .. }) = state.slots.get_mut(&entry.id) {
                     *slot = Slot::Running;
                 }
+                let mut job = entry.job;
+                let span = open_attempt(&state, entry.id, &mut job, entry.attempts.len());
                 batch.push(BatchItem {
                     id: entry.id,
                     client: entry.client,
                     priority: entry.priority,
-                    job: entry.job,
+                    job,
                     deadline: entry.deadline,
                     submitted: entry.submitted,
                     attempts: entry.attempts,
                     excluded: entry.excluded,
+                    span,
                 });
             }
             let room = max_batch.saturating_sub(batch.len());
@@ -672,6 +831,7 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
             for queued in drained {
                 if queued.deadline.is_some_and(|deadline| deadline <= now) {
                     state.stats.expired += 1;
+                    metrics().jobs_expired.inc();
                     complete(&mut state, queued.id, Err(CompileError::Deadline));
                 } else {
                     // Only a live slot advances; an `Abandoned` marker
@@ -680,19 +840,35 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
                     if let Some(slot @ Slot::Queued { .. }) = state.slots.get_mut(&queued.id) {
                         *slot = Slot::Running;
                     }
+                    let wait = now.saturating_duration_since(queued.submitted);
+                    state.stats.record_queue_wait(queued.priority, wait);
+                    metrics().queue_wait.observe(wait);
+                    if let Some(trace) = state.traces.get(&queued.id) {
+                        trace.tracer.record(
+                            "queue_wait",
+                            Some(trace.root.id()),
+                            queued.submitted,
+                            now,
+                            Vec::new(),
+                        );
+                    }
+                    let mut job = queued.job;
+                    let span = open_attempt(&state, queued.id, &mut job, 0);
                     batch.push(BatchItem {
                         id: queued.id,
                         client: queued.client,
                         priority: queued.priority,
-                        job: queued.job,
+                        job,
                         deadline: queued.deadline,
                         submitted: queued.submitted,
                         attempts: Vec::new(),
                         excluded: Vec::new(),
+                        span,
                     });
                 }
             }
             state.inflight += batch.len();
+            sync_gauges(&state);
             batch
         };
         // Depth dropped; unblock submitters. Expired jobs completed.
@@ -741,6 +917,11 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
                         Err(error) => error,
                         Ok(_) => unreachable!("retryable implies a failed attempt"),
                     };
+                    if let Some(mut span) = item.span {
+                        span.attr("shard", shard);
+                        span.attr("ok", false);
+                        span.attr("error", error.to_string());
+                    }
                     let mut attempts = item.attempts;
                     attempts.push(FailedAttempt { shard: Some(shard), error });
                     let mut excluded = item.excluded;
@@ -752,14 +933,30 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
                         *slot = Slot::Retrying { deadline: item.deadline };
                     }
                     state.stats.retried += 1;
+                    metrics().retries.inc();
+                    let backoff = policy.backoff_for(retry_index);
+                    let not_before = now + backoff;
+                    if let Some(trace) = state.traces.get(&item.id) {
+                        // The span covers the *scheduled* backoff window;
+                        // the dispatcher may drain it slightly later.
+                        trace.tracer.record(
+                            "backoff",
+                            Some(trace.root.id()),
+                            now,
+                            not_before,
+                            vec![("retry", AttrValue::from(u64::from(retry_index)))],
+                        );
+                    }
+                    let mut job = item.job;
+                    job.trace = None;
                     state.retries.push(RetryEntry {
                         id: item.id,
                         client: item.client,
                         priority: item.priority,
-                        job: item.job,
+                        job,
                         deadline: item.deadline,
                         submitted: item.submitted,
-                        not_before: now + policy.backoff_for(retry_index),
+                        not_before,
                         attempts,
                         excluded,
                     });
@@ -777,10 +974,28 @@ fn dispatch_loop(shared: &Shared, service: &CompileService, config: QueueConfig)
                     }
                     other => other,
                 };
+                if let Some(mut span) = item.span {
+                    match &result {
+                        Ok(reply) => {
+                            span.attr("shard", reply.shard);
+                            span.attr("ok", true);
+                            span.attr("cache_hit", reply.cache_hit);
+                        }
+                        Err(error) => {
+                            if let Some(shard) = outcome.shard {
+                                span.attr("shard", shard);
+                            }
+                            span.attr("ok", false);
+                            span.attr("error", error.to_string());
+                        }
+                    }
+                }
                 state.stats.completed += 1;
+                metrics().jobs_completed.inc();
                 state.stats.record_latency(item.priority, item.submitted.elapsed());
                 complete(&mut state, item.id, result);
             }
+            sync_gauges(&state);
         }
         shared.done.notify_all();
     }
@@ -918,7 +1133,9 @@ impl JobHandle {
             _ => return false,
         }
         state.stats.cancelled += 1;
+        metrics().jobs_cancelled.inc();
         complete(&mut state, self.id, Err(CompileError::Cancelled));
+        sync_gauges(&state);
         self.shared.space.notify_all();
         self.shared.done.notify_all();
         true
@@ -1051,6 +1268,40 @@ mod tests {
         let stats = queue.stats();
         assert_eq!((stats.admitted, stats.completed), (1, 1));
         assert_eq!(stats.latency(Priority::Batch).count, 1);
+    }
+
+    #[test]
+    fn traced_job_parks_a_full_span_tree() {
+        let queue = queue(QueueConfig::default());
+        let handle = queue.submit(bv(4).traced()).expect("admits");
+        assert!(handle.wait().is_ok());
+        let tree = queue.take_trace(handle.id()).expect("trace parked at completion");
+        let root = tree.root().expect("exactly one root");
+        assert_eq!(root.name, "job");
+        for name in ["admission", "queue_wait", "attempt", "respond"] {
+            assert!(root.find(name).is_some(), "missing {name} span");
+        }
+        let attempt = root.find("attempt").expect("attempt span");
+        assert!(attempt.find("route").is_some(), "route nests under the attempt");
+        assert!(attempt.find("compile").is_some(), "compile nests under the attempt");
+        assert!(queue.take_trace(handle.id()).is_none(), "trees are claimed at most once");
+        // Untraced jobs leave nothing behind.
+        let plain = queue.submit(bv(5)).expect("admits");
+        assert!(plain.wait().is_ok());
+        assert!(queue.take_trace(plain.id()).is_none());
+    }
+
+    #[test]
+    fn queue_wait_percentiles_populate_on_completion() {
+        let queue = queue(QueueConfig::default());
+        let handle = queue.submit(bv(4)).expect("admits");
+        assert!(handle.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!(stats.queue_wait(Priority::Batch).count, 1);
+        assert!(
+            stats.queue_wait(Priority::Batch).max <= stats.latency(Priority::Batch).max,
+            "queue wait is a sub-interval of total latency"
+        );
     }
 
     #[test]

@@ -9,21 +9,26 @@ use std::time::Duration;
 /// retains for percentile estimation.
 pub const LATENCY_WINDOW: usize = 1024;
 
-/// Percentile summary of one priority class's recent end-to-end
-/// latencies (submission to completion, compiles and per-job failures
-/// alike — expired/shed/cancelled jobs are excluded; they are counted,
-/// not timed).
+/// Percentile summary of one priority class's recent latencies.
+///
+/// Used for two different intervals: **total** latency (submission to
+/// completion, compiles and per-job failures alike —
+/// expired/shed/cancelled jobs are excluded; they are counted, not
+/// timed) and **queue wait** (submission to first dispatch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
-    /// Completions ever recorded for the class (not capped by the
-    /// window).
+    /// Samples ever recorded for the class (not capped by the window).
     pub count: u64,
+    /// Fastest sample in the window.
+    pub min: Duration,
     /// Median latency over the window.
     pub p50: Duration,
     /// 90th-percentile latency over the window.
     pub p90: Duration,
     /// 99th-percentile latency over the window.
     pub p99: Duration,
+    /// Slowest sample in the window.
+    pub max: Duration,
 }
 
 /// A point-in-time snapshot of the queue (see
@@ -58,8 +63,14 @@ pub struct QueueStats {
     /// [`RetryPolicy`](crate::RetryPolicy). One job retried twice counts
     /// twice; the job itself still lands in `completed` exactly once.
     pub retried: u64,
-    /// Latency summaries indexed by [`Priority::rank`].
+    /// **Total** (submission-to-completion) latency summaries indexed by
+    /// [`Priority::rank`].
     pub latency: [LatencySummary; 3],
+    /// **Queue-wait** (submission-to-first-dispatch) latency summaries
+    /// indexed by [`Priority::rank`]. Total minus queue wait is time
+    /// spent compiling and retrying — comparing the two separates "the
+    /// queue is backed up" from "compiles are slow".
+    pub queue_wait: [LatencySummary; 3],
     /// Fleet-wide schedule-cache counters
     /// ([`CompileService::cache_stats_total`]
     /// (fastsc_service::CompileService::cache_stats_total)).
@@ -67,9 +78,14 @@ pub struct QueueStats {
 }
 
 impl QueueStats {
-    /// The latency summary of one priority class.
+    /// The total-latency summary of one priority class.
     pub fn latency(&self, priority: Priority) -> LatencySummary {
         self.latency[priority.rank()]
+    }
+
+    /// The queue-wait summary of one priority class.
+    pub fn queue_wait(&self, priority: Priority) -> LatencySummary {
+        self.queue_wait[priority.rank()]
     }
 
     /// The lifecycle-counter movement from `earlier` to `self` — what a
@@ -140,11 +156,16 @@ pub(crate) struct StatsState {
     pub completed: u64,
     pub retried: u64,
     latency: [LatencyWindow; 3],
+    queue_wait: [LatencyWindow; 3],
 }
 
 impl StatsState {
     pub fn record_latency(&mut self, priority: Priority, latency: Duration) {
         self.latency[priority.rank()].record(latency);
+    }
+
+    pub fn record_queue_wait(&mut self, priority: Priority, wait: Duration) {
+        self.queue_wait[priority.rank()].record(wait);
     }
 
     pub fn snapshot(&self, depth: usize, inflight: usize, cache: CacheStats) -> QueueStats {
@@ -159,6 +180,7 @@ impl StatsState {
             completed: self.completed,
             retried: self.retried,
             latency: [0, 1, 2].map(|rank| self.latency[rank].summary()),
+            queue_wait: [0, 1, 2].map(|rank| self.queue_wait[rank].summary()),
             cache,
         }
     }
@@ -191,9 +213,11 @@ impl LatencyWindow {
         sorted.sort_unstable();
         LatencySummary {
             count: self.count,
+            min: sorted[0],
             p50: percentile(&sorted, 0.50),
             p90: percentile(&sorted, 0.90),
             p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty window"),
         }
     }
 }
@@ -222,11 +246,13 @@ mod tests {
         }
         let summary = window.summary();
         assert_eq!(summary.count, 100);
+        assert_eq!(summary.min, ms(1));
         // Nearest-rank over 100 samples: index round(0.5 * 99) = 50,
         // i.e. the 51st value.
         assert_eq!(summary.p50, ms(51));
         assert_eq!(summary.p90, ms(90));
         assert_eq!(summary.p99, ms(99));
+        assert_eq!(summary.max, ms(100));
     }
 
     #[test]
@@ -288,5 +314,19 @@ mod tests {
         assert_eq!(stats.latency(Priority::Interactive).p50, ms(10));
         assert_eq!(stats.latency(Priority::Speculative).p99, ms(80));
         assert_eq!(stats.latency(Priority::Batch).count, 0);
+    }
+
+    #[test]
+    fn queue_wait_is_tracked_separately_from_total_latency() {
+        let mut state = StatsState::default();
+        state.record_queue_wait(Priority::Interactive, ms(2));
+        state.record_queue_wait(Priority::Interactive, ms(8));
+        state.record_latency(Priority::Interactive, ms(50));
+        let stats = state.snapshot(0, 0, CacheStats::zero());
+        let wait = stats.queue_wait(Priority::Interactive);
+        assert_eq!((wait.count, wait.min, wait.max), (2, ms(2), ms(8)));
+        let total = stats.latency(Priority::Interactive);
+        assert_eq!((total.count, total.min, total.max), (1, ms(50), ms(50)));
+        assert_eq!(stats.queue_wait(Priority::Batch), LatencySummary::default());
     }
 }

@@ -78,6 +78,10 @@ pub struct JobOutcome {
     pub code: Option<String>,
     /// Failure: human-readable message.
     pub message: Option<String>,
+    /// The job's span tree, when the submission opted in with
+    /// `trace: true` (nested `{name, start_ns, dur_ns, attrs, children}`
+    /// objects, kept as raw JSON).
+    pub trace: Option<Json>,
 }
 
 impl JobOutcome {
@@ -102,6 +106,7 @@ impl JobOutcome {
             depth: frame.get("depth").and_then(Json::as_u64),
             code: frame.get("code").and_then(Json::as_str).map(str::to_string),
             message: frame.get("message").and_then(Json::as_str).map(str::to_string),
+            trace: frame.get("trace").cloned(),
         })
     }
 }
@@ -185,17 +190,55 @@ impl Client {
         priority: &str,
         deadline_ms: Option<u64>,
     ) -> Result<u64, ClientError> {
+        self.submit_with(qasm, strategy, priority, deadline_ms, false)
+    }
+
+    /// [`submit`](Self::submit) with the opt-in `trace` flag: the job's
+    /// terminal `result`/`completion` frame carries its span tree
+    /// ([`JobOutcome::trace`]).
+    pub fn submit_traced(
+        &mut self,
+        qasm: &str,
+        strategy: &str,
+        priority: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, ClientError> {
+        self.submit_with(qasm, strategy, priority, deadline_ms, true)
+    }
+
+    fn submit_with(
+        &mut self,
+        qasm: &str,
+        strategy: &str,
+        priority: &str,
+        deadline_ms: Option<u64>,
+        trace: bool,
+    ) -> Result<u64, ClientError> {
         let mut fields = vec![
             ("type", Json::str("submit")),
             ("qasm", Json::str(qasm)),
             ("strategy", Json::str(strategy)),
             ("priority", Json::str(priority)),
         ];
+        if trace {
+            fields.push(("trace", Json::Bool(true)));
+        }
         if let Some(ms) = deadline_ms {
             fields.push(("deadline_ms", Json::num(ms as f64)));
         }
         let reply = self.call(fields)?;
         field_u64(&reply, "job")
+    }
+
+    /// One Prometheus text-exposition scrape of the server's metrics
+    /// registry (the `metrics` frame's `body`).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(vec![("type", Json::str("metrics"))])?;
+        reply
+            .get("body")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics frame without body".into()))
     }
 
     /// Non-blocking result check; `None` while the job is outstanding.

@@ -11,9 +11,11 @@
 //!   4-byte length prefix ([`frame`]), hand-rolled encoder/parser
 //!   included ([`json`]) so the workspace stays std-only. The request
 //!   vocabulary ([`protocol`]) covers `submit` (OpenQASM 2.0 source +
-//!   strategy + priority + deadline), `poll`/`wait`, `cancel`,
-//!   `subscribe` (streamed completion frames), `telemetry` (streamed
-//!   fleet snapshots), and `ping`. `docs/WIRE.md` is the normative spec.
+//!   strategy + priority + deadline + opt-in span trace), `poll`/`wait`,
+//!   `cancel`, `subscribe` (streamed completion frames), `telemetry`
+//!   (streamed fleet snapshots), `metrics` (one Prometheus
+//!   text-exposition scrape), and `ping`. `docs/WIRE.md` is the
+//!   normative spec.
 //! * **Multi-tenant sessions** ([`session`]) — connections authenticate
 //!   with a token that maps them to a tenant: a queue-level client
 //!   identity (so the scheduler's per-client fairness applies), a
@@ -74,6 +76,6 @@ pub mod session;
 pub use client::{Client, ClientError, JobOutcome};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use json::{Json, JsonError};
-pub use protocol::{ProtocolError, Request};
+pub use protocol::{metrics_frame, span_tree_json, ProtocolError, Request};
 pub use server::Server;
 pub use session::{RateLimiter, SessionRegistry, Tenant, TenantConfig};

@@ -13,6 +13,7 @@ use crate::json::Json;
 use fastsc_core::{CompileError, Strategy};
 use fastsc_ir::qasm::QasmError;
 use fastsc_queue::{JobResult, Priority};
+use fastsc_telemetry::{AttrValue, SpanNode, SpanTree};
 
 /// Upper bound on `wait`'s `timeout_ms` (5 minutes) — a lost client
 /// cannot park a reader thread forever.
@@ -45,6 +46,9 @@ pub enum Request {
         priority: Priority,
         /// Optional deadline, milliseconds from admission.
         deadline_ms: Option<u64>,
+        /// Opt-in per-job span trace: when `true`, the terminal
+        /// `result`/`completion` frame carries the job's span tree.
+        trace: bool,
     },
     /// Non-blocking result check for a job submitted on this connection.
     Poll {
@@ -75,6 +79,9 @@ pub enum Request {
         /// [`MAX_TELEMETRY_INTERVAL_MS`]).
         interval_ms: u64,
     },
+    /// One Prometheus text-exposition scrape of the process-global
+    /// metrics registry, answered with a `metrics` frame.
+    Metrics,
     /// Liveness check; allowed before authentication.
     Ping,
 }
@@ -130,7 +137,8 @@ impl Request {
                     }
                 };
                 let deadline_ms = optional_u64(frame, "deadline_ms")?;
-                Ok(Request::Submit { qasm, strategy, priority, deadline_ms })
+                let trace = optional_bool(frame, "trace")?.unwrap_or(false);
+                Ok(Request::Submit { qasm, strategy, priority, deadline_ms, trace })
             }
             "poll" => Ok(Request::Poll { job: required_u64(frame, "job")? }),
             "wait" => Ok(Request::Wait {
@@ -154,6 +162,7 @@ impl Request {
                 }
                 Ok(Request::Telemetry { count, interval_ms })
             }
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             other => Err(ProtocolError::bad(format!("unknown request type \"{other}\""))),
         }
@@ -180,6 +189,16 @@ fn optional_u64(frame: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
         Some(v) => v.as_u64().map(Some).ok_or_else(|| {
             ProtocolError::bad(format!("\"{key}\" must be a non-negative integer"))
         }),
+    }
+}
+
+fn optional_bool(frame: &Json, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match frame.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::bad(format!("\"{key}\" must be a boolean"))),
     }
 }
 
@@ -271,13 +290,23 @@ pub fn submit_error_frame(seq: u64, err: &CompileError) -> Json {
 /// streamed to subscribers. Success carries the serving metadata and the
 /// schedule's pinned 64-bit digest as 16 hex digits — enough for a
 /// client to prove bit-identity with a local compile without shipping
-/// the schedule.
-pub fn result_frame(frame_type: &str, seq: u64, job: u64, result: &JobResult) -> Json {
+/// the schedule. A traced job's frame additionally carries its span
+/// tree under `"trace"` (see [`span_tree_json`]).
+pub fn result_frame(
+    frame_type: &str,
+    seq: u64,
+    job: u64,
+    result: &JobResult,
+    trace: Option<&SpanTree>,
+) -> Json {
     let mut pairs = vec![
         ("type", Json::str(frame_type)),
         ("seq", Json::num(seq as f64)),
         ("job", Json::num(job as f64)),
     ];
+    if let Some(tree) = trace {
+        pairs.push(("trace", span_tree_json(tree)));
+    }
     match result {
         Ok(reply) => {
             let schedule = &reply.compiled.schedule;
@@ -326,6 +355,64 @@ pub fn result_frame(frame_type: &str, seq: u64, job: u64, result: &JobResult) ->
     Json::obj(pairs)
 }
 
+/// A finished span tree as nested JSON: each node is
+/// `{name, start_ns, dur_ns, attrs?, children?}` with timestamps in
+/// nanoseconds since the trace epoch. The well-formed (single-root)
+/// case serializes the root directly; a degenerate multi-root tree
+/// serializes as `{roots: [...]}` so nothing is silently dropped.
+pub fn span_tree_json(tree: &SpanTree) -> Json {
+    match tree.roots.as_slice() {
+        [root] => span_node_json(root),
+        roots => {
+            Json::obj(vec![("roots", Json::Arr(roots.iter().map(span_node_json).collect()))])
+        }
+    }
+}
+
+fn span_node_json(node: &SpanNode) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(node.name)),
+        ("start_ns".to_string(), Json::num(node.start_ns as f64)),
+        ("dur_ns".to_string(), Json::num((node.end_ns - node.start_ns) as f64)),
+    ];
+    if !node.attrs.is_empty() {
+        let attrs = node
+            .attrs
+            .iter()
+            .map(|(key, value)| {
+                let json = match value {
+                    AttrValue::Str(s) => Json::str(s.clone()),
+                    AttrValue::U64(v) => Json::num(*v as f64),
+                    AttrValue::F64(v) if v.is_finite() => Json::num(*v),
+                    AttrValue::F64(_) => Json::Null,
+                    AttrValue::Bool(b) => Json::Bool(*b),
+                };
+                (key.to_string(), json)
+            })
+            .collect();
+        pairs.push(("attrs".to_string(), Json::Obj(attrs)));
+    }
+    if !node.children.is_empty() {
+        pairs.push((
+            "children".to_string(),
+            Json::Arr(node.children.iter().map(span_node_json).collect()),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// The `metrics` frame: one Prometheus text-exposition scrape of the
+/// process-global registry, carried in `"body"` with its content type
+/// alongside so an HTTP gateway can proxy it verbatim.
+pub fn metrics_frame(seq: u64, body: &str) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("metrics")),
+        ("seq", Json::num(seq as f64)),
+        ("content_type", Json::str("text/plain; version=0.0.4")),
+        ("body", Json::str(body)),
+    ])
+}
+
 /// One streamed `telemetry` frame: per-shard views plus the queue
 /// snapshot and the delta since this stream's previous frame.
 pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json {
@@ -355,19 +442,20 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
         })
         .collect();
     let stats = &snapshot.stats;
-    let latency = Priority::all()
-        .iter()
-        .map(|p| {
-            let summary = stats.latency(*p);
-            Json::obj(vec![
-                ("class", Json::str(p.to_string())),
-                ("count", Json::num(summary.count as f64)),
-                ("p50_ns", Json::num(summary.p50.as_nanos() as f64)),
-                ("p90_ns", Json::num(summary.p90.as_nanos() as f64)),
-                ("p99_ns", Json::num(summary.p99.as_nanos() as f64)),
-            ])
-        })
-        .collect();
+    let summarize = |summary: fastsc_queue::LatencySummary, p: Priority| {
+        Json::obj(vec![
+            ("class", Json::str(p.to_string())),
+            ("count", Json::num(summary.count as f64)),
+            ("min_ns", Json::num(summary.min.as_nanos() as f64)),
+            ("p50_ns", Json::num(summary.p50.as_nanos() as f64)),
+            ("p90_ns", Json::num(summary.p90.as_nanos() as f64)),
+            ("p99_ns", Json::num(summary.p99.as_nanos() as f64)),
+            ("max_ns", Json::num(summary.max.as_nanos() as f64)),
+        ])
+    };
+    let latency = Priority::all().iter().map(|p| summarize(stats.latency(*p), *p)).collect();
+    let queue_wait =
+        Priority::all().iter().map(|p| summarize(stats.queue_wait(*p), *p)).collect();
     let delta = &snapshot.delta;
     Json::obj(vec![
         ("type", Json::str("telemetry")),
@@ -388,6 +476,7 @@ pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json
                 ("cache_hits", Json::num(stats.cache.hits as f64)),
                 ("cache_misses", Json::num(stats.cache.misses as f64)),
                 ("latency", Json::Arr(latency)),
+                ("queue_wait", Json::Arr(queue_wait)),
             ]),
         ),
         (
@@ -429,6 +518,7 @@ mod tests {
                 strategy: Strategy::ColorDynamic,
                 priority: Priority::Interactive,
                 deadline_ms: Some(250),
+                trace: false,
             }
         );
 
@@ -446,6 +536,7 @@ mod tests {
             decode(r#"{"type":"telemetry","count":3,"interval_ms":10}"#).unwrap().1,
             Request::Telemetry { count: 3, interval_ms: 10 }
         );
+        assert_eq!(decode(r#"{"type":"metrics","seq":6}"#).unwrap(), (6, Request::Metrics));
         assert_eq!(decode(r#"{"type":"ping","seq":77}"#).unwrap(), (77, Request::Ping));
     }
 
@@ -460,8 +551,21 @@ mod tests {
                 strategy: Strategy::BaselineN,
                 priority: Priority::Batch,
                 deadline_ms: None,
+                trace: false,
             }
         );
+    }
+
+    #[test]
+    fn submit_trace_flag_is_parsed_and_validated() {
+        let (_, req) =
+            decode(r#"{"type":"submit","qasm":"x","strategy":"BaselineN","trace":true}"#)
+                .unwrap();
+        assert!(matches!(req, Request::Submit { trace: true, .. }));
+        let (_, err) =
+            decode(r#"{"type":"submit","qasm":"x","strategy":"BaselineN","trace":1}"#)
+                .expect_err("non-boolean trace");
+        assert_eq!(err.code, "bad_request");
     }
 
     #[test]
@@ -505,7 +609,7 @@ mod tests {
     #[test]
     fn result_frames_cover_both_arms() {
         let failed: JobResult = Err(CompileError::Deadline);
-        let frame = result_frame("result", 9, 3, &failed);
+        let frame = result_frame("result", 9, 3, &failed, None);
         assert_eq!(frame.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(frame.get("code").unwrap().as_str(), Some("deadline"));
         assert_eq!(frame.get("job").unwrap().as_u64(), Some(3));
@@ -522,7 +626,7 @@ mod tests {
         let failed: JobResult = Err(CompileError::FleetUnhealthy {
             retry_after: std::time::Duration::from_millis(750),
         });
-        let frame = result_frame("result", 2, 5, &failed);
+        let frame = result_frame("result", 2, 5, &failed, None);
         assert_eq!(frame.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(frame.get("code").unwrap().as_str(), Some("fleet_unhealthy"));
         assert_eq!(frame.get("retry_after_ms").unwrap().as_u64(), Some(750));
@@ -543,7 +647,7 @@ mod tests {
                 },
             ],
         });
-        let frame = result_frame("completion", 3, 8, &failed);
+        let frame = result_frame("completion", 3, 8, &failed, None);
         assert_eq!(frame.get("code").unwrap().as_str(), Some("exhausted"));
         let Some(Json::Arr(attempts)) = frame.get("attempts") else {
             panic!("missing attempts array");
@@ -553,5 +657,54 @@ mod tests {
         assert_eq!(attempts[0].get("code").unwrap().as_str(), Some("internal"));
         assert!(matches!(attempts[1].get("shard"), Some(Json::Null)));
         assert_eq!(attempts[1].get("code").unwrap().as_str(), Some("no_shard_fits"));
+    }
+
+    #[test]
+    fn span_trees_serialize_as_nested_frames() {
+        use fastsc_telemetry::Tracer;
+        let tracer = Tracer::new();
+        let mut job = tracer.span("job", None);
+        job.attr("priority", "interactive");
+        job.attr("cache_hit", false);
+        let mut compile = tracer.span("compile", Some(job.id()));
+        compile.attr("waves", 3usize);
+        drop(compile);
+        drop(job);
+        let json = span_tree_json(&tracer.finish());
+        assert_eq!(json.get("name").unwrap().as_str(), Some("job"));
+        let attrs = json.get("attrs").expect("root attrs");
+        assert_eq!(attrs.get("priority").unwrap().as_str(), Some("interactive"));
+        assert_eq!(attrs.get("cache_hit").unwrap().as_bool(), Some(false));
+        let children = json.get("children").unwrap().as_array().unwrap();
+        assert_eq!(children[0].get("name").unwrap().as_str(), Some("compile"));
+        assert_eq!(children[0].get("attrs").unwrap().get("waves").unwrap().as_u64(), Some(3));
+        assert!(children[0].get("dur_ns").unwrap().as_u64().is_some());
+        // The encoded form must survive this crate's own parser.
+        let reparsed = Json::parse(&json.encode()).expect("wire round trip");
+        assert_eq!(reparsed.get("name").unwrap().as_str(), Some("job"));
+    }
+
+    #[test]
+    fn traced_result_frames_embed_the_tree() {
+        use fastsc_telemetry::Tracer;
+        let tracer = Tracer::new();
+        drop(tracer.span("job", None));
+        let tree = tracer.finish();
+        let failed: JobResult = Err(CompileError::Cancelled);
+        let frame = result_frame("completion", 1, 2, &failed, Some(&tree));
+        assert_eq!(frame.get("trace").unwrap().get("name").unwrap().as_str(), Some("job"));
+        let untraced = result_frame("completion", 1, 2, &failed, None);
+        assert!(untraced.get("trace").is_none());
+    }
+
+    #[test]
+    fn metrics_frames_carry_the_exposition_body() {
+        let body = "# TYPE fastsc_queue_depth gauge\nfastsc_queue_depth 0\n";
+        let frame = metrics_frame(11, body);
+        assert_eq!(frame.get("type").unwrap().as_str(), Some("metrics"));
+        assert_eq!(frame.get("seq").unwrap().as_u64(), Some(11));
+        assert_eq!(frame.get("body").unwrap().as_str(), Some(body));
+        let reparsed = Json::parse(&frame.encode()).expect("newline escapes round trip");
+        assert_eq!(reparsed.get("body").unwrap().as_str(), Some(body));
     }
 }

@@ -32,8 +32,8 @@
 use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::protocol::{
-    error_frame, qasm_error_frame, rate_limited_frame, result_frame, telemetry_frame, Request,
-    MAX_WAIT_MS,
+    error_frame, metrics_frame, qasm_error_frame, rate_limited_frame, result_frame,
+    telemetry_frame, Request, MAX_WAIT_MS,
 };
 use crate::session::{AdmitError, SessionRegistry, Tenant, TenantConfig};
 use fastsc_ir::qasm::from_qasm;
@@ -41,11 +41,12 @@ use fastsc_queue::{
     ClientId, Completions, JobHandle, JobId, JobResult, QueueService, Submission,
 };
 use fastsc_service::FaultInjector;
+use fastsc_telemetry::metrics;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -131,9 +132,13 @@ impl Server {
         });
         let router = {
             let shared = Arc::clone(&shared);
+            // Weak, not strong: shutdown relies on dropping the last
+            // queue handle to drain, so the router must not keep one
+            // alive. It upgrades briefly per completion to pull traces.
+            let queue = Arc::downgrade(&queue);
             thread::Builder::new()
                 .name("fastsc-server-router".into())
-                .spawn(move || router_loop(completions, shared))?
+                .spawn(move || router_loop(completions, shared, queue))?
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -221,6 +226,7 @@ fn accept_loop(
             drop(stream);
             continue;
         }
+        metrics().connections.inc();
         let conn_shared = Arc::clone(&shared);
         let conn_queue = Arc::clone(&queue);
         let reader = thread::Builder::new()
@@ -232,11 +238,14 @@ fn accept_loop(
     }
 }
 
-fn router_loop(completions: Completions, shared: Arc<ServerShared>) {
+fn router_loop(completions: Completions, shared: Arc<ServerShared>, queue: Weak<QueueService>) {
     for (id, result) in completions {
         let mut state = lock(&shared.router);
         match state.routes.remove(&id) {
-            Some(tenant) => deliver(&mut state, &tenant, id, &result),
+            Some(tenant) => {
+                let queue = queue.upgrade();
+                deliver(&mut state, &tenant, id, &result, queue.as_deref());
+            }
             // Raced the submitting reader; it will find the result here.
             None => {
                 state.orphans.insert(id, result);
@@ -250,17 +259,38 @@ fn router_loop(completions: Completions, shared: Arc<ServerShared>) {
 }
 
 /// Releases the tenant's quota slot and fans the completion out to its
-/// subscribers (pruning any whose connection has gone away).
-fn deliver(state: &mut RouterState, tenant: &Tenant, id: JobId, result: &JobResult) {
+/// subscribers (pruning any whose connection has gone away). The job's
+/// span tree, if one was recorded, is taken (once) only when a
+/// subscriber will actually receive it — otherwise it stays parked for
+/// the submitter's `poll`/`wait`.
+fn deliver(
+    state: &mut RouterState,
+    tenant: &Tenant,
+    id: JobId,
+    result: &JobResult,
+    queue: Option<&QueueService>,
+) {
     tenant.release();
     let client = tenant.config.client;
+    let trace = if state.subscribers.iter().any(|s| s.client == client) {
+        queue.and_then(|q| q.take_trace(id))
+    } else {
+        None
+    };
     state.subscribers.retain(|s| {
         if s.client != client {
             return true;
         }
-        let frame = result_frame("completion", s.seq, id.as_u64(), result).encode();
+        let frame =
+            result_frame("completion", s.seq, id.as_u64(), result, trace.as_ref()).encode();
         s.sender.send(frame).is_ok()
     });
+}
+
+/// Bytes a framed payload occupies on the wire (4-byte length prefix
+/// included) — what the `fastsc_server_bytes_total` counters count.
+fn wire_bytes(payload: &str) -> u64 {
+    payload.len() as u64 + 4
 }
 
 fn writer_loop(mut stream: TcpStream, frames: mpsc::Receiver<String>) {
@@ -268,6 +298,7 @@ fn writer_loop(mut stream: TcpStream, frames: mpsc::Receiver<String>) {
         if write_frame(&mut stream, &frame).is_err() {
             break;
         }
+        metrics().bytes_written.add(wire_bytes(&frame));
     }
 }
 
@@ -323,30 +354,33 @@ impl Connection {
             match read_frame(&mut stream, &self.shared.stop) {
                 // Peer closed, or shutdown while idle.
                 Ok(None) => break,
-                Ok(Some(text)) => match Json::parse(&text) {
-                    // An undecodable frame means the peer is broken (or
-                    // hostile); explain once, then hang up — there is no
-                    // way to resynchronize trust in the stream.
-                    Err(e) => {
-                        self.send(error_frame(0, "bad_frame", &e.to_string()));
-                        break;
+                Ok(Some(text)) => {
+                    metrics().bytes_read.add(wire_bytes(&text));
+                    match Json::parse(&text) {
+                        // An undecodable frame means the peer is broken (or
+                        // hostile); explain once, then hang up — there is no
+                        // way to resynchronize trust in the stream.
+                        Err(e) => {
+                            self.send(error_frame(0, "bad_frame", &e.to_string()));
+                            break;
+                        }
+                        Ok(frame) => match Request::from_json(&frame) {
+                            Err((seq, e)) => {
+                                // A well-formed but invalid request is the
+                                // client's bug, not the stream's: answer and
+                                // keep serving.
+                                if !self.send(error_frame(seq, e.code, &e.message)) {
+                                    break;
+                                }
+                            }
+                            Ok((seq, request)) => {
+                                if !self.handle(seq, request) {
+                                    break;
+                                }
+                            }
+                        },
                     }
-                    Ok(frame) => match Request::from_json(&frame) {
-                        Err((seq, e)) => {
-                            // A well-formed but invalid request is the
-                            // client's bug, not the stream's: answer and
-                            // keep serving.
-                            if !self.send(error_frame(seq, e.code, &e.message)) {
-                                break;
-                            }
-                        }
-                        Ok((seq, request)) => {
-                            if !self.handle(seq, request) {
-                                break;
-                            }
-                        }
-                    },
-                },
+                }
                 // Framing is unrecoverable (truncation, oversize, bad
                 // UTF-8): hang up.
                 Err(e) => {
@@ -376,8 +410,8 @@ impl Connection {
                 self.send(error_frame(seq, "auth", "authenticate with a hello frame first"));
                 false
             }
-            Request::Submit { qasm, strategy, priority, deadline_ms } => {
-                self.submit(seq, &qasm, strategy, priority, deadline_ms)
+            Request::Submit { qasm, strategy, priority, deadline_ms, trace } => {
+                self.submit(seq, &qasm, strategy, priority, deadline_ms, trace)
             }
             Request::Poll { job } => self.poll(seq, job),
             Request::Wait { job, timeout_ms } => self.wait(seq, job, timeout_ms),
@@ -385,6 +419,9 @@ impl Connection {
             Request::Subscribe => self.subscribe(seq),
             Request::Telemetry { count, interval_ms } => {
                 self.telemetry(seq, count, interval_ms)
+            }
+            Request::Metrics => {
+                self.send(metrics_frame(seq, &metrics().snapshot().to_prometheus()))
             }
         }
     }
@@ -424,6 +461,7 @@ impl Connection {
         strategy: fastsc_core::Strategy,
         priority: fastsc_queue::Priority,
         deadline_ms: Option<u64>,
+        trace: bool,
     ) -> bool {
         let tenant = Arc::clone(self.tenant.as_ref().expect("submit requires auth"));
         // Rate limit + quota first: even a parse failure costs a rate
@@ -454,6 +492,9 @@ impl Connection {
         let mut submission = Submission::new(CompileJob::new(circuit, strategy))
             .client(tenant.config.client)
             .priority(priority);
+        if trace {
+            submission = submission.traced();
+        }
         if let Some(ms) = deadline_ms {
             submission = submission.deadline_in(Duration::from_millis(ms));
         }
@@ -470,7 +511,7 @@ impl Connection {
         {
             let mut state = lock(&self.shared.router);
             if let Some(result) = state.orphans.remove(&id) {
-                deliver(&mut state, &tenant, id, &result);
+                deliver(&mut state, &tenant, id, &result, Some(&self.queue));
             } else {
                 state.routes.insert(id, tenant);
             }
@@ -506,8 +547,9 @@ impl Connection {
         match handle.poll() {
             None => self.send(self.pending_frame(seq, job)),
             Some(result) => {
+                let trace = self.queue.take_trace(handle.id());
                 self.pending.remove(&job);
-                self.send(result_frame("result", seq, job, &result))
+                self.send(result_frame("result", seq, job, &result, trace.as_ref()))
             }
         }
     }
@@ -530,8 +572,9 @@ impl Connection {
         match result {
             None => self.send(self.pending_frame(seq, job)),
             Some(result) => {
+                let trace = self.queue.take_trace(handle.id());
                 self.pending.remove(&job);
-                self.send(result_frame("result", seq, job, &result))
+                self.send(result_frame("result", seq, job, &result, trace.as_ref()))
             }
         }
     }

@@ -253,6 +253,79 @@ fn telemetry_streams_fleet_snapshots() {
     server.shutdown();
 }
 
+/// Depth-first search for a span named `name` in a wire-format trace.
+fn find_span<'a>(node: &'a Json, name: &str) -> Option<&'a Json> {
+    if node.get("name").and_then(Json::as_str) == Some(name) {
+        return Some(node);
+    }
+    node.get("children")?.as_array()?.iter().find_map(|c| find_span(c, name))
+}
+
+#[test]
+fn traced_submit_returns_the_span_tree_over_the_wire() {
+    let mut server = start_server(one_tenant());
+    let mut client = connect(&server, "alpha-token");
+
+    let job = client
+        .submit_traced(DEMO_QASM, "ColorDynamic", "interactive", None)
+        .expect("traced submit");
+    let outcome = client.wait(job, 30_000).expect("wait").expect("finishes");
+    assert!(outcome.ok);
+    let trace = outcome.trace.as_ref().expect("traced job returns its span tree");
+
+    // The root names the job's full lifecycle...
+    assert_eq!(trace.get("name").and_then(Json::as_str), Some("job"));
+    for name in ["admission", "queue_wait", "route", "attempt", "respond"] {
+        assert!(find_span(trace, name).is_some(), "missing {name:?} span in {trace:?}");
+    }
+    // ...the routing decision carries its policy and chosen shard...
+    let route = find_span(trace, "route").expect("route span");
+    let route_attrs = route.get("attrs").expect("route attrs");
+    assert_eq!(route_attrs.get("policy").and_then(Json::as_str), Some("capacity_aware"));
+    assert_eq!(route_attrs.get("shard").and_then(Json::as_u64), Some(0));
+    // ...and the engine's internal phases nest under the attempt.
+    // (`context_build` is absent by design: shard contexts are built
+    // eagerly at registration, before any routed job compiles.)
+    let attempt = find_span(trace, "attempt").expect("attempt span");
+    for name in ["compile", "smt", "coloring"] {
+        assert!(find_span(attempt, name).is_some(), "missing engine phase {name:?}");
+    }
+    let attempt_attrs = attempt.get("attrs").expect("attempt attrs");
+    assert_eq!(attempt_attrs.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(attempt_attrs.get("cache_hit").and_then(Json::as_bool).is_some());
+
+    // Trace delivery is take-once; an untraced job carries nothing.
+    let plain = client.submit(DEMO_QASM, "BaselineN", "batch", None).expect("submit");
+    let outcome = client.wait(plain, 30_000).expect("wait").expect("finishes");
+    assert!(outcome.ok);
+    assert!(outcome.trace.is_none(), "untraced job must not carry a trace");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_request_returns_prometheus_exposition() {
+    let mut server = start_server(one_tenant());
+    let mut client = connect(&server, "alpha-token");
+    let job = client.submit(DEMO_QASM, "ColorDynamic", "batch", None).expect("submit");
+    assert!(client.wait(job, 30_000).expect("wait").expect("finishes").ok);
+
+    let text = client.metrics_text().expect("metrics scrape");
+    for family in [
+        "# TYPE fastsc_queue_wait_seconds histogram",
+        "# TYPE fastsc_queue_jobs_total counter",
+        "fastsc_queue_jobs_total{event=\"admitted\"}",
+        "# TYPE fastsc_server_connections_total counter",
+        "# TYPE fastsc_server_bytes_total counter",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in scrape:\n{text}");
+    }
+    // Valid exposition shape: every line is a comment or `name value`.
+    for line in text.lines() {
+        assert!(line.starts_with('#') || line.split(' ').count() == 2, "bad line: {line}");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn undecodable_frames_get_an_error_then_the_connection_closes() {
     let mut server = start_server(one_tenant());

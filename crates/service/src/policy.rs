@@ -78,6 +78,11 @@ pub trait ShardPolicy: Send + std::fmt::Debug {
     /// [`CompileError::NoShardFits`]); the error becomes that job's
     /// result.
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError>;
+
+    /// A short stable name for telemetry (route-span attributes).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Cycles through the routable shards in registration order, independent
@@ -97,6 +102,10 @@ impl RoundRobin {
 }
 
 impl ShardPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         let count = request.shard_count();
         for offset in 0..count {
@@ -124,6 +133,10 @@ impl LeastLoaded {
 }
 
 impl ShardPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         request
             .routable()
@@ -149,6 +162,10 @@ impl ProgramAffinity {
 }
 
 impl ShardPolicy for ProgramAffinity {
+    fn name(&self) -> &'static str {
+        "program_affinity"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         let count = request.routable().count();
         if count == 0 {
@@ -180,6 +197,10 @@ impl CapacityAware {
 }
 
 impl ShardPolicy for CapacityAware {
+    fn name(&self) -> &'static str {
+        "capacity_aware"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         request
             .fitting()
@@ -217,6 +238,10 @@ impl FidelityAware {
 }
 
 impl ShardPolicy for FidelityAware {
+    fn name(&self) -> &'static str {
+        "fidelity_aware"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         request
             .fitting()
@@ -280,6 +305,10 @@ impl Default for Composite {
 }
 
 impl ShardPolicy for Composite {
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
     fn route(&mut self, request: &RouteRequest<'_>) -> Result<usize, CompileError> {
         let mut candidates: Vec<&ShardView> = request.routable().collect();
         for stage in &self.stages {

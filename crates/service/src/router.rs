@@ -48,6 +48,7 @@ use fastsc_core::{
     CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,
 };
 use fastsc_device::Device;
+use fastsc_telemetry::{metrics, AttrValue, TraceHandle};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -193,12 +194,18 @@ impl Shard {
         if self.probing.swap(false, Ordering::AcqRel) {
             // Only a quarantined shard may be restored: a drain or
             // removal that raced the probe wins.
-            let _ = self.state.compare_exchange(
-                STATE_QUARANTINED,
-                STATE_ACTIVE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            if self
+                .state
+                .compare_exchange(
+                    STATE_QUARANTINED,
+                    STATE_ACTIVE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                metrics().breaker_closed.inc();
+            }
             self.cooldown_routed.store(0, Ordering::Release);
         }
     }
@@ -222,6 +229,7 @@ impl Shard {
             // HalfOpen probe failed: reopen with a fresh cooldown. The
             // probe job itself fails over through the queue's retry
             // path.
+            metrics().breaker_opened.inc();
             self.cooldown_routed.store(0, Ordering::Release);
             self.consecutive_failures.store(0, Ordering::Relaxed);
             return;
@@ -240,6 +248,7 @@ impl Shard {
                     .is_ok()
             {
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                metrics().breaker_opened.inc();
                 self.cooldown_routed.store(0, Ordering::Release);
                 self.consecutive_failures.store(0, Ordering::Relaxed);
             }
@@ -611,6 +620,7 @@ impl CompileService {
             )
             .is_ok();
         if tripped {
+            metrics().breaker_opened.inc();
             live.cooldown_routed.store(0, Ordering::Release);
             live.consecutive_failures.store(0, Ordering::Relaxed);
         }
@@ -638,6 +648,7 @@ impl CompileService {
             )
             .is_ok();
         if restored {
+            metrics().breaker_closed.inc();
             live.cooldown_routed.store(0, Ordering::Release);
             live.consecutive_failures.store(0, Ordering::Relaxed);
             live.probing.store(false, Ordering::Release);
@@ -871,6 +882,7 @@ impl CompileService {
                 if owner_seen[source] {
                     if let Ok(r) = &mut reply {
                         r.cache_hit = true;
+                        metrics().cache_hits.inc();
                     }
                 } else {
                     owner_seen[source] = true;
@@ -962,80 +974,105 @@ impl CompileService {
         let mut policy = self.lock_policy();
         jobs.into_iter()
             .map(|(job, excluded)| {
-                let program_hash = job.program.structural_hash();
-                let pin = (program_hash, job.strategy.stable_code());
-                // Excluded jobs bypass the pin map both ways: a pin may
-                // point at an excluded shard, and a retry must not pin
-                // followers onto the shard it is fleeing.
-                if excluded.is_empty() {
-                    if let Some(&shard) = pinned.get(&pin) {
-                        return Ok((shard, program_hash, job));
-                    }
-                }
-                // HalfOpen: a quarantined shard whose cooldown has
-                // elapsed claims the next fitting job as its single
-                // probe, before the policy (which cannot see it) runs.
-                if let Some(config) = breaker {
-                    if let Some(shard) =
-                        Self::claim_probe(slots, &views, &job, &excluded, config)
-                    {
-                        views[shard].load += 1;
-                        return Ok((shard, program_hash, job));
-                    }
-                }
-                // Mask excluded shards so the policy cannot pick them,
-                // restoring the views afterwards (they are shared across
-                // the whole batch).
-                let masked: Vec<(usize, ShardState)> = excluded
-                    .iter()
-                    .filter(|&&shard| shard < views.len())
-                    .map(|&shard| (shard, views[shard].state))
-                    .collect();
-                for &(shard, _) in &masked {
-                    views[shard].state = ShardState::Draining;
-                }
-                let request = RouteRequest {
-                    program_hash,
-                    strategy: job.strategy,
-                    program_qubits: job.program.n_qubits(),
-                    shards: &views,
-                };
-                let routed = policy.route(&request);
-                for &(shard, state) in &masked {
-                    views[shard].state = state;
-                }
-                let shard = routed?;
-                assert!(
-                    shard < slots.len(),
-                    "policy routed to shard {shard} of {}",
-                    slots.len()
-                );
-                assert!(
-                    views[shard].routable(),
-                    "policy routed to shard {shard}, which is {:?}",
-                    views[shard].state
-                );
-                views[shard].load += 1;
-                // Every job routed around a quarantined shard advances
-                // that shard's cooldown toward its HalfOpen probe —
-                // recovery timing is measured in routed jobs, not wall
-                // time, so it is deterministic under any interleaving.
-                if breaker.is_some() {
-                    for (index, slot) in slots.iter().enumerate() {
-                        if index == shard {
-                            continue;
+                // Routing is observed retroactively: the span is recorded
+                // after the decision, so tracing can never perturb it.
+                let trace = job.trace.clone();
+                let route_started = Instant::now();
+                let excluded_count = excluded.len();
+                let routed = (|| {
+                    let program_hash = job.program.structural_hash();
+                    let pin = (program_hash, job.strategy.stable_code());
+                    // Excluded jobs bypass the pin map both ways: a pin may
+                    // point at an excluded shard, and a retry must not pin
+                    // followers onto the shard it is fleeing.
+                    if excluded.is_empty() {
+                        if let Some(&shard) = pinned.get(&pin) {
+                            return Ok((shard, program_hash, job));
                         }
-                        if let Slot::Live(live) = slot {
-                            if live.state.load(Ordering::Acquire) == STATE_QUARANTINED {
-                                live.cooldown_routed.fetch_add(1, Ordering::AcqRel);
+                    }
+                    // HalfOpen: a quarantined shard whose cooldown has
+                    // elapsed claims the next fitting job as its single
+                    // probe, before the policy (which cannot see it) runs.
+                    if let Some(config) = breaker {
+                        if let Some(shard) =
+                            Self::claim_probe(slots, &views, &job, &excluded, config)
+                        {
+                            views[shard].load += 1;
+                            return Ok((shard, program_hash, job));
+                        }
+                    }
+                    // Mask excluded shards so the policy cannot pick them,
+                    // restoring the views afterwards (they are shared across
+                    // the whole batch).
+                    let masked: Vec<(usize, ShardState)> = excluded
+                        .iter()
+                        .filter(|&&shard| shard < views.len())
+                        .map(|&shard| (shard, views[shard].state))
+                        .collect();
+                    for &(shard, _) in &masked {
+                        views[shard].state = ShardState::Draining;
+                    }
+                    let request = RouteRequest {
+                        program_hash,
+                        strategy: job.strategy,
+                        program_qubits: job.program.n_qubits(),
+                        shards: &views,
+                    };
+                    let routed = policy.route(&request);
+                    for &(shard, state) in &masked {
+                        views[shard].state = state;
+                    }
+                    let shard = routed?;
+                    assert!(
+                        shard < slots.len(),
+                        "policy routed to shard {shard} of {}",
+                        slots.len()
+                    );
+                    assert!(
+                        views[shard].routable(),
+                        "policy routed to shard {shard}, which is {:?}",
+                        views[shard].state
+                    );
+                    views[shard].load += 1;
+                    // Every job routed around a quarantined shard advances
+                    // that shard's cooldown toward its HalfOpen probe —
+                    // recovery timing is measured in routed jobs, not wall
+                    // time, so it is deterministic under any interleaving.
+                    if breaker.is_some() {
+                        for (index, slot) in slots.iter().enumerate() {
+                            if index == shard {
+                                continue;
+                            }
+                            if let Slot::Live(live) = slot {
+                                if live.state.load(Ordering::Acquire) == STATE_QUARANTINED {
+                                    live.cooldown_routed.fetch_add(1, Ordering::AcqRel);
+                                }
                             }
                         }
                     }
+                    if excluded.is_empty() && slots[shard].live(shard).cache.capacity() > 0 {
+                        pinned.insert(pin, shard);
+                    }
+                    Ok((shard, program_hash, job))
+                })();
+                if let Some(trace) = trace {
+                    let mut attrs = vec![
+                        ("policy", AttrValue::from(policy.name())),
+                        ("excluded", AttrValue::from(excluded_count)),
+                    ];
+                    match &routed {
+                        Ok((shard, _, _)) => attrs.push(("shard", AttrValue::from(*shard))),
+                        Err(_) => attrs.push(("refused", AttrValue::from(true))),
+                    }
+                    trace.tracer.record(
+                        "route",
+                        Some(trace.parent),
+                        route_started,
+                        Instant::now(),
+                        attrs,
+                    );
                 }
-                if excluded.is_empty() && slots[shard].live(shard).cache.capacity() > 0 {
-                    pinned.insert(pin, shard);
-                }
-                Ok((shard, program_hash, job))
+                routed
             })
             .collect()
     }
@@ -1070,6 +1107,7 @@ impl CompileService {
             if live.probing.swap(true, Ordering::AcqRel) {
                 continue;
             }
+            metrics().breaker_half_open.inc();
             return Some(index);
         }
         None
@@ -1112,11 +1150,19 @@ impl CompileService {
             // does answer a HalfOpen probe: the shard responded, and the
             // injection gate above already had its chance to fail it.
             shard.close_breaker_if_probing();
+            metrics().cache_hits.inc();
+            if let Some(trace) = &job.trace {
+                trace.span("cache_hit").attr("shard", shard_index);
+            }
             return Ok(ServiceReply { shard: shard_index, cache_hit: true, compiled });
         }
+        metrics().cache_misses.inc();
+        let _trace = job.trace.as_ref().map(TraceHandle::install);
         let started = Instant::now();
         let result = compile_isolated(&shard.compiler, &job.program, job.strategy);
-        shard.record_latency(started.elapsed());
+        let elapsed = started.elapsed();
+        shard.record_latency(elapsed);
+        metrics().compile_duration[usize::from(job.strategy.stable_code())].observe(elapsed);
         match &result {
             Ok(_) => shard.record_attempt(true, false, breaker),
             Err(error) => shard.record_attempt(false, error.is_transient(), breaker),

@@ -348,4 +348,33 @@ mod tests {
         let health = ShardHealth { attempts: 4, failures: 4, ..ShardHealth::default() };
         assert_eq!(health.error_rate(), 1.0);
     }
+
+    #[test]
+    fn rates_are_pinned_finite_on_a_fresh_shard() {
+        // A just-registered shard has served nothing: both rates must be
+        // exactly 0.0 — never NaN from 0/0 — so dashboards and routing
+        // policies can consume them without a finiteness guard.
+        let fresh = ShardView {
+            shard: 0,
+            profile: Arc::new(hand_built(0.9)),
+            state: ShardState::Active,
+            load: 0,
+            ewma_compile_latency: Duration::ZERO,
+            cache: CacheStats::zero(),
+            health: ShardHealth::default(),
+        };
+        for rate in [fresh.cache_hit_rate(), fresh.error_rate()] {
+            assert!(rate.is_finite(), "fresh-shard rate must be finite, got {rate}");
+            assert_eq!(rate, 0.0);
+        }
+        // And any populated counters stay inside the documented [0, 1].
+        let busy = ShardView {
+            cache: CacheStats { hits: 5, misses: 3, evictions: 1, len: 8, capacity: 8 },
+            health: ShardHealth { attempts: 7, failures: 2, ..ShardHealth::default() },
+            ..fresh
+        };
+        for rate in [busy.cache_hit_rate(), busy.error_rate()] {
+            assert!((0.0..=1.0).contains(&rate), "rate {rate} escaped [0, 1]");
+        }
+    }
 }

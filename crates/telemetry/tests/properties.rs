@@ -1,0 +1,136 @@
+//! Property-based tests for span-tree well-formedness.
+//!
+//! A finished trace must be consumable by exporters without any
+//! defensive checks, so the assembled [`SpanTree`] carries structural
+//! guarantees: exactly one root when all spans attach under one job
+//! span, children properly nested inside their parent's interval,
+//! siblings non-overlapping in start order, and every interval
+//! monotone (`start_ns <= end_ns`). These tests drive the real RAII /
+//! retroactive recording API with randomized nesting scripts — not
+//! hand-assembled records — so the guarantees hold for the API as the
+//! queue, router, and engine actually use it.
+
+use std::time::Instant;
+
+use fastsc_telemetry::{AttrValue, SpanId, SpanNode, Tracer};
+use proptest::prelude::*;
+
+/// Phase names drawn from the real span vocabulary (span names are
+/// `&'static str` by design, so scripts pick from a fixed pool).
+const NAMES: [&str; 5] = ["compile", "smt", "coloring", "partition", "respond"];
+
+const MAX_DEPTH: usize = 5;
+
+/// Interprets a nesting script under `parent`, driving the tracer the
+/// way real call sites do: RAII guards for in-scope phases, with the
+/// guard dropped before the next sibling opens, plus retroactive
+/// [`Tracer::record`] calls for after-the-fact intervals. Returns the
+/// number of spans created.
+fn run_script(
+    tracer: &Tracer,
+    parent: SpanId,
+    ops: &mut std::slice::Iter<'_, u8>,
+    depth: usize,
+) -> usize {
+    let mut created = 0;
+    while let Some(&op) = ops.next() {
+        match op {
+            // Open a nested child and hand the rest of the script to it.
+            0 if depth < MAX_DEPTH => {
+                let guard = tracer.span(NAMES[depth % NAMES.len()], Some(parent));
+                created += 1 + run_script(tracer, guard.id(), ops, depth + 1);
+            }
+            // Close the current level.
+            1 => return created,
+            // Record a retroactive leaf (the queue-wait pattern).
+            2 => {
+                let start = Instant::now();
+                tracer.record(
+                    "queue_wait",
+                    Some(parent),
+                    start,
+                    Instant::now(),
+                    vec![("depth", AttrValue::U64(depth as u64))],
+                );
+                created += 1;
+            }
+            // An attributed RAII leaf, closed immediately.
+            _ => {
+                let mut leaf = tracer.span("leaf", Some(parent));
+                leaf.attr("depth", depth);
+                created += 1;
+            }
+        }
+    }
+    created
+}
+
+/// Recursive well-formedness: monotone intervals, children inside the
+/// parent, siblings ordered by start and non-overlapping.
+fn assert_well_formed(node: &SpanNode) {
+    assert!(node.start_ns <= node.end_ns, "{}: interval runs backwards", node.name);
+    let mut prev_end = node.start_ns;
+    for child in &node.children {
+        assert!(
+            child.start_ns >= node.start_ns && child.end_ns <= node.end_ns,
+            "child {} escapes parent {}",
+            child.name,
+            node.name
+        );
+        assert!(child.start_ns >= prev_end, "siblings overlap before {}", child.name);
+        prev_end = child.end_ns;
+        assert_well_formed(child);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_nesting_scripts_build_well_formed_trees(
+        ops in proptest::collection::vec(0u8..4, 0..60),
+    ) {
+        let tracer = Tracer::new();
+        let mut root = tracer.span("job", None);
+        root.attr("qubits", 4usize);
+        let created = run_script(&tracer, root.id(), &mut ops.iter(), 1);
+        drop(root);
+        let tree = tracer.finish();
+
+        // Exactly one root: everything attached under the job span.
+        prop_assert_eq!(tree.roots.len(), 1);
+        let root = tree.root().expect("one root");
+        prop_assert_eq!(root.name, "job");
+        // Nothing recorded is lost and nothing is invented.
+        prop_assert_eq!(tree.span_count(), created + 1);
+        assert_well_formed(root);
+    }
+
+    #[test]
+    fn chrome_export_emits_one_complete_event_per_span(
+        ops in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let tracer = Tracer::new();
+        let root = tracer.span("job", None);
+        run_script(&tracer, root.id(), &mut ops.iter(), 1);
+        drop(root);
+        let tree = tracer.finish();
+
+        let chrome = tree.to_chrome_trace();
+        prop_assert!(chrome.starts_with("{\"traceEvents\":["));
+        prop_assert!(chrome.ends_with("]}"));
+        // Every span becomes exactly one complete ("X") event.
+        let events = chrome.matches("\"ph\":\"X\"").count();
+        prop_assert_eq!(events, tree.span_count());
+    }
+}
+
+#[test]
+fn retroactive_spans_clamp_to_a_monotone_interval() {
+    let tracer = Tracer::new();
+    let late = Instant::now();
+    let root = tracer.span("job", None);
+    // end < start: the record clamps rather than going backwards.
+    tracer.record("queue_wait", Some(root.id()), Instant::now(), late, Vec::new());
+    drop(root);
+    let tree = tracer.finish();
+    assert_well_formed(tree.root().expect("root"));
+}

@@ -1,0 +1,110 @@
+//! Observability demo: per-job span trees and a Prometheus metrics
+//! scrape, in-process and over the wire.
+//!
+//! Runs the full loop twice. In-process: a traced [`Submission`]
+//! through the async queue, walking the finished [`SpanTree`] and
+//! writing a Chrome `trace_event` export (open it in
+//! `chrome://tracing` or Perfetto). Over the wire: `submit` with
+//! `trace: true` against a loopback TCP server, printing the span tree
+//! that rides the result frame, then a `metrics` scrape of the
+//! process-wide registry in Prometheus text exposition format.
+//!
+//! ```console
+//! $ cargo run --release --example observability
+//! ```
+
+use fastsc::compiler::batch::CompileJob;
+use fastsc::compiler::{CompilerConfig, Strategy};
+use fastsc::device::Device;
+use fastsc::ir::qasm::to_qasm;
+use fastsc::queue::{Priority, QueueService, Submission};
+use fastsc::server::{Client, Json, Server, TenantConfig};
+use fastsc::service::{CapacityAware, CompileService};
+use fastsc::telemetry::SpanNode;
+use fastsc::workloads::Benchmark;
+
+/// Prints one span and its children as an indented tree with durations
+/// and attributes.
+fn print_span(node: &SpanNode, depth: usize) {
+    let micros = node.duration().as_nanos() as f64 / 1_000.0;
+    let attrs: Vec<String> = node.attrs.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    println!(
+        "{:indent$}{:<12} {micros:>9.1} µs  {}",
+        "",
+        node.name,
+        attrs.join(" "),
+        indent = depth * 2
+    );
+    for child in &node.children {
+        print_span(child, depth + 1);
+    }
+}
+
+/// Prints a wire-format span tree (nested JSON objects).
+fn print_wire_span(node: &Json, depth: usize) {
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let dur = node.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1_000.0;
+    println!("{:indent$}{name:<12} {dur:>9.1} µs", "", indent = depth * 2);
+    if let Some(Json::Arr(children)) = node.get("children") {
+        for child in children {
+            print_wire_span(child, depth + 1);
+        }
+    }
+}
+
+fn fleet() -> CompileService {
+    let mut service = CompileService::new(CapacityAware::new());
+    for device in [Device::grid(3, 3, 7), Device::grid(4, 4, 23)] {
+        service
+            .register_device(device, CompilerConfig::default())
+            .expect("device frequency plan solves");
+    }
+    service
+}
+
+fn main() {
+    // ---- In-process: a traced submission through the queue. ----
+    let queue = QueueService::with_defaults(fleet());
+    let program = Benchmark::Xeb(9, 4).build(42);
+    let submission = Submission::new(CompileJob::new(program, Strategy::ColorDynamic))
+        .priority(Priority::Interactive)
+        .traced();
+    let handle = queue.submit(submission).expect("admitted");
+    let id = handle.id();
+    handle.wait().expect("compiles");
+    let tree = queue.take_trace(id).expect("traced job parks its tree");
+
+    println!("== span tree (in-process) ==");
+    print_span(tree.root().expect("one root"), 0);
+
+    // The same tree as Chrome trace_event JSON: save it and load the
+    // file in chrome://tracing or ui.perfetto.dev for a flame chart.
+    let chrome = tree.to_chrome_trace();
+    let out = std::env::temp_dir().join("fastsc_trace.json");
+    std::fs::write(&out, &chrome).expect("trace file writes");
+    println!("\nchrome trace ({} bytes) -> {}", chrome.len(), out.display());
+    drop(queue);
+
+    // ---- Over the wire: trace + metrics against a TCP server. ----
+    let tenants = vec![TenantConfig::generous("ops-token", "ops", 1)];
+    let mut server =
+        Server::start(QueueService::with_defaults(fleet()), tenants).expect("loopback bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.hello("ops-token").expect("token authenticates");
+
+    let qasm = to_qasm(&Benchmark::Qaoa(8).build(7));
+    let job =
+        client.submit_traced(&qasm, "ColorDynamic", "interactive", None).expect("submits");
+    let outcome = client.wait(job, 30_000).expect("wait").expect("finishes");
+    println!("\n== span tree (over the wire, job {job}) ==");
+    print_wire_span(outcome.trace.as_ref().expect("traced frame carries the tree"), 0);
+
+    // One Prometheus scrape of the process-wide registry.
+    let text = client.metrics_text().expect("metrics scrape");
+    println!("\n== prometheus exposition (first lines) ==");
+    for line in text.lines().take(12) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", text.lines().count());
+    server.shutdown();
+}

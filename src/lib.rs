@@ -19,6 +19,7 @@
 //! | [`queue`] | `fastsc-queue` | async admission queue: backpressure, priorities, deadlines, streaming |
 //! | [`server`] | `fastsc-server` | TCP wire protocol, multi-tenant sessions, rate limits and quotas |
 //! | [`sim`] | `fastsc-sim` | noisy state-vector + two-transmon qutrit simulation |
+//! | [`telemetry`] | `fastsc-telemetry` | per-job span traces + Prometheus-style metrics |
 //!
 //! # Quickstart
 //!
@@ -55,4 +56,5 @@ pub use fastsc_server as server;
 pub use fastsc_service as service;
 pub use fastsc_sim as sim;
 pub use fastsc_smt as smt;
+pub use fastsc_telemetry as telemetry;
 pub use fastsc_workloads as workloads;

@@ -518,6 +518,87 @@ fn scalability_tiers_compile_partitioned_and_reproduce() {
 }
 
 #[test]
+fn tracing_on_off_and_sampled_are_invisible_in_compiled_output() {
+    // The observability layer records the compile; it must never steer
+    // it. Run the same jobs through identical two-shard queues under
+    // every trace mode — off, every-job, deterministic sampling, and
+    // per-submission opt-in — and demand the routed shard, the
+    // schedule, and the success estimate stay bit-identical to the
+    // untraced baseline (and to a fresh, cold, sequential compile).
+    use fastsc::queue::{QueueService, Submission};
+    use fastsc::telemetry::{set_trace_mode, TraceMode};
+
+    let devices = [Device::grid(3, 3, 7), Device::grid(3, 3, 11)];
+    let jobs: Vec<CompileJob> = Strategy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| CompileJob::new(Benchmark::Xeb(9, 4).build(i as u64), s))
+        .collect();
+    // Submit-and-wait one job at a time under RoundRobin so routing is
+    // a pure function of submission order — any divergence between
+    // modes is then attributable to tracing, not dispatch timing.
+    let run = |mode: TraceMode, explicit: bool| {
+        set_trace_mode(mode);
+        let mut service = CompileService::new(RoundRobin::new());
+        for device in &devices {
+            service
+                .register_device(device.clone(), CompilerConfig::default())
+                .expect("registers");
+        }
+        let queue = QueueService::with_defaults(service);
+        let outcomes: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let mut submission = Submission::new(job.clone());
+                if explicit {
+                    submission = submission.traced();
+                }
+                let handle = queue.submit(submission).expect("admits");
+                let reply = handle.wait().expect("compiles");
+                let bits = estimate(
+                    &devices[reply.shard],
+                    &reply.compiled.schedule,
+                    &NoiseConfig::default(),
+                )
+                .p_success
+                .to_bits();
+                let trace = queue.take_trace(handle.id());
+                (reply.shard, reply.compiled.schedule.clone(), bits, trace.is_some())
+            })
+            .collect();
+        set_trace_mode(TraceMode::Off);
+        outcomes
+    };
+
+    let baseline = run(TraceMode::Off, false);
+    assert!(baseline.iter().all(|(.., traced)| !traced), "mode off must record nothing");
+    for (label, mode, explicit) in [
+        ("explicitly traced submissions", TraceMode::Off, true),
+        ("trace mode on", TraceMode::On, false),
+        ("sampled tracing", TraceMode::Sampled(2), false),
+    ] {
+        let outcomes = run(mode, explicit);
+        for (i, ((shard, schedule, bits, traced), (base_shard, base_schedule, base_bits, _))) in
+            outcomes.iter().zip(&baseline).enumerate()
+        {
+            assert_eq!(shard, base_shard, "{label}: job {i} was routed elsewhere");
+            assert_eq!(schedule, base_schedule, "{label}: job {i} schedule diverged");
+            assert_eq!(bits, base_bits, "{label}: job {i} p_success not bit-identical");
+            let fresh = Compiler::new(devices[*shard].clone(), CompilerConfig::default())
+                .compile(&jobs[i].program, jobs[i].strategy)
+                .expect("compiles");
+            assert_eq!(
+                *schedule, fresh.schedule,
+                "{label}: job {i} diverged from a fresh sequential compile"
+            );
+            if explicit || mode == TraceMode::On {
+                assert!(*traced, "{label}: job {i} must have parked a span tree");
+            }
+        }
+    }
+}
+
+#[test]
 fn different_device_seeds_change_frequencies() {
     // Counter-test: determinism must come from the seed, not from the
     // model ignoring it. Different fabrication seeds give different
