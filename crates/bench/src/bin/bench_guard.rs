@@ -7,7 +7,7 @@
 //! $ cargo run --release -p fastsc-bench --bin bench_guard
 //! ```
 //!
-//! Eight gates:
+//! Nine gates:
 //!
 //! 1. **Absolute** — the fresh skewed-batch `parallel` median must stay
 //!    within 2x the committed `post` baseline (`BENCH_GUARD_MAX_RATIO`
@@ -49,6 +49,12 @@
 //!    recording a complete span tree) must stay within 1.1x the same
 //!    flood with observability off (`BENCH_GUARD_OBS_RATIO`
 //!    overrides): watching the fleet can never become a tax on it.
+//! 9. **Relative, same-run** — a store-warmed restart (`warm_start`
+//!    `warmed`: context hydration + pre-warmed first batch) must finish
+//!    within 0.5x the identical cold sequence (`BENCH_GUARD_WARM_RATIO`
+//!    overrides). Note the inversion: the subject must be *faster* than
+//!    the reference, or persisting artifacts has stopped paying for
+//!    itself.
 //!
 //! Exits non-zero when any gate fails.
 
@@ -119,6 +125,13 @@ fn main() {
         label: "current",
         max_ratio: env_ratio("BENCH_GUARD_OBS_RATIO", 1.1),
     };
+    let warm = RelativeGate {
+        workload: "warm_start",
+        subject_strategy: "warmed",
+        reference_strategy: "cold",
+        label: "current",
+        max_ratio: env_ratio("BENCH_GUARD_WARM_RATIO", 0.5),
+    };
     let mut failed = false;
     for outcome in [
         check(&records, &absolute),
@@ -129,6 +142,7 @@ fn main() {
         check_relative(&records, &fault),
         check_ceiling(&records, &scale),
         check_relative(&records, &observability),
+        check_relative(&records, &warm),
     ] {
         match outcome {
             Ok(message) => println!("bench_guard OK: {message}"),

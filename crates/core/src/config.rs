@@ -14,8 +14,12 @@ use fastsc_ir::hash::StableHasher;
 /// silently falls back to the whole-device engine (identical results).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionConfig {
-    /// Upper bound on qubits per region (≥ 1).
-    pub max_region_qubits: usize,
+    /// Upper bound on qubits per region (≥ 1), or `None` to derive the
+    /// cap from the device size at plan time (see
+    /// [`auto_region_cap`](crate::partition::auto_region_cap)). The
+    /// derivation is a pure function of the qubit count, so auto-capped
+    /// compiles are exactly as deterministic as explicit ones.
+    pub max_region_qubits: Option<usize>,
 }
 
 impl PartitionConfig {
@@ -26,7 +30,13 @@ impl PartitionConfig {
     /// Panics if `max_region_qubits == 0`.
     pub fn new(max_region_qubits: usize) -> Self {
         assert!(max_region_qubits > 0, "regions must hold at least one qubit");
-        PartitionConfig { max_region_qubits }
+        PartitionConfig { max_region_qubits: Some(max_region_qubits) }
+    }
+
+    /// A partition plan whose region cap is derived from the device
+    /// size when the plan is built.
+    pub fn auto() -> Self {
+        PartitionConfig { max_region_qubits: None }
     }
 }
 
@@ -96,6 +106,13 @@ impl CompilerConfig {
         }
     }
 
+    /// A config with partition-and-stitch compilation enabled and the
+    /// region cap derived from the device size (see
+    /// [`auto_region_cap`](crate::partition::auto_region_cap)).
+    pub fn with_partition_auto() -> Self {
+        CompilerConfig { partition: Some(PartitionConfig::auto()), ..CompilerConfig::default() }
+    }
+
     /// A stable 64-bit fingerprint of every tunable.
     ///
     /// Compilation is a pure function of `(device, config, program,
@@ -139,10 +156,14 @@ impl CompilerConfig {
         // the max_colors encoding above.
         match partition {
             None => h.write_u8(0),
-            Some(PartitionConfig { max_region_qubits }) => {
+            Some(PartitionConfig { max_region_qubits: Some(cap) }) => {
                 h.write_u8(1);
-                h.write_usize(max_region_qubits);
+                h.write_usize(cap);
             }
+            // Auto gets its own tag: it resolves to a device-dependent
+            // cap, so it must never fingerprint equal to any explicit
+            // cap (the resolution policy could change across versions).
+            Some(PartitionConfig { max_region_qubits: None }) => h.write_u8(2),
         }
         h.finish()
     }
@@ -185,6 +206,7 @@ mod tests {
             CompilerConfig { smt_tolerance: 1e-4, ..base },
             CompilerConfig { partition: Some(PartitionConfig::new(64)), ..base },
             CompilerConfig { partition: Some(PartitionConfig::new(256)), ..base },
+            CompilerConfig { partition: Some(PartitionConfig::auto()), ..base },
         ];
         let mut prints: Vec<u64> = variants.iter().map(CompilerConfig::fingerprint).collect();
         prints.push(base.fingerprint());

@@ -41,6 +41,27 @@ pub struct StaticAssignment {
     pub freqs: Vec<f64>,
 }
 
+/// One `smt_find` memo entry in portable form: the full key as raw
+/// IEEE-754 bits plus the solved frequencies, exactly as the persistent
+/// artifact store serializes it. Keys travel as bits so `-0.0`/`0.0`
+/// and NaN payloads survive a round trip distinct, and a re-imported
+/// entry can only ever hit for the identical solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtMemoEntry {
+    /// Number of frequencies requested.
+    pub k: usize,
+    /// Band lower edge, raw bits.
+    pub band_lo: u64,
+    /// Band upper edge, raw bits.
+    pub band_hi: u64,
+    /// Anharmonicity, raw bits.
+    pub alpha: u64,
+    /// Solver tolerance, raw bits.
+    pub tol: u64,
+    /// The solved frequencies (`values.len() == k`).
+    pub values: Vec<f64>,
+}
+
 /// Memo key for `smt_find` results: the full argument tuple, with floats
 /// compared bit-exactly so a hit can only ever return the value the same
 /// call would have computed.
@@ -365,6 +386,88 @@ impl CompileContext {
         Ok((value, true))
     }
 
+    /// Adopts a persisted static assignment, skipping the Welsh–Powell
+    /// coloring and SMT solve [`statics`](Self::statics) would run.
+    /// Returns `false` (and solves cold later) when the assignment fails
+    /// structural validation or the statics were already solved.
+    ///
+    /// Callers key persisted assignments by `(device fingerprint, config
+    /// fingerprint)`, so a seeded assignment is the output of the
+    /// identical pure solve — bit-identical to what a cold
+    /// [`statics`](Self::statics) call would compute. The checks here
+    /// are a second line of defense: a damaged artifact that slipped
+    /// through its checksum can degrade the warm start but never
+    /// produce an assignment a cold solve could not have.
+    pub fn seed_statics(&self, statics: StaticAssignment) -> bool {
+        let n_couplings = self.device.connectivity().edge_count();
+        let valid = statics.colors.len() == n_couplings
+            && statics.freqs.len() == n_couplings
+            && statics.color_count == coloring::color_count(&statics.colors)
+            && statics.freqs.iter().all(|&f| self.band.contains(f));
+        valid && self.statics.set(Ok(statics)).is_ok()
+    }
+
+    /// The static assignment, if it has been solved (or seeded) — a
+    /// non-forcing peek for artifact export: exporting a context never
+    /// triggers the solve it exists to skip.
+    pub fn export_statics(&self) -> Option<StaticAssignment> {
+        self.statics.get().and_then(|r| r.as_ref().ok()).cloned()
+    }
+
+    /// Every memoized `smt_find` result in portable form, sorted by key.
+    pub fn export_smt_memo(&self) -> Vec<SmtMemoEntry> {
+        let memo = self.smt_memo.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut entries: Vec<SmtMemoEntry> = memo
+            .iter()
+            .map(|(key, values)| SmtMemoEntry {
+                k: key.k,
+                band_lo: key.band_lo,
+                band_hi: key.band_hi,
+                alpha: key.alpha,
+                tol: key.tol,
+                values: (**values).clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            (a.k, a.band_lo, a.band_hi, a.alpha, a.tol)
+                .cmp(&(b.k, b.band_lo, b.band_hi, b.alpha, b.tol))
+        });
+        entries
+    }
+
+    /// Seeds the `smt_find` memo from persisted entries; returns how
+    /// many were adopted. An entry is adopted only when its key matches
+    /// this context's band, anharmonicity, and tolerance bit-for-bit
+    /// (anything else could never be looked up here), its value count
+    /// matches `k`, the key is not already memoized (first write wins,
+    /// as everywhere in the stack), and the capacity allows it.
+    pub fn seed_smt_memo(&self, entries: impl IntoIterator<Item = SmtMemoEntry>) -> usize {
+        let mut memo = self.smt_memo.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut adopted = 0;
+        for e in entries {
+            let key = SmtKey {
+                k: e.k,
+                band_lo: e.band_lo,
+                band_hi: e.band_hi,
+                alpha: e.alpha,
+                tol: e.tol,
+            };
+            let relevant = key.band_lo == self.band.lo.to_bits()
+                && key.band_hi == self.band.hi.to_bits()
+                && key.alpha == self.alpha.to_bits()
+                && key.tol == self.config.smt_tolerance.to_bits();
+            if relevant
+                && e.values.len() == e.k
+                && memo.len() < self.smt_memo_capacity
+                && !memo.contains_key(&key)
+            {
+                memo.insert(key, Arc::new(e.values));
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+
     fn read_memo(&self, key: &SmtKey) -> Option<Arc<Vec<f64>>> {
         let memo = self.smt_memo.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         memo.get(key).map(Arc::clone)
@@ -500,6 +603,87 @@ mod tests {
     #[test]
     fn default_capacity_is_generous() {
         assert_eq!(ctx().smt_memo_capacity(), DEFAULT_SMT_MEMO_CAPACITY);
+    }
+
+    #[test]
+    fn seeded_statics_match_cold_solve_bit_for_bit() {
+        let cold = ctx();
+        let solved = cold.statics().expect("solves").clone();
+
+        let warm = ctx();
+        assert!(warm.seed_statics(solved.clone()), "valid assignment is adopted");
+        let served = warm.statics().expect("served from seed");
+        assert_eq!(served.colors, solved.colors);
+        assert_eq!(served.color_count, solved.color_count);
+        let bits = |fs: &[f64]| fs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&served.freqs), bits(&solved.freqs));
+        assert_eq!(warm.smt_memo_len(), 0, "the seed skipped the SMT solve entirely");
+    }
+
+    #[test]
+    fn seed_statics_rejects_damaged_assignments() {
+        let solved = ctx().statics().expect("solves").clone();
+        let reject = |mutate: fn(&mut StaticAssignment)| {
+            let mut damaged = solved.clone();
+            mutate(&mut damaged);
+            let c = ctx();
+            assert!(!c.seed_statics(damaged), "damaged assignment must be refused");
+            // …and the cold solve still works afterwards.
+            assert_eq!(c.statics().expect("cold solve").colors, solved.colors);
+        };
+        reject(|s| {
+            s.colors.pop();
+            s.freqs.pop();
+        });
+        reject(|s| s.color_count += 1);
+        reject(|s| s.freqs[0] = 100.0); // far outside any interaction band
+                                        // Already-solved contexts refuse a late seed.
+        let c = ctx();
+        let _ = c.statics().expect("solves");
+        assert!(!c.seed_statics(solved));
+    }
+
+    #[test]
+    fn smt_memo_export_import_round_trips_bit_exactly() {
+        let warm_source = ctx();
+        let (solved, _) = warm_source.smt_frequencies(3).expect("fits");
+        let (_, _) = warm_source.smt_frequencies(4).expect("fits");
+        let entries = warm_source.export_smt_memo();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].k < w[1].k), "export is sorted");
+
+        let target = ctx();
+        assert_eq!(target.seed_smt_memo(entries.clone()), 2);
+        assert_eq!(target.smt_memo_len(), 2);
+        let (served, miss) = target.smt_frequencies(3).expect("fits");
+        assert!(!miss, "the seeded entry must hit");
+        for (a, b) in served.iter().zip(solved.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Re-seeding is idempotent (first write wins).
+        assert_eq!(target.seed_smt_memo(entries), 0);
+    }
+
+    #[test]
+    fn seed_smt_memo_filters_irrelevant_and_damaged_entries() {
+        let source = ctx();
+        let _ = source.smt_frequencies(2).expect("fits");
+        let mut entries = source.export_smt_memo();
+        // A foreign-band entry: could never be looked up by this context.
+        let mut foreign = entries[0].clone();
+        foreign.band_lo ^= 1;
+        // A damaged entry: value count disagrees with k.
+        let mut damaged = entries[0].clone();
+        damaged.k = 5;
+        entries.push(foreign);
+        entries.push(damaged);
+
+        let target = ctx();
+        assert_eq!(target.seed_smt_memo(entries), 1, "only the genuine entry lands");
+        assert_eq!(target.smt_memo_len(), 1);
+        // Capacity bounds seeding exactly like solving.
+        let capped = ctx().with_smt_memo_capacity(0);
+        assert_eq!(capped.seed_smt_memo(source.export_smt_memo()), 0);
     }
 
     #[test]

@@ -57,6 +57,24 @@ use std::sync::Arc;
 /// Class tag for instructions whose operands straddle two regions.
 const CUT: usize = usize::MAX;
 
+/// The region cap an auto partition ([`PartitionConfig::auto`]) resolves
+/// to for an `n_qubits`-qubit device: an eighth of the device, floored
+/// at 16 qubits per region.
+///
+/// Targeting ~8 regions keeps the rayon fan-out wide enough to matter
+/// while the 16-qubit floor keeps regions large enough that the stitch
+/// boundary does not dominate; on devices of ≤ 16 qubits the floor
+/// makes the plan collapse to one region and compilation falls back to
+/// the whole-device engine. The cap is a pure function of the qubit
+/// count — auto-capped compiles are bit-identical run to run, and the
+/// config fingerprint gives auto its own tag so cached schedules never
+/// leak between auto and explicit caps.
+///
+/// [`PartitionConfig::auto`]: crate::config::PartitionConfig::auto
+pub fn auto_region_cap(n_qubits: usize) -> usize {
+    n_qubits.div_ceil(8).max(16)
+}
+
 /// One region of the partition plan: its qubits (local index → global
 /// qubit, ascending) and the sub-context its waves compile against.
 #[derive(Debug)]
@@ -106,10 +124,9 @@ impl PartitionedState {
             return Ok(None);
         }
         let device = ctx.device();
-        let plan = fastsc_graph::regions::grow_regions(
-            device.connectivity(),
-            partition.max_region_qubits,
-        );
+        let cap =
+            partition.max_region_qubits.unwrap_or_else(|| auto_region_cap(device.n_qubits()));
+        let plan = fastsc_graph::regions::grow_regions(device.connectivity(), cap);
         if plan.len() < 2 {
             return Ok(None);
         }

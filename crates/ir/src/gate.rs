@@ -202,6 +202,37 @@ impl Gate {
         }
     }
 
+    /// Decodes a [`stable_code`](Self::stable_code) pair back into the
+    /// gate — the inverse the persistent artifact store uses to rebuild
+    /// circuits from disk. Returns `None` for an unknown tag, or for a
+    /// non-parametric tag carrying non-zero parameter bits (both signal a
+    /// corrupt or future-format record, which must be dropped rather than
+    /// misread). Round-trips exactly: rotations are rebuilt from the same
+    /// IEEE-754 bits `stable_code` emitted.
+    pub fn from_stable_code(tag: u8, params: u64) -> Option<Gate> {
+        let gate = match tag {
+            0 => Gate::Id,
+            1 => Gate::X,
+            2 => Gate::Y,
+            3 => Gate::Z,
+            4 => Gate::H,
+            5 => Gate::S,
+            6 => Gate::Sdg,
+            7 => Gate::T,
+            8 => Gate::Tdg,
+            9 => return Some(Gate::Rx(f64::from_bits(params))),
+            10 => return Some(Gate::Ry(f64::from_bits(params))),
+            11 => return Some(Gate::Rz(f64::from_bits(params))),
+            12 => Gate::Cnot,
+            13 => Gate::Cz,
+            14 => Gate::Swap,
+            15 => Gate::ISwap,
+            16 => Gate::SqrtISwap,
+            _ => return None,
+        };
+        (params == 0).then_some(gate)
+    }
+
     /// A short lowercase mnemonic (e.g. `"cnot"`, `"rx"`).
     pub fn name(self) -> &'static str {
         match self {
@@ -375,5 +406,48 @@ mod tests {
     fn display_contains_angle() {
         assert_eq!(Gate::Rz(0.5).to_string(), "rz(0.5000)");
         assert_eq!(Gate::Cnot.to_string(), "cnot");
+    }
+
+    #[test]
+    fn stable_code_round_trips_every_gate() {
+        let gates = [
+            Gate::Id,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.25),
+            Gate::Ry(-1.5),
+            Gate::Rz(PI),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::ISwap,
+            Gate::SqrtISwap,
+        ];
+        for gate in gates {
+            let (tag, params) = gate.stable_code();
+            let back = Gate::from_stable_code(tag, params).expect("known tag decodes");
+            let (tag2, params2) = back.stable_code();
+            assert_eq!((tag, params), (tag2, params2), "{gate} must round-trip bit-exactly");
+        }
+        // Rotation bits round-trip exactly, including negative zero.
+        let neg_zero = Gate::Rx(-0.0);
+        let (tag, bits) = neg_zero.stable_code();
+        assert_eq!(Gate::from_stable_code(tag, bits).unwrap().stable_code().1, bits);
+    }
+
+    #[test]
+    fn from_stable_code_rejects_corrupt_records() {
+        // Unknown tag: a future gate or flipped byte.
+        assert_eq!(Gate::from_stable_code(17, 0), None);
+        assert_eq!(Gate::from_stable_code(255, 0), None);
+        // Non-parametric tag carrying parameter bits: corrupt payload.
+        assert_eq!(Gate::from_stable_code(0, 1), None);
+        assert_eq!(Gate::from_stable_code(12, 0xdead_beef), None);
     }
 }

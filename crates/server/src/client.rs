@@ -241,6 +241,35 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics frame without body".into()))
     }
 
+    /// Exports the fleet's compile artifacts as a store-format bundle
+    /// (decoded from the `cache_export` frame's hex payload). Feed it to
+    /// a peer server's [`cache_import`](Self::cache_import) to pre-warm
+    /// that fleet.
+    pub fn cache_export(&mut self) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(vec![("type", Json::str("cache_export"))])?;
+        let hex = reply
+            .get("bundle")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("cache_export frame without bundle".into()))?;
+        crate::protocol::hex_decode(hex)
+            .ok_or_else(|| ClientError::Protocol("cache_export bundle is not hex".into()))
+    }
+
+    /// Imports a peer's exported artifact bundle; returns the per-class
+    /// adoption counts `(statics, smt, schedules, skipped)`.
+    pub fn cache_import(&mut self, bundle: &[u8]) -> Result<(u64, u64, u64, u64), ClientError> {
+        let reply = self.call(vec![
+            ("type", Json::str("cache_import")),
+            ("bundle", Json::str(crate::protocol::hex_encode(bundle))),
+        ])?;
+        Ok((
+            field_u64(&reply, "statics")?,
+            field_u64(&reply, "smt")?,
+            field_u64(&reply, "schedules")?,
+            field_u64(&reply, "skipped")?,
+        ))
+    }
+
     /// Non-blocking result check; `None` while the job is outstanding.
     pub fn poll(&mut self, job: u64) -> Result<Option<JobOutcome>, ClientError> {
         let reply =

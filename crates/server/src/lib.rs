@@ -14,8 +14,10 @@
 //!   strategy + priority + deadline + opt-in span trace), `poll`/`wait`,
 //!   `cancel`, `subscribe` (streamed completion frames), `telemetry`
 //!   (streamed fleet snapshots), `metrics` (one Prometheus
-//!   text-exposition scrape), and `ping`. `docs/WIRE.md` is the
-//!   normative spec.
+//!   text-exposition scrape), `cache_export`/`cache_import` (fleet
+//!   pre-warming: a hex-encoded artifact bundle a peer fleet adopts
+//!   after re-validation), and `ping`. `docs/WIRE.md` is the normative
+//!   spec.
 //! * **Multi-tenant sessions** ([`session`]) — connections authenticate
 //!   with a token that maps them to a tenant: a queue-level client
 //!   identity (so the scheduler's per-client fairness applies), a

@@ -82,9 +82,26 @@ pub enum Request {
     /// One Prometheus text-exposition scrape of the process-global
     /// metrics registry, answered with a `metrics` frame.
     Metrics,
+    /// Export the fleet's compile artifacts (statics, SMT memo,
+    /// cached schedules) as a store-format bundle, answered with a
+    /// `cache_export` frame. A peer fleet feeds the bundle to
+    /// [`CacheImport`](Self::CacheImport) to join pre-warmed.
+    CacheExport,
+    /// Import a peer's exported artifact bundle into this fleet.
+    /// Answered with a `cache_import` frame carrying the adoption
+    /// counts; damaged or mismatched artifacts are skipped, never
+    /// served.
+    CacheImport {
+        /// The store-format bundle, decoded from its hex wire form.
+        bundle: Vec<u8>,
+    },
     /// Liveness check; allowed before authentication.
     Ping,
 }
+
+/// Upper bound on a decoded `cache_import` bundle (2 MiB of artifact
+/// bytes — 4 MiB of hex on the wire, the frame cap).
+pub const MAX_IMPORT_BYTES: usize = 2 * 1024 * 1024;
 
 /// A request the server refuses at the protocol level (before any
 /// queue or compiler involvement): the error frame's `code` and a
@@ -163,6 +180,18 @@ impl Request {
                 Ok(Request::Telemetry { count, interval_ms })
             }
             "metrics" => Ok(Request::Metrics),
+            "cache_export" => Ok(Request::CacheExport),
+            "cache_import" => {
+                let hex = required_str(frame, "bundle")?;
+                if hex.len() > MAX_IMPORT_BYTES * 2 {
+                    return Err(ProtocolError::bad(format!(
+                        "\"bundle\" exceeds {MAX_IMPORT_BYTES} bytes decoded"
+                    )));
+                }
+                let bundle = hex_decode(hex)
+                    .ok_or_else(|| ProtocolError::bad("\"bundle\" must be lower-case hex"))?;
+                Ok(Request::CacheImport { bundle })
+            }
             "ping" => Ok(Request::Ping),
             other => Err(ProtocolError::bad(format!("unknown request type \"{other}\""))),
         }
@@ -190,6 +219,35 @@ fn optional_u64(frame: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
             ProtocolError::bad(format!("\"{key}\" must be a non-negative integer"))
         }),
     }
+}
+
+/// Lower-case hex encoding for binary bundle payloads (JSON strings
+/// cannot carry raw bytes).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or any non-hex
+/// character (upper-case included — the wire form is canonical).
+pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        _ => None,
+    };
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+    }
+    Some(out)
 }
 
 fn optional_bool(frame: &Json, key: &str) -> Result<Option<bool>, ProtocolError> {
@@ -413,6 +471,30 @@ pub fn metrics_frame(seq: u64, body: &str) -> Json {
     ])
 }
 
+/// The `cache_export` frame: the fleet's artifact bundle as lower-case
+/// hex in `"bundle"`, with the decoded byte count alongside.
+pub fn cache_export_frame(seq: u64, bundle: &[u8]) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("cache_export")),
+        ("seq", Json::num(seq as f64)),
+        ("bytes", Json::num(bundle.len() as f64)),
+        ("bundle", Json::str(hex_encode(bundle))),
+    ])
+}
+
+/// The `cache_import` frame: per-class adoption counts for an imported
+/// bundle.
+pub fn cache_import_frame(seq: u64, report: &fastsc_service::ImportReport) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("cache_import")),
+        ("seq", Json::num(seq as f64)),
+        ("statics", Json::num(report.statics as f64)),
+        ("smt", Json::num(report.smt as f64)),
+        ("schedules", Json::num(report.schedules as f64)),
+        ("skipped", Json::num(report.skipped as f64)),
+    ])
+}
+
 /// One streamed `telemetry` frame: per-shard views plus the queue
 /// snapshot and the delta since this stream's previous frame.
 pub fn telemetry_frame(seq: u64, snapshot: &fastsc_queue::FleetSnapshot) -> Json {
@@ -537,7 +619,51 @@ mod tests {
             Request::Telemetry { count: 3, interval_ms: 10 }
         );
         assert_eq!(decode(r#"{"type":"metrics","seq":6}"#).unwrap(), (6, Request::Metrics));
+        assert_eq!(
+            decode(r#"{"type":"cache_export","seq":8}"#).unwrap(),
+            (8, Request::CacheExport)
+        );
+        assert_eq!(
+            decode(r#"{"type":"cache_import","seq":9,"bundle":"00ff10"}"#).unwrap(),
+            (9, Request::CacheImport { bundle: vec![0x00, 0xff, 0x10] })
+        );
         assert_eq!(decode(r#"{"type":"ping","seq":77}"#).unwrap(), (77, Request::Ping));
+    }
+
+    #[test]
+    fn cache_import_rejects_malformed_bundles() {
+        for text in [
+            r#"{"type":"cache_import","seq":5}"#,
+            r#"{"type":"cache_import","seq":5,"bundle":"abc"}"#,
+            r#"{"type":"cache_import","seq":5,"bundle":"zz"}"#,
+            r#"{"type":"cache_import","seq":5,"bundle":"AB"}"#,
+        ] {
+            let (seq, err) = decode(text).expect_err(text);
+            assert_eq!(seq, 5, "{text}");
+            assert_eq!(err.code, "bad_request", "{text}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_frames_carry_the_bundle() {
+        let bundle: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&bundle);
+        assert_eq!(hex_decode(&hex).as_deref(), Some(bundle.as_slice()));
+
+        let frame = cache_export_frame(3, &bundle);
+        assert_eq!(frame.get("type").unwrap().as_str(), Some("cache_export"));
+        assert_eq!(frame.get("bytes").unwrap().as_u64(), Some(256));
+        assert_eq!(frame.get("bundle").unwrap().as_str(), Some(hex.as_str()));
+        let reparsed = Json::parse(&frame.encode()).expect("round trips");
+        assert_eq!(reparsed.get("bundle").unwrap().as_str(), Some(hex.as_str()));
+
+        let report =
+            fastsc_service::ImportReport { statics: 1, smt: 2, schedules: 3, skipped: 4 };
+        let frame = cache_import_frame(7, &report);
+        assert_eq!(frame.get("statics").unwrap().as_u64(), Some(1));
+        assert_eq!(frame.get("smt").unwrap().as_u64(), Some(2));
+        assert_eq!(frame.get("schedules").unwrap().as_u64(), Some(3));
+        assert_eq!(frame.get("skipped").unwrap().as_u64(), Some(4));
     }
 
     #[test]

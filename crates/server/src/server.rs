@@ -423,6 +423,14 @@ impl Connection {
             Request::Metrics => {
                 self.send(metrics_frame(seq, &metrics().snapshot().to_prometheus()))
             }
+            Request::CacheExport => {
+                let bundle = self.queue.service().export_artifacts();
+                self.send(crate::protocol::cache_export_frame(seq, &bundle))
+            }
+            Request::CacheImport { bundle } => {
+                let report = self.queue.service().import_artifacts(&bundle);
+                self.send(crate::protocol::cache_import_frame(seq, &report))
+            }
         }
     }
 

@@ -451,3 +451,35 @@ fn quarantined_fleet_refuses_submissions_with_a_retry_hint() {
     assert!(client.wait(job, 30_000).expect("wait").expect("finishes").ok);
     server.shutdown();
 }
+
+#[test]
+fn cache_export_import_prewarms_a_peer_server() {
+    // Donor fleet: compile once so its cache holds a schedule.
+    let mut donor = start_server(one_tenant());
+    let mut donor_client = connect(&donor, "alpha-token");
+    let job = donor_client.submit(DEMO_QASM, "ColorDynamic", "batch", None).expect("submit");
+    let warm = donor_client.wait(job, 30_000).expect("wait").expect("finishes");
+    assert!(warm.ok);
+    let bundle = donor_client.cache_export().expect("export");
+    assert!(!bundle.is_empty(), "a warmed fleet exports a non-empty bundle");
+    donor.shutdown();
+
+    // Peer fleet (same device/config): import, then the same submission
+    // is served from the imported cache, bit-identical over the wire.
+    let mut peer = start_server(one_tenant());
+    let mut peer_client = connect(&peer, "alpha-token");
+    let (_, _, schedules, _) = peer_client.cache_import(&bundle).expect("import");
+    assert!(schedules >= 1, "the donor's schedule is adopted");
+    let job = peer_client.submit(DEMO_QASM, "ColorDynamic", "batch", None).expect("submit");
+    let outcome = peer_client.wait(job, 30_000).expect("wait").expect("finishes");
+    assert!(outcome.ok);
+    assert_eq!(outcome.cache_hit, Some(true), "served from the imported cache");
+    assert_eq!(outcome.schedule_hash, warm.schedule_hash, "diverged across the fleet");
+
+    // Garbage bundles are refused at the protocol layer; damaged but
+    // well-hexed bundles import as all-skipped. Neither costs the
+    // connection.
+    assert!(peer_client.cache_import(&[0xde, 0xad, 0xbe, 0xef]).is_ok());
+    peer_client.ping().expect("connection survives");
+    peer.shutdown();
+}

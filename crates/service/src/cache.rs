@@ -156,6 +156,9 @@ struct Entry {
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     order: VecDeque<CacheKey>,
+    /// Keys inserted since the last [`ScheduleCache::take_dirty`] —
+    /// the entries a persistence layer has not yet flushed to disk.
+    dirty: Vec<CacheKey>,
 }
 
 impl ScheduleCache {
@@ -230,6 +233,64 @@ impl ScheduleCache {
         }
         inner.map.insert(key, Entry { program, compiled: value });
         inner.order.push_back(key);
+        inner.dirty.push(key);
+    }
+
+    /// Inserts a pre-warmed entry *without* marking it dirty: artifacts
+    /// hydrated *from* the persistent store must not be flushed straight
+    /// back to it. Semantics otherwise identical to
+    /// [`insert`](Self::insert).
+    pub fn insert_clean(&self, key: CacheKey, program: Circuit, value: Arc<CompiledProgram>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, Entry { program, compiled: value });
+        inner.order.push_back(key);
+    }
+
+    /// Drains the entries inserted since the last call, returning the
+    /// ones still cached (an entry evicted before its flush is simply
+    /// gone — the store only ever misses artifacts, never holds wrong
+    /// ones). Each triple carries the exact program so the collision
+    /// defense survives persistence.
+    pub fn take_dirty(&self) -> Vec<(CacheKey, Circuit, Arc<CompiledProgram>)> {
+        let mut inner = self.lock();
+        let dirty = std::mem::take(&mut inner.dirty);
+        dirty
+            .into_iter()
+            .filter_map(|key| {
+                inner.map.get(&key).map(|e| (key, e.program.clone(), Arc::clone(&e.compiled)))
+            })
+            .collect()
+    }
+
+    /// Number of entries awaiting a flush.
+    pub fn dirty_len(&self) -> usize {
+        self.lock().dirty.len()
+    }
+
+    /// Every cached entry, sorted by key — the fleet-export set.
+    pub fn export_entries(&self) -> Vec<(CacheKey, Circuit, Arc<CompiledProgram>)> {
+        let inner = self.lock();
+        let mut out: Vec<(CacheKey, Circuit, Arc<CompiledProgram>)> = inner
+            .map
+            .iter()
+            .map(|(key, e)| (*key, e.program.clone(), Arc::clone(&e.compiled)))
+            .collect();
+        out.sort_by_key(|(k, _, _)| {
+            (k.device_fingerprint, k.program_hash, k.strategy_code, k.config_fingerprint)
+        });
+        out
     }
 
     /// Number of cached schedules.
@@ -368,6 +429,35 @@ mod tests {
         // The disabled path is counter-free too.
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn dirty_tracking_drains_and_skips_hydrated_entries() {
+        let cache = ScheduleCache::with_capacity(8);
+        let p = dummy_program(1);
+        cache.insert(key(1), circuit(), Arc::clone(&p));
+        cache.insert_clean(key(2), circuit(), Arc::clone(&p)); // hydrated, not dirty
+        cache.insert(key(3), circuit(), Arc::clone(&p));
+        assert_eq!(cache.dirty_len(), 2);
+        let dirty = cache.take_dirty();
+        let keys: Vec<u64> = dirty.iter().map(|(k, _, _)| k.program_hash).collect();
+        assert_eq!(keys, vec![1, 3], "only organic inserts flush, in insertion order");
+        assert_eq!(cache.dirty_len(), 0);
+        assert!(cache.take_dirty().is_empty(), "drained entries do not re-flush");
+        // The full export still sees everything.
+        assert_eq!(cache.export_entries().len(), 3);
+    }
+
+    #[test]
+    fn evicted_dirty_entries_are_not_flushed() {
+        let cache = ScheduleCache::with_capacity(2);
+        let p = dummy_program(1);
+        cache.insert(key(1), circuit(), Arc::clone(&p));
+        cache.insert(key(2), circuit(), Arc::clone(&p));
+        cache.insert(key(3), circuit(), Arc::clone(&p)); // evicts key(1)
+        let dirty = cache.take_dirty();
+        let keys: Vec<u64> = dirty.iter().map(|(k, _, _)| k.program_hash).collect();
+        assert_eq!(keys, vec![2, 3], "the evicted entry is silently skipped");
     }
 
     #[test]

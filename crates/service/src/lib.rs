@@ -55,5 +55,5 @@ pub use policy::{
     CapacityAware, Composite, FidelityAware, LeastLoaded, ProgramAffinity, RoundRobin,
     RouteRequest, ShardPolicy, Stage,
 };
-pub use router::{BreakerConfig, CompileService, ServiceReply, ShardOutcome};
+pub use router::{BreakerConfig, CompileService, ImportReport, ServiceReply, ShardOutcome};
 pub use telemetry::{ShardHealth, ShardProfile, ShardState, ShardView};

@@ -45,10 +45,12 @@ use crate::policy::{RouteRequest, ShardPolicy};
 use crate::telemetry::{ShardHealth, ShardProfile, ShardState, ShardView};
 use fastsc_core::batch::{compile_isolated, CompileJob};
 use fastsc_core::{
-    CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, Strategy,
+    CompileContext, CompileError, CompiledProgram, Compiler, CompilerConfig, SmtMemoEntry,
+    StaticAssignment, Strategy,
 };
 use fastsc_device::Device;
-use fastsc_telemetry::{metrics, AttrValue, TraceHandle};
+use fastsc_store::{Artifact, ArtifactStore, ScheduleArtifact, SmtArtifact, StaticsArtifact};
+use fastsc_telemetry::{metrics, phase, AttrValue, TraceHandle};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -126,10 +128,18 @@ impl Default for BreakerConfig {
 /// a few batches without jittering per job.
 const EWMA_WEIGHT: f64 = 0.25;
 
+/// Dirty cache entries a shard accumulates before its next periodic
+/// flush to the attached artifact store. Flushes also happen on drain
+/// and removal, so the threshold bounds crash-loss, not completeness.
+const FLUSH_DIRTY_THRESHOLD: usize = 64;
+
 #[derive(Debug)]
 struct Shard {
     compiler: Compiler,
     cache: ScheduleCache,
+    /// The persistent artifact store this shard flushes to (and was
+    /// hydrated from), when one is attached.
+    store: Option<Arc<ArtifactStore>>,
     fingerprint: u64,
     config_fingerprint: u64,
     profile: Arc<ShardProfile>,
@@ -355,6 +365,24 @@ pub struct CompileService {
     default_cache_capacity: usize,
     breaker: Mutex<Option<BreakerConfig>>,
     fault_injector: Mutex<Option<Arc<FaultInjector>>>,
+    store: Mutex<Option<Arc<ArtifactStore>>>,
+}
+
+/// What [`CompileService::import_artifacts`] did with a peer's exported
+/// bundle: per-class adoption counts plus everything that was skipped
+/// (no matching live shard, failed verification, or a damaged record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Static colorings / solved S–G assignments seeded into shard
+    /// contexts.
+    pub statics: usize,
+    /// Bounded SMT memo entries adopted by shard contexts.
+    pub smt: usize,
+    /// Whole-schedule cache entries hydrated into shard caches.
+    pub schedules: usize,
+    /// Artifacts that matched no live shard, failed re-validation, or
+    /// arrived damaged — never adopted, never served.
+    pub skipped: usize,
 }
 
 impl CompileService {
@@ -369,7 +397,24 @@ impl CompileService {
             default_cache_capacity: ScheduleCache::DEFAULT_CAPACITY,
             breaker: Mutex::new(Some(BreakerConfig::default())),
             fault_injector: Mutex::new(None),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Attaches a persistent artifact store to the fleet: every shard
+    /// added from now on hydrates from it at build (warm start), and
+    /// shards flush their dirty artifacts to it on drain/removal and
+    /// periodically under load. Already-registered shards are not
+    /// retrofitted — add shards after attaching, or use
+    /// [`add_shard_with_store`](Self::add_shard_with_store).
+    pub fn attach_store(&self, store: Arc<ArtifactStore>) {
+        *self.store.lock().unwrap_or_else(PoisonError::into_inner) = Some(store);
+    }
+
+    /// The store attached via [`attach_store`](Self::attach_store), if
+    /// any.
+    pub fn attached_store(&self) -> Option<Arc<ArtifactStore>> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Sets the result-cache capacity that subsequent
@@ -472,13 +517,59 @@ impl CompileService {
         config: CompilerConfig,
         cache_capacity: usize,
     ) -> Result<usize, CompileError> {
+        let store = self.attached_store();
+        self.add_shard_inner(device, config, cache_capacity, store)
+    }
+
+    /// [`add_shard`](Self::add_shard) pre-warmed from a persistent
+    /// artifact store: the shard's [`CompileContext`] hydrates its static
+    /// coloring / S–G assignment and bounded SMT memo from `store`
+    /// (skipping the device solve entirely on a full hit), and matching
+    /// whole-schedule entries are loaded into its result cache. The shard
+    /// also flushes back to `store` on drain/removal and periodically
+    /// under load. Store-served artifacts are re-validated on the way in;
+    /// anything that fails validation is ignored and re-solved cold, so a
+    /// damaged store can slow a shard down but never change its output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::FrequencyBandExhausted`] when the device's
+    /// parking assignment or interaction band is unsolvable (and the
+    /// store held no valid assignment for it).
+    pub fn add_shard_with_store(
+        &self,
+        device: Device,
+        config: CompilerConfig,
+        store: &Arc<ArtifactStore>,
+    ) -> Result<usize, CompileError> {
+        self.add_shard_inner(
+            device,
+            config,
+            self.default_cache_capacity,
+            Some(Arc::clone(store)),
+        )
+    }
+
+    fn add_shard_inner(
+        &self,
+        device: Device,
+        config: CompilerConfig,
+        cache_capacity: usize,
+        store: Option<Arc<ArtifactStore>>,
+    ) -> Result<usize, CompileError> {
         let fingerprint = device_fingerprint(&device);
         let config_fingerprint = config.fingerprint();
         let context = Arc::new(CompileContext::new(device, config)?);
+        if let Some(store) = &store {
+            let mut span = phase("store");
+            span.attr("op", "hydrate");
+            Self::hydrate_context(store, &context, fingerprint, config_fingerprint);
+        }
         let profile = Arc::new(ShardProfile::from_context(&context));
         let shard = Arc::new(Shard {
             compiler: Compiler::with_context(context),
             cache: ScheduleCache::with_capacity(cache_capacity),
+            store,
             fingerprint,
             config_fingerprint,
             profile,
@@ -492,9 +583,126 @@ impl CompileService {
             cooldown_routed: AtomicU64::new(0),
             probing: AtomicBool::new(false),
         });
+        if let Some(store) = &shard.store {
+            Self::prewarm_cache(store, &shard);
+        }
         let mut shards = self.write_shards();
         shards.push(Slot::Live(shard));
         Ok(shards.len() - 1)
+    }
+
+    /// Seeds `context` from the store's statics + SMT artifacts for this
+    /// (device, config) pair. Seeding validates everything against the
+    /// context's own band/alpha/tolerance and rejects mismatches, so a
+    /// stale or corrupted artifact degrades to a cold solve — never a
+    /// wrong one.
+    fn hydrate_context(
+        store: &ArtifactStore,
+        context: &CompileContext,
+        fingerprint: u64,
+        config_fingerprint: u64,
+    ) {
+        match store.get_statics(fingerprint, config_fingerprint) {
+            Some(art) => {
+                let adopted = context.seed_statics(StaticAssignment {
+                    colors: art.colors,
+                    color_count: art.color_count,
+                    freqs: art.freqs,
+                });
+                if adopted {
+                    metrics().store_hits.inc();
+                } else {
+                    metrics().store_misses.inc();
+                }
+            }
+            None => metrics().store_misses.inc(),
+        }
+        let entries: Vec<SmtMemoEntry> = store
+            .smt_entries(fingerprint, config_fingerprint)
+            .into_iter()
+            .map(|art| SmtMemoEntry {
+                k: art.k,
+                band_lo: art.band_lo,
+                band_hi: art.band_hi,
+                alpha: art.alpha,
+                tol: art.tol,
+                values: art.values,
+            })
+            .collect();
+        let offered = entries.len();
+        let adopted = context.seed_smt_memo(entries);
+        metrics().store_hits.add(adopted as u64);
+        metrics().store_misses.add((offered - adopted) as u64);
+    }
+
+    /// Loads the store's whole-schedule artifacts for this shard's
+    /// (device, config) pair into its result cache. Each artifact carries
+    /// the exact program it was compiled from, so the cache's
+    /// equality-verify collision defense survives the disk round trip;
+    /// an artifact whose program no longer matches its recorded
+    /// structural hash is dropped here.
+    fn prewarm_cache(store: &ArtifactStore, shard: &Shard) {
+        let mut hits = 0u64;
+        for art in store.schedules(shard.fingerprint, shard.config_fingerprint) {
+            if art.program.structural_hash() != art.program_hash {
+                metrics().store_misses.inc();
+                continue;
+            }
+            let key = CacheKey {
+                device_fingerprint: art.device_fingerprint,
+                program_hash: art.program_hash,
+                strategy_code: art.strategy_code,
+                config_fingerprint: art.config_fingerprint,
+            };
+            shard.cache.insert_clean(key, art.program, art.compiled);
+            hits += 1;
+        }
+        metrics().store_hits.add(hits);
+    }
+
+    /// Writes a shard's unsaved artifacts — dirty schedule-cache
+    /// entries, plus its context's statics and SMT memo (the store
+    /// dedups those first-wins) — to its attached store. No-op without
+    /// a store.
+    fn flush_shard(shard: &Shard) {
+        let Some(store) = &shard.store else { return };
+        let mut span = phase("store");
+        span.attr("op", "flush");
+        let mut artifacts = Vec::new();
+        if let Ok(context) = shard.compiler.context() {
+            if let Some(statics) = context.export_statics() {
+                artifacts.push(Artifact::Statics(StaticsArtifact {
+                    device_fingerprint: shard.fingerprint,
+                    config_fingerprint: shard.config_fingerprint,
+                    colors: statics.colors,
+                    color_count: statics.color_count,
+                    freqs: statics.freqs,
+                }));
+            }
+            for entry in context.export_smt_memo() {
+                artifacts.push(Artifact::Smt(SmtArtifact {
+                    device_fingerprint: shard.fingerprint,
+                    config_fingerprint: shard.config_fingerprint,
+                    k: entry.k,
+                    band_lo: entry.band_lo,
+                    band_hi: entry.band_hi,
+                    alpha: entry.alpha,
+                    tol: entry.tol,
+                    values: entry.values,
+                }));
+            }
+        }
+        for (key, program, compiled) in shard.cache.take_dirty() {
+            artifacts.push(Artifact::Schedule(ScheduleArtifact {
+                device_fingerprint: key.device_fingerprint,
+                program_hash: key.program_hash,
+                strategy_code: key.strategy_code,
+                config_fingerprint: key.config_fingerprint,
+                program,
+                compiled,
+            }));
+        }
+        store.put_many(artifacts);
     }
 
     /// Takes shard `shard` out of rotation and waits for its in-flight
@@ -531,6 +739,10 @@ impl CompileService {
         while live.inflight.load(Ordering::Acquire) != 0 {
             std::thread::sleep(Duration::from_micros(200));
         }
+        // The shard is idle and out of rotation: persist everything it
+        // learned before its context and cache go away (remove_shard
+        // inherits this via the drain it performs first).
+        Self::flush_shard(&live);
     }
 
     /// Drains shard `shard` (see [`drain_shard`](Self::drain_shard)),
@@ -556,6 +768,175 @@ impl CompileService {
                     Slot::Retired { profile: Arc::clone(&live.profile), final_cache };
                 final_cache
             }
+        }
+    }
+
+    /// Serializes every live shard's artifacts — solved statics, SMT
+    /// memo entries, and all cached schedules — as a store-format bundle
+    /// a peer fleet can feed to
+    /// [`import_artifacts`](Self::import_artifacts). The bundle is
+    /// byte-deterministic for a given fleet state: artifacts are
+    /// canonically sorted, duplicates (shards sharing a device/config)
+    /// first-wins deduped by the importer.
+    pub fn export_artifacts(&self) -> Vec<u8> {
+        let mut artifacts = Vec::new();
+        {
+            let shards = self.read_shards();
+            for slot in shards.iter() {
+                let Slot::Live(shard) = slot else { continue };
+                if let Ok(context) = shard.compiler.context() {
+                    if let Some(statics) = context.export_statics() {
+                        artifacts.push(Artifact::Statics(StaticsArtifact {
+                            device_fingerprint: shard.fingerprint,
+                            config_fingerprint: shard.config_fingerprint,
+                            colors: statics.colors,
+                            color_count: statics.color_count,
+                            freqs: statics.freqs,
+                        }));
+                    }
+                    for entry in context.export_smt_memo() {
+                        artifacts.push(Artifact::Smt(SmtArtifact {
+                            device_fingerprint: shard.fingerprint,
+                            config_fingerprint: shard.config_fingerprint,
+                            k: entry.k,
+                            band_lo: entry.band_lo,
+                            band_hi: entry.band_hi,
+                            alpha: entry.alpha,
+                            tol: entry.tol,
+                            values: entry.values,
+                        }));
+                    }
+                }
+                for (key, program, compiled) in shard.cache.export_entries() {
+                    artifacts.push(Artifact::Schedule(ScheduleArtifact {
+                        device_fingerprint: key.device_fingerprint,
+                        program_hash: key.program_hash,
+                        strategy_code: key.strategy_code,
+                        config_fingerprint: key.config_fingerprint,
+                        program,
+                        compiled,
+                    }));
+                }
+            }
+        }
+        artifacts.sort_by_key(Self::artifact_sort_key);
+        fastsc_store::codec::encode_bundle(&artifacts)
+    }
+
+    /// Adopts a peer's exported bundle (see
+    /// [`export_artifacts`](Self::export_artifacts)): each artifact is
+    /// matched to live shards by (device, config) fingerprint and then
+    /// re-validated exactly like a store hydrate — statics and SMT
+    /// entries through the context's seeding checks, schedules through
+    /// the structural-hash check and the cache's equality-verify
+    /// collision defense. Damaged records in the bundle and artifacts
+    /// matching no shard are counted in
+    /// [`ImportReport::skipped`], never adopted. When a store is
+    /// attached, imported artifacts are also persisted to it.
+    pub fn import_artifacts(&self, bundle: &[u8]) -> ImportReport {
+        let scan = fastsc_store::codec::scan(bundle);
+        let mut report = ImportReport { skipped: scan.dropped, ..ImportReport::default() };
+        {
+            let shards = self.read_shards();
+            for artifact in &scan.artifacts {
+                let mut adopted = false;
+                for slot in shards.iter() {
+                    let Slot::Live(shard) = slot else { continue };
+                    adopted |= Self::adopt_artifact(shard, artifact);
+                }
+                match (adopted, artifact) {
+                    (true, Artifact::Statics(_)) => report.statics += 1,
+                    (true, Artifact::Smt(_)) => report.smt += 1,
+                    (true, Artifact::Schedule(_)) => report.schedules += 1,
+                    (false, _) => report.skipped += 1,
+                }
+            }
+        }
+        if let Some(store) = self.attached_store() {
+            store.put_many(scan.artifacts);
+        }
+        report
+    }
+
+    /// Offers one imported artifact to one shard; `true` if the shard
+    /// matched it by fingerprint and adopted it after re-validation.
+    fn adopt_artifact(shard: &Shard, artifact: &Artifact) -> bool {
+        match artifact {
+            Artifact::Statics(art) => {
+                if (art.device_fingerprint, art.config_fingerprint)
+                    != (shard.fingerprint, shard.config_fingerprint)
+                {
+                    return false;
+                }
+                let Ok(context) = shard.compiler.context() else { return false };
+                context.seed_statics(StaticAssignment {
+                    colors: art.colors.clone(),
+                    color_count: art.color_count,
+                    freqs: art.freqs.clone(),
+                })
+            }
+            Artifact::Smt(art) => {
+                if (art.device_fingerprint, art.config_fingerprint)
+                    != (shard.fingerprint, shard.config_fingerprint)
+                {
+                    return false;
+                }
+                let Ok(context) = shard.compiler.context() else { return false };
+                context.seed_smt_memo([SmtMemoEntry {
+                    k: art.k,
+                    band_lo: art.band_lo,
+                    band_hi: art.band_hi,
+                    alpha: art.alpha,
+                    tol: art.tol,
+                    values: art.values.clone(),
+                }]) == 1
+            }
+            Artifact::Schedule(art) => {
+                if (art.device_fingerprint, art.config_fingerprint)
+                    != (shard.fingerprint, shard.config_fingerprint)
+                {
+                    return false;
+                }
+                if art.program.structural_hash() != art.program_hash {
+                    return false;
+                }
+                let key = CacheKey {
+                    device_fingerprint: art.device_fingerprint,
+                    program_hash: art.program_hash,
+                    strategy_code: art.strategy_code,
+                    config_fingerprint: art.config_fingerprint,
+                };
+                shard.cache.insert_clean(key, art.program.clone(), Arc::clone(&art.compiled));
+                true
+            }
+        }
+    }
+
+    fn artifact_sort_key(artifact: &Artifact) -> (u8, u64, u64, u64, u64, u64, u64, u64) {
+        match artifact {
+            Artifact::Statics(a) => {
+                (0, a.device_fingerprint, a.config_fingerprint, 0, 0, 0, 0, 0)
+            }
+            Artifact::Smt(a) => (
+                1,
+                a.device_fingerprint,
+                a.config_fingerprint,
+                a.k as u64,
+                a.band_lo,
+                a.band_hi,
+                a.alpha,
+                a.tol,
+            ),
+            Artifact::Schedule(a) => (
+                2,
+                a.device_fingerprint,
+                a.config_fingerprint,
+                a.program_hash,
+                u64::from(a.strategy_code),
+                0,
+                0,
+                0,
+            ),
         }
     }
 
@@ -1169,6 +1550,12 @@ impl CompileService {
         }
         let compiled = Arc::new(result?);
         shard.cache.insert(key, job.program.clone(), Arc::clone(&compiled));
+        // Periodic flush under load: bound how much warm-start state a
+        // crash can lose without waiting for a drain. Threshold-gated so
+        // the hot path normally never touches the disk.
+        if shard.store.is_some() && shard.cache.dirty_len() >= FLUSH_DIRTY_THRESHOLD {
+            Self::flush_shard(shard);
+        }
         Ok(ServiceReply { shard: shard_index, cache_hit: false, compiled })
     }
 
@@ -1852,5 +2239,134 @@ mod tests {
                 .expect("fresh compile succeeds");
             assert_eq!(fresh.schedule, compiled.schedule, "job {i} diverged on shard {shard}");
         }
+    }
+
+    fn temp_store_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fastsc-router-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("{tag}-{}.store", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn store_warm_start_round_trips_bit_identically() {
+        let path = temp_store_path("warm-start");
+        let store = Arc::new(fastsc_store::ArtifactStore::open(&path).expect("opens"));
+        let device = || Device::grid(3, 3, 7);
+        let config = CompilerConfig::default();
+        // One static-strategy job forces the statics solve, so the drain
+        // flush has a static assignment to persist alongside schedules.
+        let jobs = || {
+            vec![
+                distinct_job(0),
+                distinct_job(1),
+                CompileJob::new(Benchmark::Bv(9).build(7), Strategy::BaselineS),
+            ]
+        };
+
+        // Cold fleet: compile, then drain to flush everything learned.
+        let cold = CompileService::new(RoundRobin::new());
+        cold.add_shard_with_store(device(), config, &store).expect("adds");
+        let cold_replies = cold.compile_batch(jobs());
+        cold.drain_shard(0);
+        let stats = store.stats();
+        assert_eq!(stats.statics, 1, "drain flushes the solved statics");
+        assert_eq!(stats.schedules, 3, "drain flushes every dirty schedule");
+
+        // Warm fleet from the same store: every repeat job is served
+        // from the pre-warmed cache, bit-identical to the cold compile.
+        let warm = CompileService::new(RoundRobin::new());
+        warm.add_shard_with_store(device(), config, &store).expect("adds");
+        let warm_replies = warm.compile_batch(jobs());
+        for (i, (c, w)) in cold_replies.iter().zip(&warm_replies).enumerate() {
+            let c = c.as_ref().expect("cold compiles");
+            let w = w.as_ref().expect("warm compiles");
+            assert!(w.cache_hit, "job {i} must be served from the pre-warmed cache");
+            assert_eq!(c.compiled.schedule, w.compiled.schedule, "job {i} diverged");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn export_import_prewarms_a_peer_fleet() {
+        let donor = CompileService::new(RoundRobin::new());
+        donor.add_shard(Device::grid(3, 3, 7), CompilerConfig::default()).expect("adds");
+        let donor_replies = donor.compile_batch((0..3).map(distinct_job).collect());
+        let bundle = donor.export_artifacts();
+
+        let peer = CompileService::new(RoundRobin::new());
+        peer.add_shard(Device::grid(3, 3, 7), CompilerConfig::default()).expect("adds");
+        // A shard the bundle does not describe: everything it is offered
+        // must be skipped, nothing misapplied.
+        peer.add_shard(Device::grid(2, 2, 5), CompilerConfig::default()).expect("adds");
+        let report = peer.import_artifacts(&bundle);
+        assert_eq!(report.schedules, 3, "all donor schedules adopted: {report:?}");
+
+        // Route only to the matching shard — the mismatched one exists
+        // to prove the import skips it, not to serve traffic.
+        peer.drain_shard(1);
+        service_matches_donor(&peer, &donor_replies);
+        // Importing the same bundle twice is idempotent — everything is
+        // already resident, so nothing new is adopted as a *statics*
+        // seed (OnceLock already set) and schedules dedup in the cache.
+        let again = peer.import_artifacts(&bundle);
+        assert_eq!(again.statics, 0, "statics seed only once: {again:?}");
+    }
+
+    fn service_matches_donor(
+        peer: &CompileService,
+        donor_replies: &[Result<ServiceReply, CompileError>],
+    ) {
+        peer.set_policy(ProgramAffinity::new());
+        let peer_replies = peer.compile_batch((0..3).map(distinct_job).collect());
+        for (i, (d, p)) in donor_replies.iter().zip(&peer_replies).enumerate() {
+            let d = d.as_ref().expect("donor compiles");
+            let p = p.as_ref().expect("peer compiles");
+            assert!(p.cache_hit, "job {i} must hit the imported cache");
+            assert_eq!(d.compiled.schedule, p.compiled.schedule, "job {i} diverged");
+        }
+    }
+
+    #[test]
+    fn corrupted_store_never_panics_and_falls_back_cold() {
+        let path = temp_store_path("corrupt-fallback");
+        let store = Arc::new(fastsc_store::ArtifactStore::open(&path).expect("opens"));
+        let service = CompileService::new(RoundRobin::new());
+        service
+            .add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+            .expect("adds");
+        service.compile_batch((0..2).map(distinct_job).collect());
+        service.drain_shard(0);
+        drop(service);
+        drop(store);
+
+        // Flip one byte in the middle of the file: some record's checksum
+        // breaks. Reopen + warm start must still succeed, serving the
+        // surviving records and recompiling the rest cold.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let store = Arc::new(fastsc_store::ArtifactStore::open(&path).expect("reopens"));
+        let stats = store.stats();
+        assert!(
+            stats.dropped_records >= 1 || stats.torn_bytes_truncated > 0,
+            "the damage is detected and excised: {stats:?}"
+        );
+        let service = CompileService::new(RoundRobin::new());
+        service
+            .add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+            .expect("warm start survives corruption");
+        let replies = service.compile_batch((0..2).map(distinct_job).collect());
+        for (i, reply) in replies.iter().enumerate() {
+            let reply = reply.as_ref().expect("compiles");
+            let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+                .compile(&distinct_job(i).program, Strategy::ColorDynamic)
+                .expect("fresh compile succeeds");
+            assert_eq!(fresh.schedule, reply.compiled.schedule, "job {i} diverged");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,148 @@
+//! Persistent compile-artifact store: crash-safe warm start for the
+//! FastSC serving stack.
+//!
+//! The paper's frequency-aware compilation is dominated by per-device
+//! solves — SMT frequency search and static coupling colorings — that
+//! `CompileContext` amortizes *within* a process. This crate makes that
+//! amortization survive the process: an append-only, versioned on-disk
+//! store ([`ArtifactStore`]) persists three artifact classes, all keyed
+//! by the workspace's pinned stable hashes (device fingerprint,
+//! `CompilerConfig::fingerprint`, `Circuit::structural_hash`,
+//! `Strategy::stable_code`):
+//!
+//! - [`StaticsArtifact`] — the solved static assignment (coupling
+//!   colors + per-color frequencies) a warm context can adopt instead
+//!   of re-running the device solve;
+//! - [`SmtArtifact`] — one bounded-memo entry of the SMT frequency
+//!   solver, keys and values as exact IEEE-754 bits;
+//! - [`ScheduleArtifact`] — a whole compiled schedule, carrying the
+//!   exact source program so the `ScheduleCache` collision defense
+//!   (verify the program, not just its hash) survives the disk round
+//!   trip.
+//!
+//! # Crash safety
+//!
+//! The file is a 12-byte header (`FSCSTORE` + format version) followed
+//! by checksummed, length-prefixed records; appends are a single
+//! buffered write. On open, a torn tail (interrupted append) is
+//! physically truncated, a record with a bad checksum or undecodable
+//! payload is dropped and counted, and an unknown version or foreign
+//! file opens as an empty **read-only** store. In every case the store
+//! opens successfully and compilation falls back to a cold solve —
+//! corruption can cost time, never correctness. `docs/STORE.md` spells
+//! out the format and the recovery argument; the crash-safety proptests
+//! enforce it over random truncations and byte flips.
+//!
+//! Everything recovered is bit-identical to what was written: floats
+//! travel as raw bits, and schedules are re-validated through the same
+//! scheduler invariants a fresh compile satisfies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod store;
+
+pub use store::{ArtifactStore, ImportOutcome, StoreStats};
+
+use fastsc_core::CompiledProgram;
+use fastsc_ir::Circuit;
+use std::sync::Arc;
+
+/// A solved static assignment (coupling coloring + per-color
+/// frequencies) for one `(device, config)` pair — adopting it on warm
+/// start skips the Welsh–Powell coloring and the SMT frequency solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticsArtifact {
+    /// Stable fingerprint of the device this was solved for.
+    pub device_fingerprint: u64,
+    /// `CompilerConfig::fingerprint()` of the solving configuration.
+    pub config_fingerprint: u64,
+    /// Color of each crosstalk-graph vertex (coupling), in vertex order.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors used.
+    pub color_count: usize,
+    /// Frequency assigned to each vertex, parallel to `colors`.
+    pub freqs: Vec<f64>,
+}
+
+/// One entry of the bounded SMT frequency memo:
+/// `(k, band, alpha, tol) → k frequencies`. Key floats are stored as
+/// raw bits so `-0.0`/`0.0` and every NaN payload stay distinct, and
+/// values round-trip bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtArtifact {
+    /// Stable fingerprint of the device whose context solved this.
+    pub device_fingerprint: u64,
+    /// `CompilerConfig::fingerprint()` of the solving configuration.
+    pub config_fingerprint: u64,
+    /// Number of frequencies requested.
+    pub k: usize,
+    /// Band lower edge, raw bits.
+    pub band_lo: u64,
+    /// Band upper edge, raw bits.
+    pub band_hi: u64,
+    /// Anharmonicity, raw bits.
+    pub alpha: u64,
+    /// Solver tolerance, raw bits.
+    pub tol: u64,
+    /// The solved frequencies (`values.len() == k`).
+    pub values: Vec<f64>,
+}
+
+/// The full identity of one cached schedule — the on-disk mirror of the
+/// service's in-memory cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScheduleKey {
+    /// Stable fingerprint of the target device.
+    pub device_fingerprint: u64,
+    /// `Circuit::structural_hash()` of the source program.
+    pub program_hash: u64,
+    /// `Strategy::stable_code()` of the compiling strategy.
+    pub strategy_code: u8,
+    /// `CompilerConfig::fingerprint()` of the compiling configuration.
+    pub config_fingerprint: u64,
+}
+
+/// A whole compiled schedule, plus the exact source program: consumers
+/// must compare `program` against their own circuit before trusting the
+/// entry, exactly as the in-memory `ScheduleCache` does, so a structural
+/// hash collision on disk can never serve a wrong schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleArtifact {
+    /// Stable fingerprint of the target device.
+    pub device_fingerprint: u64,
+    /// `Circuit::structural_hash()` of `program`.
+    pub program_hash: u64,
+    /// `Strategy::stable_code()` of the compiling strategy.
+    pub strategy_code: u8,
+    /// `CompilerConfig::fingerprint()` of the compiling configuration.
+    pub config_fingerprint: u64,
+    /// The exact source program (collision-defense payload).
+    pub program: Circuit,
+    /// The compiled schedule and its statistics.
+    pub compiled: Arc<CompiledProgram>,
+}
+
+impl ScheduleArtifact {
+    /// This artifact's store key.
+    pub fn key(&self) -> ScheduleKey {
+        ScheduleKey {
+            device_fingerprint: self.device_fingerprint,
+            program_hash: self.program_hash,
+            strategy_code: self.strategy_code,
+            config_fingerprint: self.config_fingerprint,
+        }
+    }
+}
+
+/// One persisted artifact of any class.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A static assignment ([`StaticsArtifact`]).
+    Statics(StaticsArtifact),
+    /// An SMT memo entry ([`SmtArtifact`]).
+    Smt(SmtArtifact),
+    /// A whole schedule ([`ScheduleArtifact`]).
+    Schedule(ScheduleArtifact),
+}

@@ -1,0 +1,185 @@
+//! Property-based crash-safety tests: whatever a crash (torn tail) or
+//! bit rot (flipped bytes) does to the store file, `open()` succeeds,
+//! every artifact it serves is bit-identical to one that was actually
+//! written, and everything else is dropped and counted — never served
+//! damaged, never a panic.
+
+use fastsc_core::{CompiledProgram, Compiler, CompilerConfig, Strategy};
+use fastsc_device::Device;
+use fastsc_store::{Artifact, ArtifactStore, ScheduleArtifact, SmtArtifact, StaticsArtifact};
+use fastsc_workloads::Benchmark;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("fastsc-store-proptests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("{tag}-{}-{n}.store", std::process::id()))
+}
+
+/// One real compiled schedule, built once — the proptest cases vary the
+/// damage, not the artifact contents.
+fn compiled_program() -> (fastsc_ir::Circuit, Arc<CompiledProgram>) {
+    static CELL: OnceLock<(fastsc_ir::Circuit, Arc<CompiledProgram>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let program = Benchmark::Bv(4).build(3);
+        let compiled = Compiler::new(Device::grid(2, 2, 5), CompilerConfig::default())
+            .compile(&program, Strategy::ColorDynamic)
+            .expect("compiles");
+        (program, Arc::new(compiled))
+    })
+    .clone()
+}
+
+/// A deterministic artifact population: `count` records spanning all
+/// three kinds.
+fn population(count: usize) -> Vec<Artifact> {
+    let (program, compiled) = compiled_program();
+    (0..count)
+        .map(|i| match i % 3 {
+            0 => Artifact::Statics(StaticsArtifact {
+                device_fingerprint: 100 + i as u64,
+                config_fingerprint: 7,
+                colors: vec![0, 1, 2, i % 5],
+                color_count: 1 + (i % 5).max(2),
+                freqs: vec![5.1 + i as f64 * 0.01, 5.3, 5.5, 5.7],
+            }),
+            1 => Artifact::Smt(SmtArtifact {
+                device_fingerprint: 100 + i as u64,
+                config_fingerprint: 7,
+                k: 3,
+                band_lo: 5.0f64.to_bits(),
+                band_hi: 6.0f64.to_bits(),
+                alpha: (-0.3f64).to_bits(),
+                tol: 1e-9f64.to_bits(),
+                values: vec![5.0 + i as f64 * 0.001, 5.4, 5.8],
+            }),
+            _ => Artifact::Schedule(ScheduleArtifact {
+                device_fingerprint: 100 + i as u64,
+                program_hash: program.structural_hash(),
+                strategy_code: Strategy::ColorDynamic.stable_code(),
+                config_fingerprint: 7,
+                program: program.clone(),
+                compiled: Arc::clone(&compiled),
+            }),
+        })
+        .collect()
+}
+
+/// Bit-exact artifact identity (schedules compare their programs and
+/// schedule payloads; `CompiledProgram` itself is not `PartialEq`).
+fn same(a: &Artifact, b: &Artifact) -> bool {
+    match (a, b) {
+        (Artifact::Statics(x), Artifact::Statics(y)) => x == y,
+        (Artifact::Smt(x), Artifact::Smt(y)) => x == y,
+        (Artifact::Schedule(x), Artifact::Schedule(y)) => {
+            x.device_fingerprint == y.device_fingerprint
+                && x.program_hash == y.program_hash
+                && x.strategy_code == y.strategy_code
+                && x.config_fingerprint == y.config_fingerprint
+                && x.program == y.program
+                && x.compiled.schedule == y.compiled.schedule
+                && x.compiled.stats == y.compiled.stats
+        }
+        _ => false,
+    }
+}
+
+fn write_store(path: &std::path::Path, artifacts: &[Artifact]) {
+    let store = ArtifactStore::open(path).expect("opens fresh");
+    assert_eq!(store.put_many(artifacts.iter().cloned()), artifacts.len());
+}
+
+/// The shared postcondition: open the (possibly damaged) file and check
+/// every recovery guarantee.
+fn check_recovery(path: &std::path::Path, written: &[Artifact]) {
+    let store = ArtifactStore::open(path).expect("open() must succeed on any bytes");
+    let recovered = store.export();
+    for artifact in &recovered {
+        assert!(
+            written.iter().any(|w| same(w, artifact)),
+            "store served an artifact that was never written intact"
+        );
+    }
+    let stats = store.stats();
+    assert!(
+        recovered.len() + stats.dropped_records <= written.len(),
+        "accounting exceeds what was written: {} recovered + {} dropped > {}",
+        recovered.len(),
+        stats.dropped_records,
+        written.len()
+    );
+    // Compaction preserves exactly the surviving artifacts and resets
+    // the damage counters; the rewritten file reloads clean.
+    if !stats.read_only {
+        store.compact().expect("compaction succeeds");
+        let after = store.stats();
+        assert_eq!(after.dropped_records, 0, "compaction clears dropped");
+        assert_eq!(after.torn_bytes_truncated, 0, "compaction clears torn bytes");
+        drop(store);
+        let reopened = ArtifactStore::open(path).expect("reopens after compaction");
+        assert_eq!(reopened.len(), recovered.len(), "compaction changed the survivor set");
+        assert_eq!(reopened.stats().dropped_records, 0, "compacted file reloads clean");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn truncation_at_any_point_recovers_a_verified_prefix(
+        count in 1usize..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let path = temp_path("truncate");
+        let written = population(count);
+        write_store(&path, &written);
+        let bytes = std::fs::read(&path).expect("reads");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).expect("truncates");
+        check_recovery(&path, &written);
+    }
+
+    #[test]
+    fn byte_flips_anywhere_drop_only_damaged_records(
+        count in 1usize..8,
+        flips in proptest::collection::vec((0.0f64..1.0, 1u8..=255), 1..6),
+    ) {
+        let path = temp_path("flip");
+        let written = population(count);
+        write_store(&path, &written);
+        let mut bytes = std::fs::read(&path).expect("reads");
+        for (frac, mask) in flips {
+            let at = ((bytes.len() as f64) * frac) as usize;
+            let at = at.min(bytes.len() - 1);
+            bytes[at] ^= mask;
+        }
+        std::fs::write(&path, &bytes).expect("writes damage");
+        check_recovery(&path, &written);
+    }
+
+    #[test]
+    fn truncation_and_flips_combined_never_serve_damage(
+        count in 2usize..8,
+        cut_frac in 0.3f64..1.0,
+        flips in proptest::collection::vec((0.0f64..1.0, 1u8..=255), 0..4),
+    ) {
+        let path = temp_path("both");
+        let written = population(count);
+        write_store(&path, &written);
+        let bytes = std::fs::read(&path).expect("reads");
+        let cut = (((bytes.len() as f64) * cut_frac) as usize).max(1);
+        let mut bytes = bytes[..cut].to_vec();
+        for (frac, mask) in flips {
+            let at = ((bytes.len() as f64) * frac) as usize;
+            let at = at.min(bytes.len() - 1);
+            bytes[at] ^= mask;
+        }
+        std::fs::write(&path, &bytes).expect("writes damage");
+        check_recovery(&path, &written);
+    }
+}

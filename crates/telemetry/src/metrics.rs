@@ -260,6 +260,15 @@ pub struct Metrics {
     pub cache_hits: Counter,
     /// Schedule-cache misses that compiled (`…{result="miss"}`).
     pub cache_misses: Counter,
+    /// Artifact-store lookups that served a persisted artifact
+    /// (`fastsc_store_requests_total{result="hit"}`).
+    pub store_hits: Counter,
+    /// Artifact-store lookups that fell through to a cold solve
+    /// (`…{result="miss"}`).
+    pub store_misses: Counter,
+    /// Bytes appended to the on-disk artifact store
+    /// (`fastsc_store_bytes_written_total`).
+    pub store_bytes_written: Counter,
     /// Breaker trips into quarantine
     /// (`fastsc_breaker_transitions_total{to="open"}`).
     pub breaker_opened: Counter,
@@ -299,6 +308,9 @@ impl Metrics {
             smt_solves: Counter::new(),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
+            store_hits: Counter::new(),
+            store_misses: Counter::new(),
+            store_bytes_written: Counter::new(),
             breaker_opened: Counter::new(),
             breaker_half_open: Counter::new(),
             breaker_closed: Counter::new(),
@@ -328,6 +340,9 @@ impl Metrics {
             smt_solves: self.smt_solves.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            store_hits: self.store_hits.get(),
+            store_misses: self.store_misses.get(),
+            store_bytes_written: self.store_bytes_written.get(),
             breaker_opened: self.breaker_opened.get(),
             breaker_half_open: self.breaker_half_open.get(),
             breaker_closed: self.breaker_closed.get(),
@@ -383,6 +398,12 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Schedule-cache miss count.
     pub cache_misses: u64,
+    /// Artifact-store hit count.
+    pub store_hits: u64,
+    /// Artifact-store miss count.
+    pub store_misses: u64,
+    /// Bytes appended to the artifact store.
+    pub store_bytes_written: u64,
     /// Breaker open-transition count.
     pub breaker_opened: u64,
     /// Breaker half-open-transition count.
@@ -475,6 +496,18 @@ impl MetricsSnapshot {
             "fastsc_cache_requests_total",
             "Schedule-cache lookups by outcome (coalesced hits included).",
             &[("{result=\"hit\"}", self.cache_hits), ("{result=\"miss\"}", self.cache_misses)],
+        );
+        counter_family(
+            &mut out,
+            "fastsc_store_requests_total",
+            "Persistent artifact-store lookups by outcome.",
+            &[("{result=\"hit\"}", self.store_hits), ("{result=\"miss\"}", self.store_misses)],
+        );
+        counter_family(
+            &mut out,
+            "fastsc_store_bytes_written_total",
+            "Bytes appended to the on-disk artifact store.",
+            &[("", self.store_bytes_written)],
         );
         counter_family(
             &mut out,
@@ -649,6 +682,12 @@ mod tests {
             "unused strategies are omitted from exposition"
         );
         assert!(text.contains("fastsc_server_bytes_total{direction=\"read\"} 1024"));
+        m.store_hits.add(4);
+        m.store_bytes_written.add(256);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("fastsc_store_requests_total{result=\"hit\"} 4"));
+        assert!(text.contains("fastsc_store_requests_total{result=\"miss\"} 0"));
+        assert!(text.contains("fastsc_store_bytes_written_total 256"));
         assert!(text.contains("fastsc_queue_wait_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("fastsc_queue_wait_seconds_count 1"));
         // Every line is either a comment or `name[{labels}] value`.

@@ -18,6 +18,7 @@
 //! | [`service`] | `fastsc-service` | sharded multi-device compile service + result cache |
 //! | [`queue`] | `fastsc-queue` | async admission queue: backpressure, priorities, deadlines, streaming |
 //! | [`server`] | `fastsc-server` | TCP wire protocol, multi-tenant sessions, rate limits and quotas |
+//! | [`store`] | `fastsc-store` | crash-safe on-disk artifact store: warm start + fleet pre-warming |
 //! | [`sim`] | `fastsc-sim` | noisy state-vector + two-transmon qutrit simulation |
 //! | [`telemetry`] | `fastsc-telemetry` | per-job span traces + Prometheus-style metrics |
 //!
@@ -56,5 +57,6 @@ pub use fastsc_server as server;
 pub use fastsc_service as service;
 pub use fastsc_sim as sim;
 pub use fastsc_smt as smt;
+pub use fastsc_store as store;
 pub use fastsc_telemetry as telemetry;
 pub use fastsc_workloads as workloads;

@@ -678,3 +678,212 @@ fn faulty_then_failed_over_compiles_match_fresh_sequential_compiles() {
     }
     assert!(queue.stats().retried >= 1, "the injected faults must have forced failovers");
 }
+
+// ---------------------------------------------------------------------
+// Persistent artifact store: warm start, fleet pre-warming, corruption
+// fallback. Store-served artifacts must be invisible in compiled output.
+// ---------------------------------------------------------------------
+
+fn store_test_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fastsc-determinism-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}-{}.store", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn strategy_jobs(program: &fastsc::ir::Circuit) -> Vec<CompileJob> {
+    Strategy::all().iter().map(|&s| CompileJob::new(program.clone(), s)).collect()
+}
+
+#[test]
+fn store_warmed_compiles_are_bit_identical_to_cold_across_strategies() {
+    use fastsc::store::ArtifactStore;
+
+    let path = store_test_path("warm");
+    let store = Arc::new(ArtifactStore::open(&path).expect("opens"));
+    let program = Benchmark::Xeb(9, 5).build(42);
+
+    // Cold process: attached store, every strategy compiled once, drain
+    // flushes statics + SMT memo + all five schedules to disk.
+    let cold = CompileService::new(RoundRobin::new());
+    cold.add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+        .expect("adds");
+    let cold_replies = cold.compile_batch(strategy_jobs(&program));
+    cold.drain_shard(0);
+    assert!(store.stats().schedules >= 5, "drain persists every strategy's schedule");
+
+    // Warm process: a fresh service hydrated from the same store. Every
+    // strategy must be served from the pre-warmed cache, bit-identical
+    // to both the cold run and a fresh sequential compile.
+    let warm = CompileService::new(RoundRobin::new());
+    warm.add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+        .expect("adds");
+    let warm_replies = warm.compile_batch(strategy_jobs(&program));
+    for ((strategy, c), w) in Strategy::all().iter().zip(&cold_replies).zip(&warm_replies) {
+        let c = c.as_ref().expect("cold compiles");
+        let w = w.as_ref().expect("warm compiles");
+        assert!(w.cache_hit, "{strategy}: not served from the store-warmed cache");
+        assert_eq!(
+            c.compiled.schedule, w.compiled.schedule,
+            "{strategy}: store-warmed schedule diverged from the cold compile"
+        );
+        let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+            .compile(&program, *strategy)
+            .expect("fresh compiles");
+        assert_eq!(
+            fresh.schedule, w.compiled.schedule,
+            "{strategy}: store-warmed schedule diverged from a fresh sequential compile"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn peer_imported_fleets_compile_bit_identically_across_strategies() {
+    // Fleet pre-warming without shared disk: a donor fleet exports its
+    // artifacts, a joining fleet imports them and must serve the same
+    // bits from its pre-warmed cache for every strategy.
+    let program = Benchmark::Xeb(9, 5).build(42);
+    let donor = CompileService::new(RoundRobin::new());
+    donor.add_shard(Device::grid(3, 3, 7), CompilerConfig::default()).expect("adds");
+    let donor_replies = donor.compile_batch(strategy_jobs(&program));
+    let bundle = donor.export_artifacts();
+
+    let peer = CompileService::new(RoundRobin::new());
+    peer.add_shard(Device::grid(3, 3, 7), CompilerConfig::default()).expect("adds");
+    let report = peer.import_artifacts(&bundle);
+    assert_eq!(report.schedules, 5, "every strategy's schedule is adopted: {report:?}");
+
+    let peer_replies = peer.compile_batch(strategy_jobs(&program));
+    for ((strategy, d), p) in Strategy::all().iter().zip(&donor_replies).zip(&peer_replies) {
+        let d = d.as_ref().expect("donor compiles");
+        let p = p.as_ref().expect("peer compiles");
+        assert!(p.cache_hit, "{strategy}: not served from the imported cache");
+        assert_eq!(
+            d.compiled.schedule, p.compiled.schedule,
+            "{strategy}: peer-imported schedule diverged from the donor"
+        );
+    }
+}
+
+#[test]
+fn corrupted_or_alien_stores_fall_back_to_bit_identical_cold_compiles() {
+    use fastsc::store::ArtifactStore;
+
+    let path = store_test_path("corrupt");
+    let program = Benchmark::Xeb(9, 5).build(42);
+    {
+        let store = Arc::new(ArtifactStore::open(&path).expect("opens"));
+        let service = CompileService::new(RoundRobin::new());
+        service
+            .add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+            .expect("adds");
+        service.compile_batch(strategy_jobs(&program));
+        service.drain_shard(0);
+    }
+
+    // Damage the file three ways; each warm start must still produce
+    // schedules bit-identical to fresh sequential compiles — recovered
+    // artifacts verify, everything else is recompiled cold.
+    let pristine = std::fs::read(&path).expect("reads");
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    let truncated = pristine[..pristine.len() - 7].to_vec();
+    let mut alien_version = pristine.clone();
+    alien_version[11] = 0x7F; // unknown format version => read-only empty
+
+    for (name, bytes) in
+        [("flipped", flipped), ("truncated", truncated), ("alien-version", alien_version)]
+    {
+        std::fs::write(&path, &bytes).expect("writes damage");
+        let store = Arc::new(ArtifactStore::open(&path).expect("open never fails"));
+        let service = CompileService::new(RoundRobin::new());
+        service
+            .add_shard_with_store(Device::grid(3, 3, 7), CompilerConfig::default(), &store)
+            .expect("warm start survives damage");
+        let replies = service.compile_batch(strategy_jobs(&program));
+        for (strategy, reply) in Strategy::all().iter().zip(&replies) {
+            let reply = reply.as_ref().expect("compiles");
+            let fresh = Compiler::new(Device::grid(3, 3, 7), CompilerConfig::default())
+                .compile(&program, *strategy)
+                .expect("fresh compiles");
+            assert_eq!(
+                fresh.schedule, reply.compiled.schedule,
+                "{name}/{strategy}: damaged store changed compiled output"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Partition auto-cap and multi-thread region fan-out.
+// ---------------------------------------------------------------------
+
+#[test]
+fn partition_auto_cap_matches_its_explicit_equivalent_and_fingerprints_apart() {
+    use fastsc::compiler::partition::auto_region_cap;
+
+    // auto() derives the cap from the device: on a 6x6 grid that is
+    // max(ceil(36/8), 16) = 16, so the schedule must equal an explicit
+    // cap-16 compile bit for bit...
+    let program = Benchmark::Xeb(36, 4).build(7);
+    let auto = Compiler::new(Device::grid(6, 6, 7), CompilerConfig::with_partition_auto())
+        .compile(&program, Strategy::ColorDynamic)
+        .expect("auto-cap compiles");
+    assert_eq!(auto_region_cap(36), 16);
+    let explicit = Compiler::new(Device::grid(6, 6, 7), CompilerConfig::with_partition(16))
+        .compile(&program, Strategy::ColorDynamic)
+        .expect("explicit-cap compiles");
+    assert_eq!(
+        auto.schedule, explicit.schedule,
+        "auto cap resolved differently from its explicit equivalent"
+    );
+    // ...while the config fingerprints stay distinct: "auto" means "cap
+    // follows the device", which is a different cache key than any
+    // pinned cap.
+    assert_ne!(
+        CompilerConfig::with_partition_auto().fingerprint(),
+        CompilerConfig::with_partition(16).fingerprint(),
+        "auto and explicit caps must not share schedule-cache keys"
+    );
+    // And reproducibly: a second auto-cap compile is bit-identical.
+    let again = Compiler::new(Device::grid(6, 6, 7), CompilerConfig::with_partition_auto())
+        .compile(&program, Strategy::ColorDynamic)
+        .expect("auto-cap recompiles");
+    assert_eq!(auto.schedule, again.schedule, "auto-cap compile is not reproducible");
+}
+
+#[test]
+fn multi_thread_region_fanout_matches_single_thread_bit_for_bit() {
+    // The partition engine fans out over regions on multi-thread rayon
+    // pools and runs inline on 1-thread pools; both paths must produce
+    // identical bits for every strategy.
+    let program = Benchmark::Xeb(16, 5).build(7);
+    let compile = || {
+        Compiler::new(Device::grid(4, 4, 7), CompilerConfig::with_partition(8))
+            .compile(&program, Strategy::ColorDynamic)
+            .expect("compiles")
+    };
+    let serial_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
+    let parallel_pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+    let serial = serial_pool.install(compile);
+    let parallel = parallel_pool.install(compile);
+    assert_eq!(
+        serial.schedule, parallel.schedule,
+        "region fan-out changed compiled output across pool sizes"
+    );
+    // compile_time is wall-clock; everything else in the stats must
+    // agree exactly.
+    assert_eq!(
+        (serial.stats.lowered_gate_count, serial.stats.smt_calls, serial.stats.deferred_gates),
+        (
+            parallel.stats.lowered_gate_count,
+            parallel.stats.smt_calls,
+            parallel.stats.deferred_gates
+        ),
+        "stats diverged across pool sizes"
+    );
+}
